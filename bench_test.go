@@ -1,0 +1,334 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (see DESIGN.md's experiment index), sized so
+// `go test -bench=. -benchmem` completes on a laptop. The richer
+// paper-style reports (with the published numbers printed side by side)
+// come from `go run ./cmd/galactos-bench -exp all`.
+package galactos_test
+
+import (
+	"fmt"
+	"testing"
+
+	"galactos"
+	"galactos/internal/bruteforce"
+	"galactos/internal/catalog"
+	"galactos/internal/core"
+	"galactos/internal/sim"
+	"galactos/internal/sphharm"
+)
+
+// benchCatalog returns a clustered catalog at the Outer Rim number density.
+func benchCatalog(n int, seed int64) *galactos.Catalog {
+	return catalog.Clustered(n, catalog.BoxForDensity(n), catalog.DefaultClusterParams(), seed)
+}
+
+// benchConfig is the paper-shaped configuration at reduced Rmax.
+func benchConfig(rmax float64) galactos.Config {
+	cfg := galactos.DefaultConfig()
+	cfg.RMax = rmax
+	cfg.NBins = 10
+	cfg.LMax = 10
+	cfg.SelfCount = false
+	return cfg
+}
+
+// BenchmarkKernelAccumulate measures the hot multipole kernel alone: the
+// 286-term power-combination accumulation over one 128-pair bucket
+// (Sec. 3.3.2; the paper reaches 1017 GF/s = 39% of Xeon Phi peak here).
+func BenchmarkKernelAccumulate(b *testing.B) {
+	mono := sphharm.NewMonomialTable(10)
+	k := sphharm.NewKernel(mono, 128)
+	xs := make([]float64, 128)
+	ys := make([]float64, 128)
+	zs := make([]float64, 128)
+	ws := make([]float64, 128)
+	for i := range xs {
+		xs[i], ys[i], zs[i], ws[i] = 0.5, 0.5, 0.70710678, 1
+	}
+	acc := make([]float64, sphharm.AccumulatorLen(mono))
+	b.SetBytes(128 * 3 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Accumulate(xs, ys, zs, ws, acc)
+	}
+	flops := float64(b.N) * 128 * float64(sphharm.FlopsPerPair(10))
+	b.ReportMetric(flops/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+	b.ReportMetric(float64(b.N)*128/b.Elapsed().Seconds()/1e6, "Mpairs/s")
+}
+
+// BenchmarkKernelScalar is the unbucketed baseline for the same work
+// (the pre-binning/post-binning ablation of Sec. 3.3.1).
+func BenchmarkKernelScalar(b *testing.B) {
+	mono := sphharm.NewMonomialTable(10)
+	k := sphharm.NewKernel(mono, 128)
+	xs := make([]float64, 128)
+	ys := make([]float64, 128)
+	zs := make([]float64, 128)
+	ws := make([]float64, 128)
+	for i := range xs {
+		xs[i], ys[i], zs[i], ws[i] = 0.5, 0.5, 0.70710678, 1
+	}
+	m := make([]float64, mono.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.AccumulateScalar(xs, ys, zs, ws, m)
+	}
+	b.ReportMetric(float64(b.N)*128/b.Elapsed().Seconds()/1e6, "Mpairs/s")
+}
+
+// BenchmarkTable1 measures construction of a density-matched weak-scaling
+// dataset (Table 1's procedure).
+func BenchmarkTable1(b *testing.B) {
+	row := catalog.ScaledTable1Row(4, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat := catalog.GenerateTable1Dataset(row, int64(i))
+		if cat.Len() == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+// BenchmarkFigure4Breakdown runs the instrumented single-node pipeline that
+// produces the Fig. 4 runtime breakdown.
+func BenchmarkFigure4Breakdown(b *testing.B) {
+	cat := benchCatalog(4000, 1)
+	cfg := benchConfig(12)
+	b.ResetTimer()
+	var pairs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := galactos.Compute(cat, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs = res.Pairs
+	}
+	b.ReportMetric(float64(pairs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpairs/s")
+}
+
+// BenchmarkFigure5Threads sweeps worker counts (thread scaling, Fig. 5).
+func BenchmarkFigure5Threads(b *testing.B) {
+	cat := benchCatalog(3000, 2)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := benchConfig(12)
+			cfg.Workers = w
+			for i := 0; i < b.N; i++ {
+				if _, err := galactos.Compute(cat, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure6Weak runs the distributed pipeline at fixed work per rank
+// (weak scaling, Fig. 6); the reported metric is the simulated cluster
+// time, i.e. the slowest rank.
+func BenchmarkFigure6Weak(b *testing.B) {
+	for _, ranks := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			cfg := benchConfig(8)
+			cfg.NBins = 8
+			for i := 0; i < b.N; i++ {
+				pts, err := sim.WeakScaling([]int{ranks}, 1500, cfg, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(pts[0].NodeTime.Seconds(), "node-s")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure7Strong runs the distributed pipeline at fixed total work
+// (strong scaling, Fig. 7).
+func BenchmarkFigure7Strong(b *testing.B) {
+	cat := benchCatalog(6000, 4)
+	for _, ranks := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			cfg := benchConfig(10)
+			cfg.NBins = 8
+			for i := 0; i < b.N; i++ {
+				pts, err := sim.StrongScaling([]int{ranks}, cat, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(pts[0].NodeTime.Seconds(), "node-s")
+			}
+		})
+	}
+}
+
+// BenchmarkSection51SingleNode measures the end-to-end single-node rate
+// whose paper analogue is 1017 GF/s / 39% of peak (Sec. 5.1).
+func BenchmarkSection51SingleNode(b *testing.B) {
+	cat := benchCatalog(6000, 5)
+	cfg := benchConfig(15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := galactos.Compute(cat, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FlopsEstimate()/b.Elapsed().Seconds()*float64(i+1)/float64(b.N)/1e9, "modelGF/s")
+	}
+}
+
+// BenchmarkSection54Precision compares the mixed-precision (f32 tree) and
+// pure-double configurations (Sec. 5.4's 9% effect).
+func BenchmarkSection54Precision(b *testing.B) {
+	cat := benchCatalog(5000, 6)
+	for _, f := range []struct {
+		name string
+		kind core.FinderKind
+	}{{"mixed-kd32", core.FinderKD32}, {"double-kd64", core.FinderKD64}} {
+		b.Run(f.name, func(b *testing.B) {
+			cfg := benchConfig(12)
+			cfg.Finder = f.kind
+			for i := 0; i < b.N; i++ {
+				if _, err := galactos.Compute(cat, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure1BAOMap regenerates the zeta_l(r1, r2) coefficient map of
+// Fig. 1 (right) on a BAO-shell mock.
+func BenchmarkFigure1BAOMap(b *testing.B) {
+	cat := catalog.BAOShells(4000, 420, catalog.DefaultBAOParams(), 7)
+	cfg := galactos.DefaultConfig()
+	cfg.RMax = 130
+	cfg.NBins = 13
+	cfg.LMax = 2
+	cfg.IsotropicOnly = true
+	cfg.SelfCount = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := galactos.Compute(cat, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSE15Isotropic measures the isotropic-only baseline mode
+// (Sec. 2.2/2.3) against BenchmarkFigure4Breakdown's full mode.
+func BenchmarkSE15Isotropic(b *testing.B) {
+	cat := benchCatalog(4000, 8)
+	cfg := benchConfig(12)
+	cfg.IsotropicOnly = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := galactos.Compute(cat, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBruteForce anchors the O(N^3) baseline the multipole algorithm
+// replaces (Sec. 2.1).
+func BenchmarkBruteForce(b *testing.B) {
+	cfg := galactos.DefaultConfig()
+	cfg.RMax = 50
+	cfg.NBins = 5
+	cfg.LMax = 4
+	for _, n := range []int{100, 200} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cat := catalog.Clustered(n, 160, catalog.DefaultClusterParams(), int64(n))
+			for i := 0; i < b.N; i++ {
+				if _, err := bruteforce.Aniso(cat, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBucketSize is the k = 128 ablation (Sec. 3.3.2).
+func BenchmarkBucketSize(b *testing.B) {
+	cat := benchCatalog(4000, 9)
+	for _, k := range []int{8, 32, 128, 512} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			cfg := benchConfig(12)
+			cfg.BucketSize = k
+			for i := 0; i < b.N; i++ {
+				if _, err := galactos.Compute(cat, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNeighborFinder is the k-d tree vs grid ablation.
+func BenchmarkNeighborFinder(b *testing.B) {
+	cat := benchCatalog(5000, 10)
+	for _, f := range []struct {
+		name string
+		kind core.FinderKind
+	}{{"kd32", core.FinderKD32}, {"kd64", core.FinderKD64}, {"grid", core.FinderGrid}} {
+		b.Run(f.name, func(b *testing.B) {
+			cfg := benchConfig(12)
+			cfg.Finder = f.kind
+			for i := 0; i < b.N; i++ {
+				if _, err := galactos.Compute(cat, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduling is the dynamic-vs-static scheduling ablation
+// (Sec. 3.3: dynamic wins on real cores; single-core hosts show parity).
+func BenchmarkScheduling(b *testing.B) {
+	cat := benchCatalog(5000, 11)
+	for _, s := range []struct {
+		name string
+		kind core.SchedKind
+	}{{"dynamic", core.SchedDynamic}, {"static", core.SchedStatic}} {
+		b.Run(s.name, func(b *testing.B) {
+			cfg := benchConfig(12)
+			cfg.Scheduling = s.kind
+			cfg.Workers = 4
+			for i := 0; i < b.N; i++ {
+				if _, err := galactos.Compute(cat, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSelfCount measures the cost of the exact self-pair correction.
+func BenchmarkSelfCount(b *testing.B) {
+	cat := benchCatalog(2500, 12)
+	for _, on := range []bool{false, true} {
+		b.Run(fmt.Sprintf("selfcount=%v", on), func(b *testing.B) {
+			cfg := benchConfig(10)
+			cfg.SelfCount = on
+			for i := 0; i < b.N; i++ {
+				if _, err := galactos.Compute(cat, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTwoPCF anchors the 2-point substrate (the Chhugani et al.
+// comparison axis of Sec. 2.3).
+func BenchmarkTwoPCF(b *testing.B) {
+	cat := benchCatalog(20000, 13)
+	cfg := galactos.TwoPCFConfig{RMax: 15, NBins: 15, LMax: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc, err := galactos.TwoPCF(cat, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(pc.NPairs)/b.Elapsed().Seconds()*float64(i+1)/float64(b.N)/1e6, "Mpairs/s")
+	}
+}

@@ -1,0 +1,87 @@
+// BAO detection: inject galaxies on acoustic-scale shells (the physical
+// process imprinted by baryon acoustic oscillations) and watch the feature
+// appear in the isotropic 3PCF at r1 ~ r2 ~ 105 Mpc/h — the analogue of the
+// paper's Fig. 1 (right panel), where the coefficient map over (r1, r2)
+// shows the BAO excess used as a standard ruler.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"galactos"
+)
+
+func main() {
+	const boxL = 420.0
+	const n = 8000
+
+	// Exaggerate the shell population relative to real surveys so the
+	// feature rises above shot noise at laptop-scale N (the paper's figure
+	// integrates 2e9 galaxies; see DESIGN.md on substitutions).
+	params := galactos.DefaultBAOParams()
+	params.FracShell = 0.8
+	params.PerCenter = 40
+	params.ShellWidth = 4
+	bao := galactos.GenerateBAO(n, boxL, params, 7)
+	random := galactos.GenerateUniform(n, boxL, 8)
+	fmt.Printf("BAO mock and random: %d galaxies each, box %.0f Mpc/h\n", n, boxL)
+
+	cfg := galactos.DefaultConfig()
+	cfg.RMax = 130 // must reach past the acoustic scale (~105 Mpc/h)
+	cfg.NBins = 13 // 10 Mpc/h bins, like the paper
+	cfg.LMax = 3
+	cfg.IsotropicOnly = true // the BAO feature lives in the isotropic part
+	cfg.SelfCount = false
+
+	resB, err := galactos.Compute(bao, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resR, err := galactos.Compute(random, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ratio of zeta_0 diagonals: clustering excess per separation scale.
+	fmt.Println("\nzeta_0(r, r) BAO / random (1.00 = unclustered):")
+	for b := 0; b < cfg.NBins; b++ {
+		ratio := resB.IsoZeta(0, b, b) / resR.IsoZeta(0, b, b)
+		bar := strings.Repeat("#", clamp(int((ratio-0.95)*200), 0, 60))
+		marker := ""
+		if c := resB.Bins.Center(b); c > 100 && c < 110 {
+			marker = "  <- acoustic scale"
+		}
+		fmt.Printf("  r = %5.1f   %6.3f %s%s\n", resB.Bins.Center(b), ratio, bar, marker)
+	}
+
+	// The full (r1, r2) map, as in Fig. 1's right panel: print the excess
+	// grid so the off-diagonal structure is visible too.
+	fmt.Println("\nzeta_0(r1, r2) excess map (x10, '.' < 0.2, rows r1, cols r2):")
+	for b1 := 0; b1 < cfg.NBins; b1++ {
+		row := make([]string, 0, cfg.NBins)
+		for b2 := 0; b2 < cfg.NBins; b2++ {
+			ratio := resB.IsoZeta(0, b1, b2)/resR.IsoZeta(0, b1, b2) - 1
+			switch {
+			case ratio > 0.02:
+				row = append(row, fmt.Sprintf("%2.0f", ratio*100))
+			default:
+				row = append(row, " .")
+			}
+		}
+		fmt.Printf("  r1=%5.1f  %s\n", resB.Bins.Center(b1), strings.Join(row, " "))
+	}
+	fmt.Println("\n(the paper's Fig. 1 shows this map for BOSS-like data: red = excess,")
+	fmt.Println("with features at the acoustic scale; here the excess peaks near 105)")
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

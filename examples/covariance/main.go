@@ -1,0 +1,107 @@
+// Covariance estimation (paper Sec. 6.1): "partitioning the survey
+// spatially to parallelize over many nodes amounts to jack-knifing:
+// retaining the local 3PCF results on a per node basis would therefore
+// constitute many samples of the 3PCF over small volumes. These can be
+// combined to provide a covariance matrix."
+//
+// This example computes the 3PCF monopole in spatial sub-volumes of a mock
+// survey, builds the jackknife covariance, inverts it (the step the paper
+// warns is sensitive to having too few samples), and reports diagnostics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"galactos"
+)
+
+func main() {
+	const n = 24000
+	const boxL = 320.0
+	const cells = 3 // 3x3x3 = 27 jackknife sub-volumes
+
+	cat := galactos.GenerateClustered(n, boxL, galactos.DefaultClusterParams(), 5)
+	fmt.Printf("survey mock: %d galaxies, box %.0f Mpc/h, %d sub-volumes\n", n, boxL, cells*cells*cells)
+
+	cfg := galactos.DefaultConfig()
+	cfg.RMax = 40
+	cfg.NBins = 4
+	cfg.LMax = 2
+	cfg.SelfCount = false
+	cfg.IsotropicOnly = true
+
+	// Per-subvolume 3PCF: mask the primaries by cell; secondaries remain
+	// global, exactly like a node-local computation after halo exchange.
+	side := boxL / cells
+	var samples [][]float64
+	for cx := 0; cx < cells; cx++ {
+		for cy := 0; cy < cells; cy++ {
+			for cz := 0; cz < cells; cz++ {
+				mask := make([]bool, cat.Len())
+				count := 0
+				for i, g := range cat.Galaxies {
+					if int(g.Pos.X/side) == cx && int(g.Pos.Y/side) == cy && int(g.Pos.Z/side) == cz {
+						mask[i] = true
+						count++
+					}
+				}
+				res, err := galactos.ComputeSubset(cat, mask, cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				// The statistic vector: per-primary-normalized zeta_0
+				// diagonal (so sub-volume occupancy divides out).
+				vec := make([]float64, cfg.NBins)
+				for b := range vec {
+					vec[b] = res.IsoZeta(0, b, b) / float64(count)
+				}
+				samples = append(samples, vec)
+			}
+		}
+	}
+	fmt.Printf("collected %d jackknife samples of a %d-bin statistic\n", len(samples), cfg.NBins)
+
+	cov, err := galactos.JackknifeCovariance(samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\njackknife covariance (diagonal = per-bin variance):")
+	for i := 0; i < cov.N; i++ {
+		for j := 0; j < cov.N; j++ {
+			fmt.Printf(" %11.3e", cov.At(i, j))
+		}
+		fmt.Println()
+	}
+
+	corr, err := cov.CorrelationMatrix()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncorrelation matrix:")
+	for i := 0; i < corr.N; i++ {
+		for j := 0; j < corr.N; j++ {
+			fmt.Printf(" %+6.2f", corr.At(i, j))
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\ncondition estimate: %.2e\n", cov.ConditionEstimate())
+	inv, err := cov.Inverse()
+	if err != nil {
+		log.Fatalf("inversion failed (too few samples for the dimension?): %v", err)
+	}
+	prod, err := cov.Mul(inv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst := 0.0
+	for i := 0; i < prod.N; i++ {
+		worst = math.Max(worst, math.Abs(prod.At(i, i)-1))
+	}
+	fmt.Printf("inverted: max |diag(C C^-1) - 1| = %.2e, max off-diagonal = %.2e\n",
+		worst, prod.MaxAbsOffDiagonal())
+	fmt.Println("\nthe inverse covariance is what weights the data vector when fitting")
+	fmt.Println("cosmological models (dark energy, growth rate) to the measured 3PCF.")
+}

@@ -1,0 +1,92 @@
+// Redshift-space distortions: the paper's scientific motivation (Sec. 1.1-
+// 1.2). Galaxies' peculiar velocities displace their inferred positions
+// along the line of sight, imprinting anisotropy that the anisotropic 3PCF
+// measures — "it has never been measured" before Galactos made it feasible.
+//
+// This example builds the same clustered universe twice — once isotropic,
+// once with structures stretched along the line of sight — and shows that
+// the anisotropic channels (l1 != l2 cross-multipoles, e.g. the
+// monopole-quadrupole channel zeta^0_{02}) light up only under distortion,
+// while the isotropic multipoles barely move.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"galactos"
+)
+
+func main() {
+	const n = 15000
+	const boxL = 250.0
+
+	params := galactos.DefaultClusterParams()
+	iso := galactos.GenerateClustered(n, boxL, params, 3)
+	params.ZStretch = 2.5 // finger-of-god-like stretching along z
+	rsd := galactos.GenerateClustered(n, boxL, params, 3)
+
+	cfg := galactos.DefaultConfig()
+	cfg.RMax = 50
+	cfg.NBins = 5
+	cfg.LMax = 4
+	cfg.SelfCount = false
+	cfg.LOS = galactos.LOSPlaneParallel // simulation-box convention
+
+	resI, err := galactos.Compute(iso, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resR, err := galactos.Compute(rsd, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("catalogs: %d galaxies, box %.0f Mpc/h (isotropic vs z-stretched)\n\n", n, boxL)
+
+	// Quadrupole-monopole cross channel relative to the monopole: the
+	// cleanest anisotropy statistic (vanishes in expectation for isotropy).
+	fmt.Println("anisotropy statistic |zeta^0_02(r,r)| / |zeta^0_00(r,r)|:")
+	fmt.Println("  r (Mpc/h)    isotropic    distorted")
+	for b := 0; b < cfg.NBins; b++ {
+		qI := real(resI.ZetaM(0, 2, 0, b, b)) / real(resI.ZetaM(0, 0, 0, b, b))
+		qR := real(resR.ZetaM(0, 2, 0, b, b)) / real(resR.ZetaM(0, 0, 0, b, b))
+		fmt.Printf("  %7.1f     %+9.4f    %+9.4f\n", resI.Bins.Center(b), qI, qR)
+	}
+
+	// Aggregate: cross-l power fraction.
+	fI := crossFraction(resI, cfg.NBins)
+	fR := crossFraction(resR, cfg.NBins)
+	fmt.Printf("\ncross-multipole (l1 != l2) power fraction: isotropic %.4f, distorted %.4f (%.1fx)\n",
+		fI, fR, fR/fI)
+
+	// The isotropic multipoles are nearly unchanged: the information RSD
+	// carries is invisible to the isotropic 3PCF (Sec. 2.2's limitation).
+	var drift float64
+	for b := 0; b < cfg.NBins; b++ {
+		zi := resI.IsoZeta(0, b, b)
+		zr := resR.IsoZeta(0, b, b)
+		drift += math.Abs(zr-zi) / math.Abs(zi) / float64(cfg.NBins)
+	}
+	fmt.Printf("mean |change| of isotropic monopole: %.1f%% — the anisotropic channels\n", drift*100)
+	fmt.Println("carry the growth-rate signal the isotropic 3PCF cannot see.")
+}
+
+func crossFraction(res *galactos.Result, nbins int) float64 {
+	var cross, diag float64
+	for _, c := range res.Combos.Combos {
+		for b1 := 0; b1 < nbins; b1++ {
+			for b2 := 0; b2 < nbins; b2++ {
+				v := res.ZetaM(c.L1, c.L2, c.M, b1, b2)
+				p := real(v)*real(v) + imag(v)*imag(v)
+				if c.L1 == c.L2 {
+					diag += p
+				} else {
+					cross += p
+				}
+			}
+		}
+	}
+	return cross / (cross + diag)
+}

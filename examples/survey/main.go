@@ -1,0 +1,105 @@
+// Survey analysis: the full correction pipeline of Sec. 6.1. Real surveys
+// have masked, irregular geometry ("they cannot see through the dense
+// center of the Milky Way, or identify galaxies behind the glare of a
+// bright star"), so the measured 3PCF mixes the true multipoles through the
+// survey window. The fix: compute the 3PCF of the data-minus-randoms field
+// and of random catalogs that Monte-Carlo sample the geometry, then invert
+// the Wigner-3j window mixing matrix.
+//
+// This example cuts a thin slab (a strongly anisotropic mask) out of a
+// clustered box, runs the correction, and compares the corrected multipoles
+// against the maskless truth. It shows: (a) the slab imprints large window
+// multipoles f_l; (b) the normalized estimate zeta-hat from the masked
+// survey agrees with the maskless measurement at the clustered scales.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"galactos"
+)
+
+func main() {
+	const boxL = 240.0
+	const nData = 20000
+
+	// The "true" universe: a clustered periodic box.
+	full := galactos.GenerateClustered(nData, boxL, galactos.DefaultClusterParams(), 11)
+
+	// The survey sees a slab: |z - L/2| < L/4 (half the volume, with two
+	// anisotropic boundaries along the line of sight). Real surveys are
+	// much larger than the clustering correlation length; keeping the slab
+	// thick relative to the ~12 Mpc/h cluster size keeps the estimator in
+	// its valid regime (see the note printed at the end).
+	mask := func(g galactos.Galaxy) bool { return math.Abs(g.Pos.Z-boxL/2) < boxL/4 }
+	survey := &galactos.Catalog{}
+	for _, g := range full.Galaxies {
+		if mask(g) {
+			survey.Galaxies = append(survey.Galaxies, g)
+		}
+	}
+	pool := galactos.GenerateUniform(4*nData, boxL, 12)
+	randoms := &galactos.Catalog{}
+	for _, g := range pool.Galaxies {
+		if mask(g) {
+			randoms.Galaxies = append(randoms.Galaxies, g)
+		}
+	}
+	fmt.Printf("survey: %d of %d galaxies visible; %d randoms in the mask\n",
+		survey.Len(), full.Len(), randoms.Len())
+
+	cfg := galactos.DefaultConfig()
+	cfg.RMax = 40
+	cfg.NBins = 4
+	cfg.LMax = 4
+	cfg.SelfCount = false
+
+	// Reference: the maskless truth (full periodic box + full-box randoms).
+	fullRandoms := galactos.GenerateUniform(2*nData, boxL, 13)
+	truth, err := galactos.EdgeCorrectedZeta(full, fullRandoms, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	corrected, err := galactos.EdgeCorrectedZeta(survey, randoms, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nwindow multipoles f_l = R_l/R_0 (diagonal bins; ~0 for a maskless box):")
+	for l := 1; l <= 2; l++ {
+		fmt.Printf("  survey l=%d:  ", l)
+		for b := 0; b < cfg.NBins; b++ {
+			fmt.Printf(" %+7.3f", corrected.WindowF[l][b*cfg.NBins+b])
+		}
+		fmt.Printf("\n  maskless l=%d:", l)
+		for b := 0; b < cfg.NBins; b++ {
+			fmt.Printf(" %+7.3f", truth.WindowF[l][b*cfg.NBins+b])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("mixing-matrix condition estimate: %.3f\n", corrected.Condition)
+
+	binCenter := func(b int) float64 {
+		return cfg.RMin + (float64(b)+0.5)*(cfg.RMax-cfg.RMin)/float64(cfg.NBins)
+	}
+	// Compare on off-diagonal bin pairs: diagonal (r, r) bins carry the
+	// secondary-paired-with-itself shot term when SelfCount is off, which
+	// depends on the random-catalog density and would cloud the comparison.
+	fmt.Println("\nnormalized monopole zeta-hat_0(r1=5, r2), masked survey vs maskless truth:")
+	fmt.Println("  r2 (Mpc/h)   maskless     survey(corrected)")
+	for b2 := 1; b2 < cfg.NBins; b2++ {
+		tr := truth.Zeta[0][0*cfg.NBins+b2]
+		co := corrected.Zeta[0][0*cfg.NBins+b2]
+		fmt.Printf("  %7.1f     %10.5f     %10.5f\n", binCenter(b2), tr, co)
+	}
+	rel := math.Abs(corrected.Zeta[0][1]-truth.Zeta[0][1]) / math.Abs(truth.Zeta[0][1])
+	fmt.Printf("\nstrongest-signal bin (5, 15): %.0f%% relative difference\n", rel*100)
+	fmt.Println("\nnotes: the residual gap is boundary truncation of clusters — galaxies")
+	fmt.Println("whose cluster companions fall outside the mask genuinely lose triplets.")
+	fmt.Println("It shrinks as the survey grows relative to the correlation length (try")
+	fmt.Println("a thinner slab to watch it blow up); for BOSS-scale volumes it is")
+	fmt.Println("negligible, which is why the paper's random-catalog correction suffices.")
+}

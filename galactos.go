@@ -1,0 +1,233 @@
+// Package galactos computes the isotropic and anisotropic galaxy 3-point
+// correlation functions (3PCF) with the O(N^2) spherical-harmonic multipole
+// algorithm of Friesen et al., "Galactos: Computing the Anisotropic 3-Point
+// Correlation Function for 2 Billion Galaxies" (SC '17).
+//
+// The only required input is the 3-D positions of the galaxies (plus
+// optional weights). A minimal computation:
+//
+//	cat := galactos.GenerateClustered(100000, 500, galactos.DefaultClusterParams(), 1)
+//	cfg := galactos.DefaultConfig()
+//	res, err := galactos.Compute(cat, cfg)
+//	// res.IsoZeta(l, b1, b2), res.ZetaM(l1, l2, m, b1, b2)
+//
+// The package also exposes the distributed pipeline (k-d partitioning, halo
+// exchange, reduction) over an in-process message-passing runtime, the
+// 2-point correlation function, brute-force verification oracles, jackknife
+// covariance estimation, and synthetic catalog generators — everything
+// needed to reproduce the paper's evaluation. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the measured results.
+package galactos
+
+import (
+	"galactos/internal/bruteforce"
+	"galactos/internal/catalog"
+	"galactos/internal/core"
+	"galactos/internal/estimator"
+	"galactos/internal/geom"
+	"galactos/internal/gridded"
+	"galactos/internal/mpi"
+	"galactos/internal/partition"
+	"galactos/internal/stats"
+	"galactos/internal/twopcf"
+)
+
+// Vec3 is a 3-D position or separation (Mpc/h in the paper's units).
+type Vec3 = geom.Vec3
+
+// Periodic describes cubic periodic boundaries (L = 0 means open).
+type Periodic = geom.Periodic
+
+// Galaxy is one tracer: a position and a weight (negative for randoms).
+type Galaxy = catalog.Galaxy
+
+// Catalog is a set of galaxies in a (possibly periodic) volume.
+type Catalog = catalog.Catalog
+
+// Config holds the 3PCF computation parameters; start from DefaultConfig.
+type Config = core.Config
+
+// Result holds the accumulated 3PCF multipoles zeta^m_{l1 l2}(r1, r2) and
+// derived isotropic multipoles zeta_l(r1, r2).
+type Result = core.Result
+
+// Combo identifies one anisotropic channel (l1 <= l2, 0 <= m <= l1).
+type Combo = core.Combo
+
+// Breakdown reports where the computation time went (paper Fig. 4).
+type Breakdown = core.Breakdown
+
+// RankStats reports per-rank load statistics from a distributed run.
+type RankStats = partition.RankStats
+
+// ClusterParams configures the halo-model catalog generator.
+type ClusterParams = catalog.ClusterParams
+
+// BAOParams configures the BAO-shell catalog generator.
+type BAOParams = catalog.BAOParams
+
+// Line-of-sight conventions (paper Sec. 3.1).
+const (
+	// LOSRadial rotates each primary's frame so the observer direction is
+	// the z axis (the paper's rotation step, for survey geometries).
+	LOSRadial = core.LOSRadial
+	// LOSPlaneParallel uses the global z axis (simulation boxes).
+	LOSPlaneParallel = core.LOSPlaneParallel
+)
+
+// Neighbor-finder substrates.
+const (
+	// FinderKD32 is the paper's mixed-precision k-d tree (default).
+	FinderKD32 = core.FinderKD32
+	// FinderKD64 is the pure double-precision tree.
+	FinderKD64 = core.FinderKD64
+	// FinderGrid is the Slepian–Eisenstein cell-grid scheme.
+	FinderGrid = core.FinderGrid
+)
+
+// Scheduling policies for the primary loop.
+const (
+	SchedDynamic = core.SchedDynamic
+	SchedStatic  = core.SchedStatic
+)
+
+// DefaultConfig returns the paper's configuration: Rmax = 200 Mpc/h,
+// 20 radial bins, l_max = 10, bucket size 128, mixed precision, dynamic
+// scheduling.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Compute runs the single-node anisotropic 3PCF over a catalog.
+func Compute(cat *Catalog, cfg Config) (*Result, error) {
+	return core.Compute(cat, cfg)
+}
+
+// ComputeSubset computes with an explicit primary mask (halo copies or
+// sub-sample analyses).
+func ComputeSubset(cat *Catalog, primary []bool, cfg Config) (*Result, error) {
+	return core.ComputeSubset(cat, primary, cfg)
+}
+
+// ComputeDistributed runs the full multi-node pipeline of the paper —
+// k-d partitioning across nranks ranks (need not be a power of two), halo
+// exchange, embarrassingly parallel node-local 3PCF, final reduction — on
+// the in-process message-passing runtime. It returns the reduced result and
+// per-rank load statistics.
+func ComputeDistributed(cat *Catalog, nranks int, cfg Config) (*Result, []RankStats, error) {
+	var res *Result
+	var st []RankStats
+	var firstErr error
+	mpi.Run(nranks, func(c *mpi.Comm) {
+		var in *Catalog
+		if c.Rank() == 0 {
+			in = cat
+		}
+		r, s, err := partition.ComputeDistributed(c, in, cfg)
+		if c.Rank() == 0 {
+			res, st, firstErr = r, s, err
+		}
+	})
+	return res, st, firstErr
+}
+
+// BruteForce3PCF computes the anisotropic 3PCF by O(N^3) direct triplet
+// counting — the verification oracle (use only on small catalogs).
+func BruteForce3PCF(cat *Catalog, cfg Config) (*Result, error) {
+	return bruteforce.Aniso(cat, cfg)
+}
+
+// GenerateUniform creates n galaxies uniformly in a periodic cube of side l.
+func GenerateUniform(n int, l float64, seed int64) *Catalog {
+	return catalog.Uniform(n, l, seed)
+}
+
+// GenerateClustered creates a halo-model clustered catalog.
+func GenerateClustered(n int, l float64, p ClusterParams, seed int64) *Catalog {
+	return catalog.Clustered(n, l, p, seed)
+}
+
+// GenerateBAO creates a catalog with galaxies on acoustic-scale shells.
+func GenerateBAO(n int, l float64, p BAOParams, seed int64) *Catalog {
+	return catalog.BAOShells(n, l, p, seed)
+}
+
+// DefaultClusterParams returns BOSS-like halo-model parameters.
+func DefaultClusterParams() ClusterParams { return catalog.DefaultClusterParams() }
+
+// DefaultBAOParams returns shell parameters at the acoustic scale.
+func DefaultBAOParams() BAOParams { return catalog.DefaultBAOParams() }
+
+// ApplyRSD returns a copy of the catalog with plane-parallel redshift-space
+// displacement of amplitude sigmaZ along z.
+func ApplyRSD(cat *Catalog, sigmaZ float64, seed int64) *Catalog {
+	return catalog.ApplyRSD(cat, sigmaZ, seed)
+}
+
+// DataMinusRandom builds the weighted D-R field for survey-geometry
+// correction (paper Sec. 6.1).
+func DataMinusRandom(data, random *Catalog) (*Catalog, error) {
+	return catalog.WithDataMinusRandom(data, random)
+}
+
+// LoadCatalog reads a catalog file (binary, or CSV for .csv paths).
+func LoadCatalog(path string) (*Catalog, error) { return catalog.Load(path) }
+
+// SaveCatalog writes a catalog in the binary format.
+func SaveCatalog(path string, cat *Catalog) error { return catalog.SaveBinary(path, cat) }
+
+// TwoPCFConfig holds 2PCF pair-count parameters.
+type TwoPCFConfig = twopcf.Config
+
+// PairCounts holds weighted Legendre pair counts of the anisotropic 2PCF.
+type PairCounts = twopcf.PairCounts
+
+// TwoPCF counts weighted pairs per radial bin and Legendre multipole.
+func TwoPCF(cat *Catalog, cfg TwoPCFConfig) (*PairCounts, error) {
+	return twopcf.Count(cat, cfg)
+}
+
+// LandySzalay computes the LS estimator of the 2PCF monopole.
+func LandySzalay(data, random *Catalog, cfg TwoPCFConfig) ([]float64, error) {
+	return twopcf.LandySzalay(data, random, cfg)
+}
+
+// CovarianceMatrix is a dense square matrix with inversion and diagnostics.
+type CovarianceMatrix = stats.Matrix
+
+// JackknifeCovariance estimates a covariance matrix from per-subvolume
+// samples of a statistic (paper Sec. 6.1).
+func JackknifeCovariance(samples [][]float64) (*CovarianceMatrix, error) {
+	return stats.JackknifeCovariance(samples)
+}
+
+// SampleCovariance estimates a covariance from independent mock catalogs.
+func SampleCovariance(samples [][]float64) (*CovarianceMatrix, error) {
+	return stats.SampleCovariance(samples)
+}
+
+// EdgeCorrected holds survey-geometry-corrected isotropic multipoles.
+type EdgeCorrected = estimator.Corrected
+
+// EdgeCorrectedZeta runs the full survey-geometry correction of Sec. 6.1:
+// it computes the 3PCF of the data-minus-randoms field and of the randoms,
+// then inverts the Wigner-3j window mixing matrix per radial-bin pair to
+// recover the true isotropic multipoles.
+func EdgeCorrectedZeta(data, randoms *Catalog, cfg Config) (*EdgeCorrected, error) {
+	return estimator.CorrectedZeta(data, randoms, cfg)
+}
+
+// MeshAssignment selects the mass-deposition scheme for gridded data.
+type MeshAssignment = gridded.Assignment
+
+// Mesh deposition schemes.
+const (
+	MeshNGP = gridded.NGP
+	MeshCIC = gridded.CIC
+)
+
+// ComputeGridded deposits the catalog onto an n^3 mesh and runs the 3PCF
+// over the occupied cells — the gridded-data acceleration of Sec. 6.3. The
+// mesh cell must not exceed the radial bin width.
+func ComputeGridded(cat *Catalog, meshN int, scheme MeshAssignment, cfg Config) (*Result, error) {
+	res, _, err := gridded.Compute(cat, meshN, scheme, cfg)
+	return res, err
+}

@@ -1,0 +1,154 @@
+package galactos_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"galactos"
+)
+
+func smallConfig() galactos.Config {
+	cfg := galactos.DefaultConfig()
+	cfg.RMax = 40
+	cfg.NBins = 4
+	cfg.LMax = 3
+	cfg.Workers = 2
+	return cfg
+}
+
+func TestPublicComputeMatchesBruteForce(t *testing.T) {
+	cat := galactos.GenerateClustered(100, 150, galactos.DefaultClusterParams(), 2)
+	cfg := smallConfig()
+	got, err := galactos.Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := galactos.BruteForce3PCF(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.MaxAbsDiff(want); d > 1e-9*want.MaxAbs() {
+		t.Errorf("public API result differs from brute force by %v", d)
+	}
+}
+
+func TestPublicDistributedMatchesSingle(t *testing.T) {
+	cat := galactos.GenerateUniform(600, 180, 3)
+	cfg := smallConfig()
+	single, err := galactos.Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, stats, err := galactos.ComputeDistributed(cat, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Errorf("%d rank stats", len(stats))
+	}
+	if d := dist.MaxAbsDiff(single); d > 1e-9*single.MaxAbs() {
+		t.Errorf("distributed differs by %v", d)
+	}
+	owned := 0
+	for _, s := range stats {
+		owned += s.NOwned
+	}
+	if owned != cat.Len() {
+		t.Errorf("ranks own %d galaxies, want %d", owned, cat.Len())
+	}
+}
+
+func TestPublicCatalogIO(t *testing.T) {
+	dir := t.TempDir()
+	cat := galactos.GenerateUniform(50, 90, 4)
+	path := filepath.Join(dir, "cat.glxc")
+	if err := galactos.SaveCatalog(path, cat); err != nil {
+		t.Fatal(err)
+	}
+	got, err := galactos.LoadCatalog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 50 || got.Box.L != 90 {
+		t.Errorf("round trip: N=%d L=%v", got.Len(), got.Box.L)
+	}
+}
+
+func TestPublicTwoPCF(t *testing.T) {
+	cat := galactos.GenerateClustered(2000, 250, galactos.DefaultClusterParams(), 5)
+	pc, err := galactos.TwoPCF(cat, galactos.TwoPCFConfig{RMax: 30, NBins: 3, LMax: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.NPairs == 0 {
+		t.Error("no pairs counted")
+	}
+	random := galactos.GenerateUniform(6000, 250, 6)
+	xi, err := galactos.LandySzalay(cat, random, galactos.TwoPCFConfig{RMin: 1, RMax: 15, NBins: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xi[0] < 0.5 {
+		t.Errorf("clustered catalog shows xi = %v at small scales", xi[0])
+	}
+}
+
+func TestPublicDataMinusRandomSuppressesZeta(t *testing.T) {
+	// The D-R construction on a *random* "data" catalog must give channels
+	// consistent with zero (the geometry correction removes the mean).
+	data := galactos.GenerateUniform(300, 150, 7)
+	random := galactos.GenerateUniform(1200, 150, 8)
+	combined, err := galactos.DataMinusRandom(data, random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	resDR, err := galactos.Compute(combined, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resD, err := galactos.Compute(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The raw data monopole is large and positive; the D-R monopole must be
+	// much smaller in magnitude.
+	var raw, corr float64
+	for b := 0; b < cfg.NBins; b++ {
+		raw += math.Abs(resD.IsoZeta(0, b, b))
+		corr += math.Abs(resDR.IsoZeta(0, b, b))
+	}
+	if corr > raw/5 {
+		t.Errorf("D-R monopole %v not suppressed vs raw %v", corr, raw)
+	}
+}
+
+func TestPublicJackknife(t *testing.T) {
+	samples := [][]float64{{1, 2}, {1.5, 2.1}, {0.5, 1.3}, {1.2, 2.6}}
+	c, err := galactos.JackknifeCovariance(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.At(0, 0) <= 0 {
+		t.Error("variance not positive")
+	}
+	if _, err := c.Inverse(); err != nil {
+		t.Errorf("2x2 jackknife covariance should invert: %v", err)
+	}
+}
+
+func TestPublicRSD(t *testing.T) {
+	cat := galactos.GenerateUniform(200, 100, 9)
+	d := galactos.ApplyRSD(cat, 4, 10)
+	if d.Len() != cat.Len() {
+		t.Error("RSD changed catalog size")
+	}
+}
+
+func TestPublicBAOGenerator(t *testing.T) {
+	cat := galactos.GenerateBAO(2000, 500, galactos.DefaultBAOParams(), 11)
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,403 @@
+package catalog
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"galactos/internal/geom"
+)
+
+func TestUniformBasics(t *testing.T) {
+	c := Uniform(1000, 100, 1)
+	if c.Len() != 1000 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Density(); math.Abs(got-1e-3) > 1e-12 {
+		t.Errorf("Density = %v, want 1e-3", got)
+	}
+	if got := c.TotalWeight(); got != 1000 {
+		t.Errorf("TotalWeight = %v", got)
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(100, 50, 7)
+	b := Uniform(100, 50, 7)
+	for i := range a.Galaxies {
+		if a.Galaxies[i] != b.Galaxies[i] {
+			t.Fatal("same seed produced different catalogs")
+		}
+	}
+	c := Uniform(100, 50, 8)
+	same := true
+	for i := range a.Galaxies {
+		if a.Galaxies[i] != c.Galaxies[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical catalogs")
+	}
+}
+
+func TestUniformDensity(t *testing.T) {
+	c := UniformDensity(OuterRimDensity, 200, 3)
+	wantN := OuterRimDensity * 200 * 200 * 200
+	if math.Abs(float64(c.Len())-wantN) > 1 {
+		t.Errorf("N = %d, want ~%v", c.Len(), wantN)
+	}
+}
+
+func TestClusteredValidAndClustered(t *testing.T) {
+	c := Clustered(5000, 300, DefaultClusterParams(), 2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(c.Len())-5000) > 500 {
+		t.Errorf("Len = %d, want ~5000", c.Len())
+	}
+	// Clustering check: satellites (appended after the uniform field
+	// population) must see far more neighbors within 10 Mpc/h than the
+	// Poisson expectation.
+	nNear := 0
+	sample := c.Galaxies[len(c.Galaxies)-200:]
+	for _, g := range sample {
+		for _, h := range c.Galaxies {
+			if g != h && c.Box.Separation(g.Pos, h.Pos).Norm() < 10 {
+				nNear++
+			}
+		}
+	}
+	meanNear := float64(nNear) / float64(len(sample))
+	poissonExpect := float64(c.Len()) / (300 * 300 * 300) * (4.0 / 3.0) * math.Pi * 1000
+	if meanNear < 2*poissonExpect {
+		t.Errorf("mean near-neighbor count %v not clustered vs Poisson %v", meanNear, poissonExpect)
+	}
+}
+
+func TestBAOShellsHasShellExcess(t *testing.T) {
+	p := DefaultBAOParams()
+	c := BAOShells(4000, 500, p, 3)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Pair counts in the acoustic band, compared against a uniform catalog
+	// of identical size: the BAO catalog must show a clear excess.
+	u := Uniform(c.Len(), 500, 99)
+	countIn := func(cat *Catalog, lo, hi float64) int {
+		n := 0
+		for i := range cat.Galaxies {
+			for j := i + 1; j < len(cat.Galaxies); j++ {
+				d := cat.Box.Separation(cat.Galaxies[i].Pos, cat.Galaxies[j].Pos).Norm()
+				if d >= lo && d < hi {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	lo, hi := p.ShellRadius-10, p.ShellRadius+10
+	atShell := countIn(c, lo, hi)
+	ref := countIn(u, lo, hi)
+	ratio := float64(atShell) / float64(ref)
+	if ratio < 1.02 {
+		t.Errorf("no BAO excess: band ratio %v (BAO %d vs uniform %d)", ratio, atShell, ref)
+	}
+}
+
+func TestBAOShellsPanicsOnBadBox(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for shell radius exceeding box")
+		}
+	}()
+	BAOShells(100, 50, DefaultBAOParams(), 1)
+}
+
+func TestSoneiraPeebles(t *testing.T) {
+	p := DefaultSoneiraPeebles()
+	c := SoneiraPeebles(400, p, 5)
+	want := p.Centers * int(math.Pow(float64(p.Eta), float64(p.Levels)))
+	if c.Len() != want {
+		t.Errorf("Len = %d, want %d", c.Len(), want)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyRSDOnlyShiftsZ(t *testing.T) {
+	c := Uniform(500, 100, 9)
+	d := ApplyRSD(c, 5, 10)
+	if d.Len() != c.Len() {
+		t.Fatal("length changed")
+	}
+	moved := 0
+	for i := range c.Galaxies {
+		if c.Galaxies[i].Pos.X != d.Galaxies[i].Pos.X || c.Galaxies[i].Pos.Y != d.Galaxies[i].Pos.Y {
+			t.Fatal("RSD moved x or y")
+		}
+		if c.Galaxies[i].Pos.Z != d.Galaxies[i].Pos.Z {
+			moved++
+		}
+	}
+	if moved < 400 {
+		t.Errorf("only %d galaxies moved in z", moved)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithDataMinusRandom(t *testing.T) {
+	data := Uniform(300, 100, 1)
+	random := Uniform(900, 100, 2)
+	combined, err := WithDataMinusRandom(data, random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Len() != 1200 {
+		t.Fatalf("Len = %d", combined.Len())
+	}
+	if w := combined.TotalWeight(); math.Abs(w) > 1e-9 {
+		t.Errorf("total weight = %v, want 0", w)
+	}
+	if _, err := WithDataMinusRandom(data, &Catalog{Box: geom.Periodic{L: 100}}); err == nil {
+		t.Error("expected error for empty random catalog")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := Uniform(10, 100, 1)
+	b := Uniform(20, 100, 2)
+	c, err := a.Concat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 30 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	d := Uniform(5, 200, 3)
+	if _, err := a.Concat(d); err == nil {
+		t.Error("expected box mismatch error")
+	}
+}
+
+func TestSubBox(t *testing.T) {
+	c := Uniform(5000, 100, 4)
+	box := geom.Box{Min: geom.Vec3{X: 20, Y: 20, Z: 20}, Max: geom.Vec3{X: 60, Y: 60, Z: 60}}
+	sub := c.SubBox(box)
+	for _, g := range sub.Galaxies {
+		if g.Pos.X < 0 || g.Pos.X >= 40 || g.Pos.Y < 0 || g.Pos.Y >= 40 || g.Pos.Z < 0 || g.Pos.Z >= 40 {
+			t.Fatalf("sub-box galaxy at %v outside translated box", g.Pos)
+		}
+	}
+	// Expect about (40/100)^3 of the galaxies.
+	want := 5000 * 0.4 * 0.4 * 0.4
+	if math.Abs(float64(sub.Len())-want) > 100 {
+		t.Errorf("sub-box has %d galaxies, want ~%v", sub.Len(), want)
+	}
+}
+
+func TestValidateCatchesBadData(t *testing.T) {
+	c := &Catalog{Box: geom.Periodic{L: 10}, Galaxies: []Galaxy{
+		{Pos: geom.Vec3{X: 5, Y: 5, Z: 5}, Weight: 1},
+	}}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.Galaxies = append(c.Galaxies, Galaxy{Pos: geom.Vec3{X: 11, Y: 5, Z: 5}, Weight: 1})
+	if err := c.Validate(); err == nil {
+		t.Error("expected out-of-box error")
+	}
+	c.Galaxies[1] = Galaxy{Pos: geom.Vec3{X: math.NaN(), Y: 5, Z: 5}, Weight: 1}
+	if err := c.Validate(); err == nil {
+		t.Error("expected NaN error")
+	}
+	c.Galaxies[1] = Galaxy{Pos: geom.Vec3{X: 5, Y: 5, Z: 5}, Weight: math.Inf(1)}
+	if err := c.Validate(); err == nil {
+		t.Error("expected weight error")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	c := &Catalog{Galaxies: []Galaxy{
+		{Pos: geom.Vec3{X: 1, Y: 2, Z: 3}},
+		{Pos: geom.Vec3{X: -1, Y: 5, Z: 0}},
+	}}
+	b := c.Bounds()
+	for _, g := range c.Galaxies {
+		if !b.Contains(g.Pos) {
+			t.Errorf("bounds %v exclude %v", b, g.Pos)
+		}
+	}
+	empty := &Catalog{}
+	if got := empty.Bounds(); got != (geom.Box{}) {
+		t.Errorf("empty bounds = %v", got)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	c := Clustered(777, 120, DefaultClusterParams(), 6)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Box.L != c.Box.L || got.Len() != c.Len() {
+		t.Fatalf("header mismatch: L=%v N=%d", got.Box.L, got.Len())
+	}
+	for i := range c.Galaxies {
+		if got.Galaxies[i] != c.Galaxies[i] {
+			t.Fatalf("galaxy %d mismatch", i)
+		}
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	c := Uniform(10, 50, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	bad := append([]byte("XXXX"), data[4:]...)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(data[:20])); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(data[:40])); err == nil {
+		t.Error("truncated records accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	c := Uniform(50, 80, 2)
+	c.Galaxies[3].Weight = -0.5
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Box.L != 80 {
+		t.Errorf("L = %v, want 80 (from comment)", got.Box.L)
+	}
+	if got.Len() != 50 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	for i := range c.Galaxies {
+		if math.Abs(got.Galaxies[i].Weight-c.Galaxies[i].Weight) > 1e-12 {
+			t.Fatalf("weight %d mismatch", i)
+		}
+		if got.Galaxies[i].Pos.Sub(c.Galaxies[i].Pos).Norm() > 1e-9 {
+			t.Fatalf("position %d mismatch", i)
+		}
+	}
+}
+
+func TestCSVDefaultsWeightAndRejectsBadRows(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("1,2,3\n4,5,6,2.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Galaxies[0].Weight != 1 || got.Galaxies[1].Weight != 2.5 {
+		t.Errorf("weights = %v, %v", got.Galaxies[0].Weight, got.Galaxies[1].Weight)
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n")); err == nil {
+		t.Error("2-field row accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("non-numeric row accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	c := Uniform(25, 60, 3)
+	binPath := dir + "/cat.glxc"
+	if err := SaveBinary(binPath, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 25 || got.Box.L != 60 {
+		t.Errorf("binary load: N=%d L=%v", got.Len(), got.Box.L)
+	}
+}
+
+func TestTable1Verbatim(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	if rows[0].Nodes != 128 || rows[0].Galaxies != 28800000 {
+		t.Errorf("first row wrong: %+v", rows[0])
+	}
+	if rows[7].Nodes != 9636 || rows[7].BoxL != 3000 {
+		t.Errorf("last row wrong: %+v", rows[7])
+	}
+	// Every row should be at (close to) the Outer Rim density.
+	for _, r := range rows {
+		density := float64(r.Galaxies) / (r.BoxL * r.BoxL * r.BoxL)
+		if math.Abs(density-OuterRimDensity)/OuterRimDensity > 0.02 {
+			t.Errorf("row %d density %v deviates from Outer Rim %v", r.Nodes, density, OuterRimDensity)
+		}
+	}
+}
+
+func TestScaledTable1Row(t *testing.T) {
+	row := ScaledTable1Row(4, 1000)
+	if row.Galaxies != 4000 {
+		t.Errorf("Galaxies = %d", row.Galaxies)
+	}
+	density := float64(row.Galaxies) / (row.BoxL * row.BoxL * row.BoxL)
+	if math.Abs(density-OuterRimDensity)/OuterRimDensity > 1e-9 {
+		t.Errorf("density %v, want %v", density, OuterRimDensity)
+	}
+}
+
+func TestGenerateTable1Dataset(t *testing.T) {
+	row := ScaledTable1Row(2, 500)
+	c := GenerateTable1Dataset(row, 11)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(c.Len()-row.Galaxies)) > float64(row.Galaxies)/10 {
+		t.Errorf("generated %d galaxies, want ~%d", c.Len(), row.Galaxies)
+	}
+	if c.Box.L != row.BoxL {
+		t.Errorf("box %v, want %v", c.Box.L, row.BoxL)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const mean = 6.0
+	const n = 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, mean)
+	}
+	got := float64(sum) / n
+	if math.Abs(got-mean) > 0.15 {
+		t.Errorf("poisson sample mean %v, want ~%v", got, mean)
+	}
+}

@@ -1,0 +1,192 @@
+package catalog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"galactos/internal/geom"
+)
+
+// Binary catalog format: a fixed little-endian header followed by packed
+// (x, y, z, w) float64 records. Designed for the multi-hundred-MB catalogs
+// of the scaling study: sequential, no per-record framing.
+//
+//	offset  size  field
+//	0       4     magic "GLXC"
+//	4       4     version (uint32) = 1
+//	8       8     box side L (float64; 0 = open boundaries)
+//	16      8     galaxy count (uint64)
+//	24      32*N  records
+const (
+	binaryMagic   = "GLXC"
+	binaryVersion = 1
+)
+
+// WriteBinary writes the catalog in the binary format.
+func WriteBinary(w io.Writer, c *Catalog) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 20)
+	binary.LittleEndian.PutUint32(hdr[0:4], binaryVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], math.Float64bits(c.Box.L))
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(c.Galaxies)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	rec := make([]byte, 32)
+	for _, g := range c.Galaxies {
+		binary.LittleEndian.PutUint64(rec[0:8], math.Float64bits(g.Pos.X))
+		binary.LittleEndian.PutUint64(rec[8:16], math.Float64bits(g.Pos.Y))
+		binary.LittleEndian.PutUint64(rec[16:24], math.Float64bits(g.Pos.Z))
+		binary.LittleEndian.PutUint64(rec[24:32], math.Float64bits(g.Weight))
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a catalog in the binary format.
+func ReadBinary(r io.Reader) (*Catalog, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head := make([]byte, 24)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("catalog: reading header: %w", err)
+	}
+	if string(head[0:4]) != binaryMagic {
+		return nil, fmt.Errorf("catalog: bad magic %q", head[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:8]); v != binaryVersion {
+		return nil, fmt.Errorf("catalog: unsupported version %d", v)
+	}
+	l := math.Float64frombits(binary.LittleEndian.Uint64(head[8:16]))
+	n := binary.LittleEndian.Uint64(head[16:24])
+	const maxGalaxies = 1 << 33
+	if n > maxGalaxies {
+		return nil, fmt.Errorf("catalog: implausible galaxy count %d", n)
+	}
+	c := &Catalog{Box: geom.Periodic{L: l}, Galaxies: make([]Galaxy, n)}
+	rec := make([]byte, 32)
+	for i := range c.Galaxies {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("catalog: reading record %d: %w", i, err)
+		}
+		c.Galaxies[i] = Galaxy{
+			Pos: geom.Vec3{
+				X: math.Float64frombits(binary.LittleEndian.Uint64(rec[0:8])),
+				Y: math.Float64frombits(binary.LittleEndian.Uint64(rec[8:16])),
+				Z: math.Float64frombits(binary.LittleEndian.Uint64(rec[16:24])),
+			},
+			Weight: math.Float64frombits(binary.LittleEndian.Uint64(rec[24:32])),
+		}
+	}
+	return c, nil
+}
+
+// WriteCSV writes "x,y,z,w" rows preceded by a "# L=<box>" comment header.
+func WriteCSV(w io.Writer, c *Catalog) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# galactos catalog L=%g N=%d\n", c.Box.L, len(c.Galaxies)); err != nil {
+		return err
+	}
+	for _, g := range c.Galaxies {
+		if _, err := fmt.Fprintf(bw, "%g,%g,%g,%g\n", g.Pos.X, g.Pos.Y, g.Pos.Z, g.Weight); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reads rows of "x,y,z[,w]" (weight defaults to 1). Lines starting
+// with '#' are comments; a "L=<val>" token in a comment sets the box side.
+func ReadCSV(r io.Reader) (*Catalog, error) {
+	c := &Catalog{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			for _, tok := range strings.Fields(line) {
+				if v, ok := strings.CutPrefix(tok, "L="); ok {
+					l, err := strconv.ParseFloat(v, 64)
+					if err != nil {
+						return nil, fmt.Errorf("catalog: line %d: bad L: %w", lineNo, err)
+					}
+					c.Box.L = l
+				}
+			}
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 3 && len(fields) != 4 {
+			return nil, fmt.Errorf("catalog: line %d: want 3 or 4 fields, got %d", lineNo, len(fields))
+		}
+		var vals [4]float64
+		vals[3] = 1
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("catalog: line %d field %d: %w", lineNo, i, err)
+			}
+			vals[i] = v
+		}
+		c.Galaxies = append(c.Galaxies, Galaxy{
+			Pos:    geom.Vec3{X: vals[0], Y: vals[1], Z: vals[2]},
+			Weight: vals[3],
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SaveBinary writes the catalog to a file.
+func SaveBinary(path string, c *Catalog) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinary reads a catalog from a file.
+func LoadBinary(path string) (*Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// Load reads a catalog from a file, dispatching on extension: ".csv" uses
+// the CSV reader, anything else the binary reader.
+func Load(path string) (*Catalog, error) {
+	if strings.HasSuffix(path, ".csv") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ReadCSV(f)
+	}
+	return LoadBinary(path)
+}

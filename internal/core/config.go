@@ -1,0 +1,178 @@
+// Package core implements the Galactos anisotropic 3PCF engine: the O(N^2)
+// algorithm of Sec. 3.1 (neighbor gathering, line-of-sight rotation, radial
+// binning, bucketed multipole accumulation, a_lm conversion, and the
+// zeta^m_{ll'} outer products), with the thread-level parallelization and
+// scheduling strategy of Sec. 3.3.
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"galactos/internal/geom"
+)
+
+// LOSMode selects how the line of sight is defined.
+type LOSMode int
+
+const (
+	// LOSRadial rotates each primary's frame so the direction from the
+	// observer to the primary becomes the z axis — the paper's key step
+	// (Fig. 2), correct for wide-angle survey geometries.
+	LOSRadial LOSMode = iota
+	// LOSPlaneParallel takes the global z axis as the line of sight for all
+	// primaries ("the line of sight ... we here take to be the z-axis"),
+	// the standard convention for periodic simulation boxes.
+	LOSPlaneParallel
+)
+
+func (m LOSMode) String() string {
+	switch m {
+	case LOSRadial:
+		return "radial"
+	case LOSPlaneParallel:
+		return "plane-parallel"
+	default:
+		return fmt.Sprintf("LOSMode(%d)", int(m))
+	}
+}
+
+// FinderKind selects the neighbor-search substrate.
+type FinderKind int
+
+const (
+	// FinderKD32 is the paper's configuration: a k-d tree storing
+	// single-precision coordinates (mixed-precision mode, Sec. 5.4).
+	FinderKD32 FinderKind = iota
+	// FinderKD64 stores double-precision coordinates (the paper's "pure
+	// double precision" mode).
+	FinderKD64
+	// FinderGrid is the cell-grid scheme of the Slepian–Eisenstein 2015
+	// implementation (Sec. 2.3), and the ablation baseline.
+	FinderGrid
+)
+
+func (f FinderKind) String() string {
+	switch f {
+	case FinderKD32:
+		return "kdtree32"
+	case FinderKD64:
+		return "kdtree64"
+	case FinderGrid:
+		return "grid"
+	default:
+		return fmt.Sprintf("FinderKind(%d)", int(f))
+	}
+}
+
+// SchedKind selects how primaries are distributed over workers.
+type SchedKind int
+
+const (
+	// SchedDynamic hands out chunks of primaries from a shared counter
+	// ("OpenMP dynamic scheduling ... gives a significant performance boost
+	// over using a static schedule", Sec. 3.3).
+	SchedDynamic SchedKind = iota
+	// SchedStatic assigns each worker one contiguous range up front.
+	SchedStatic
+)
+
+func (s SchedKind) String() string {
+	switch s {
+	case SchedDynamic:
+		return "dynamic"
+	case SchedStatic:
+		return "static"
+	default:
+		return fmt.Sprintf("SchedKind(%d)", int(s))
+	}
+}
+
+// Config holds all tunables of a 3PCF computation. The zero value is not
+// valid; start from DefaultConfig.
+type Config struct {
+	// RMax is the maximum triangle side length (the paper uses 200 Mpc/h:
+	// "on scales larger than 200 Mpc/h there are too few independent
+	// samples ... to add meaningful information").
+	RMax float64
+	// RMin excludes pairs closer than this (0 keeps everything except
+	// exactly coincident points).
+	RMin float64
+	// NBins is the number of radial shells between RMin and RMax (the
+	// paper bins at ~10 Mpc/h width: 20 bins over [0, 200)).
+	NBins int
+	// LMax is the maximum multipole order (the paper uses 10, giving 286
+	// power combinations per pair).
+	LMax int
+	// LOS selects the line-of-sight convention.
+	LOS LOSMode
+	// Observer is the observer position for LOSRadial.
+	Observer geom.Vec3
+	// SelfCount subtracts the secondary-paired-with-itself term from
+	// diagonal (r1 == r2) bins so triplet counts are exact; disable to
+	// match the paper's raw kernel cost in performance runs.
+	SelfCount bool
+	// IsotropicOnly restricts accumulation to the l1 == l2 multipoles
+	// needed for the isotropic 3PCF: the Slepian–Eisenstein 2015 baseline
+	// mode (Sec. 2.2).
+	IsotropicOnly bool
+	// BucketSize is the pair-bucket capacity (the paper uses 128).
+	BucketSize int
+	// Workers is the number of concurrent workers; <= 0 means GOMAXPROCS.
+	Workers int
+	// Finder selects the neighbor-search substrate.
+	Finder FinderKind
+	// LeafSize is the k-d tree leaf capacity (<= 0 selects the default).
+	LeafSize int
+	// GridCell is the cell size for FinderGrid (<= 0 selects RMax/4).
+	GridCell float64
+	// Scheduling selects dynamic or static primary distribution.
+	Scheduling SchedKind
+	// ChunkSize is the dynamic-scheduling chunk (<= 0 selects 8).
+	ChunkSize int
+}
+
+// DefaultConfig returns the paper's configuration: Rmax = 200 Mpc/h, 20
+// radial bins, l_max = 10, plane-parallel line of sight (for simulation
+// cubes), self-count subtraction on, bucket size 128, k-d tree in single
+// precision, dynamic scheduling.
+func DefaultConfig() Config {
+	return Config{
+		RMax:       200,
+		RMin:       0,
+		NBins:      20,
+		LMax:       10,
+		LOS:        LOSPlaneParallel,
+		SelfCount:  true,
+		BucketSize: 128,
+		Workers:    0,
+		Finder:     FinderKD32,
+		Scheduling: SchedDynamic,
+	}
+}
+
+// normalize fills defaults and validates. It returns the effective config.
+func (c Config) normalize() (Config, error) {
+	if c.RMax <= 0 || c.RMin < 0 || c.RMax <= c.RMin {
+		return c, fmt.Errorf("core: invalid radial range [%v, %v)", c.RMin, c.RMax)
+	}
+	if c.NBins <= 0 {
+		return c, fmt.Errorf("core: NBins %d must be positive", c.NBins)
+	}
+	if c.LMax < 0 || c.LMax > 20 {
+		return c, fmt.Errorf("core: LMax %d out of supported range [0, 20]", c.LMax)
+	}
+	if c.BucketSize <= 0 {
+		c.BucketSize = 128
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 8
+	}
+	if c.GridCell <= 0 {
+		c.GridCell = c.RMax / 4
+	}
+	return c, nil
+}

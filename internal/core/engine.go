@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"galactos/internal/catalog"
+	"galactos/internal/geom"
+	"galactos/internal/grid"
+	"galactos/internal/hist"
+	"galactos/internal/kdtree"
+	"galactos/internal/sphharm"
+)
+
+// NeighborFinder is the substrate abstraction: anything that can return all
+// point indices within a radius. kdtree.Tree and grid.Grid satisfy it.
+type NeighborFinder interface {
+	QueryRadius(center geom.Vec3, r float64, out []int32) []int32
+}
+
+// Compute runs the full anisotropic 3PCF computation over a catalog. All
+// galaxies are primaries. This is the single-node entry point (Algorithm 1).
+func Compute(cat *catalog.Catalog, cfg Config) (*Result, error) {
+	return ComputeSubset(cat, nil, cfg)
+}
+
+// ComputeSubset runs the computation treating only the galaxies with
+// primary[i] == true as primaries; all galaxies act as secondaries. A nil
+// mask means every galaxy is a primary. This is how the distributed driver
+// excludes halo-exchange copies ("ignoring secondary galaxies that are in
+// the k-d tree because of halo exchange", Sec. 3.3).
+func ComputeSubset(cat *catalog.Catalog, primary []bool, cfg Config) (*Result, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if primary != nil && len(primary) != cat.Len() {
+		return nil, fmt.Errorf("core: primary mask length %d != catalog length %d", len(primary), cat.Len())
+	}
+	if cat.Box.L > 0 && cfg.RMax >= cat.Box.L/2 {
+		return nil, fmt.Errorf("core: RMax %v must be below half the periodic box %v", cfg.RMax, cat.Box.L)
+	}
+
+	bins, err := hist.NewBinning(cfg.RMin, cfg.RMax, cfg.NBins)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &engine{
+		cfg:  cfg,
+		bins: bins,
+		box:  cat.Box,
+		pts:  cat.Positions(),
+		ws:   cat.Weights(),
+	}
+	e.primaryIdx = primaryIndices(primary, cat.Len())
+
+	start := time.Now()
+	if err := e.buildFinder(); err != nil {
+		return nil, err
+	}
+	treeBuild := time.Since(start)
+
+	res := e.run()
+	res.Timings.TreeBuild = treeBuild
+	res.Timings.Total = time.Since(start)
+	res.NGalaxies = cat.Len()
+	return res, nil
+}
+
+func primaryIndices(mask []bool, n int) []int32 {
+	if mask == nil {
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		return idx
+	}
+	var idx []int32
+	for i, p := range mask {
+		if p {
+			idx = append(idx, int32(i))
+		}
+	}
+	return idx
+}
+
+type engine struct {
+	cfg        Config
+	bins       hist.Binning
+	box        geom.Periodic
+	pts        []geom.Vec3
+	ws         []float64
+	primaryIdx []int32
+
+	finder NeighborFinder
+	// images holds periodic image offsets when the finder is not
+	// intrinsically periodic (k-d trees); a single zero offset otherwise.
+	images []geom.Vec3
+
+	mono   *sphharm.MonomialTable
+	ytab   *sphharm.YlmTable
+	combos *ComboTable
+
+	next atomic.Int64
+}
+
+func (e *engine) buildFinder() error {
+	periodic := e.box.L > 0
+	switch e.cfg.Finder {
+	case FinderKD32:
+		e.finder = kdtree.Build[float32](e.pts, e.cfg.LeafSize)
+	case FinderKD64:
+		e.finder = kdtree.Build[float64](e.pts, e.cfg.LeafSize)
+	case FinderGrid:
+		e.finder = grid.Build(e.pts, e.cfg.GridCell, e.box)
+	default:
+		return fmt.Errorf("core: unknown finder kind %v", e.cfg.Finder)
+	}
+	if periodic && e.cfg.Finder != FinderGrid {
+		// k-d trees are built in open space; cover the wrap by querying
+		// all 27 periodic images (valid because RMax < L/2).
+		e.images = e.box.Images(e.cfg.RMax)
+	} else {
+		e.images = []geom.Vec3{{}}
+	}
+	e.mono = sphharm.NewMonomialTable(e.cfg.LMax)
+	e.ytab = sphharm.NewYlmTable(e.cfg.LMax, e.mono)
+	e.combos = NewComboTable(e.cfg.LMax)
+	return nil
+}
+
+// run executes the primary loop across workers and merges their results.
+func (e *engine) run() *Result {
+	nw := e.cfg.Workers
+	if nw > len(e.primaryIdx) && len(e.primaryIdx) > 0 {
+		nw = len(e.primaryIdx)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	results := make([]*Result, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = e.worker(w, nw)
+		}(w)
+	}
+	wg.Wait()
+	total := results[0]
+	for _, r := range results[1:] {
+		// Same configuration by construction; Add cannot fail.
+		if err := total.Add(r); err != nil {
+			panic(err)
+		}
+	}
+	return total
+}
+
+// workerState carries one worker's scratch memory.
+type workerState struct {
+	kern    *sphharm.Kernel
+	buckets *hist.Buckets
+	acc     [][]float64    // per-bin lane-striped monomial accumulators
+	touched []bool         // bins with data for the current primary
+	msums   []float64      // reduced monomial sums scratch
+	alm     [][]complex128 // per-bin a_lm for the current primary
+	selfT   [][]complex128 // per-bin self-pair tensor (SelfCount only)
+	yScr    []float64      // monomial scratch for point evaluation
+	yPt     []complex128   // per-point Y_lm scratch
+	res     *Result
+	// timing
+	tSearch, tMulti, tSelf, tAlmZeta time.Duration
+}
+
+func (e *engine) newWorkerState() *workerState {
+	nb := e.bins.N
+	s := &workerState{
+		kern:    sphharm.NewKernel(e.mono, e.cfg.BucketSize),
+		buckets: hist.NewBuckets(nb, e.cfg.BucketSize),
+		acc:     make([][]float64, nb),
+		touched: make([]bool, nb),
+		msums:   make([]float64, e.mono.Len()),
+		alm:     make([][]complex128, nb),
+		yScr:    make([]float64, e.mono.Len()),
+		yPt:     make([]complex128, sphharm.PairCount(e.cfg.LMax)),
+		res:     NewResult(e.cfg.LMax, e.bins),
+	}
+	for b := 0; b < nb; b++ {
+		s.acc[b] = make([]float64, sphharm.AccumulatorLen(e.mono))
+		s.alm[b] = make([]complex128, sphharm.PairCount(e.cfg.LMax))
+	}
+	if e.cfg.SelfCount {
+		s.selfT = make([][]complex128, nb)
+		for b := 0; b < nb; b++ {
+			s.selfT[b] = make([]complex128, e.combos.Len())
+		}
+	}
+	return s
+}
+
+// worker processes primaries according to the scheduling policy.
+func (e *engine) worker(w, nw int) *Result {
+	s := e.newWorkerState()
+	nbrBuf := make([]int32, 0, 4096)
+	n := int64(len(e.primaryIdx))
+
+	workerStart := time.Now()
+	switch e.cfg.Scheduling {
+	case SchedStatic:
+		lo := int64(w) * n / int64(nw)
+		hi := int64(w+1) * n / int64(nw)
+		for i := lo; i < hi; i++ {
+			nbrBuf = e.processPrimary(s, e.primaryIdx[i], nbrBuf)
+		}
+	default: // SchedDynamic
+		chunk := int64(e.cfg.ChunkSize)
+		for {
+			lo := e.next.Add(chunk) - chunk
+			if lo >= n {
+				break
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				nbrBuf = e.processPrimary(s, e.primaryIdx[i], nbrBuf)
+			}
+		}
+	}
+	s.res.Timings.TreeSearch = s.tSearch
+	s.res.Timings.Multipole = s.tMulti - s.tSelf // self-count timed inside the flush
+	s.res.Timings.SelfCount = s.tSelf
+	s.res.Timings.AlmZeta = s.tAlmZeta
+	s.res.Timings.WorkerTotal = time.Since(workerStart)
+	return s.res
+}
+
+// processPrimary runs Algorithm 1's inner loop for one primary galaxy.
+func (e *engine) processPrimary(s *workerState, pi int32, nbrBuf []int32) []int32 {
+	ppos := e.pts[pi]
+	pw := e.ws[pi]
+
+	t0 := time.Now()
+	nbrBuf = nbrBuf[:0]
+	for _, off := range e.images {
+		nbrBuf = e.finder.QueryRadius(ppos.Add(off), e.cfg.RMax, nbrBuf)
+	}
+	s.tSearch += time.Since(t0)
+
+	// Rotation to the line of sight (Fig. 2). For plane-parallel mode the
+	// z axis is already the line of sight.
+	var rot geom.Rotation
+	rotate := e.cfg.LOS == LOSRadial
+	if rotate {
+		rot = geom.ToLineOfSight(ppos.Sub(e.cfg.Observer))
+	}
+
+	t0 = time.Now()
+	flush := e.flushFunc(s)
+	pairs := uint64(0)
+	for _, j := range nbrBuf {
+		if j == pi {
+			continue
+		}
+		sep := e.box.Separation(ppos, e.pts[j])
+		r2 := sep.Norm2()
+		if r2 == 0 {
+			continue // coincident tracer: no direction, not a triangle side
+		}
+		r := math.Sqrt(r2)
+		bin := e.bins.Index(r)
+		if bin < 0 {
+			continue
+		}
+		if rotate {
+			sep = rot.Apply(sep)
+		}
+		inv := 1 / r
+		s.touched[bin] = true
+		s.buckets.Add(bin, sep.X*inv, sep.Y*inv, sep.Z*inv, e.ws[j], flush)
+		pairs++
+	}
+	s.buckets.FlushAll(flush)
+	s.tMulti += time.Since(t0)
+	s.res.Pairs += pairs
+
+	// Convert monomial sums to a_lm per touched bin, then accumulate the
+	// zeta^m_{l1 l2}(b1, b2) outer products weighted by the primary weight.
+	t0 = time.Now()
+	nb := e.bins.N
+	for b := 0; b < nb; b++ {
+		if !s.touched[b] {
+			continue
+		}
+		sphharm.Reduce(s.acc[b], s.msums)
+		e.ytab.Alm(s.msums, s.alm[b])
+	}
+	res := s.res
+	pwc := complex(pw, 0)
+	for ci, c := range e.combos.Combos {
+		if e.cfg.IsotropicOnly && c.L1 != c.L2 {
+			continue
+		}
+		i1 := sphharm.PairIndex(c.L1, c.M)
+		i2 := sphharm.PairIndex(c.L2, c.M)
+		base := ci * nb * nb
+		for b1 := 0; b1 < nb; b1++ {
+			if !s.touched[b1] {
+				continue
+			}
+			a1 := s.alm[b1][i1]
+			row := base + b1*nb
+			for b2 := 0; b2 < nb; b2++ {
+				if !s.touched[b2] {
+					continue
+				}
+				v := a1 * cmplx.Conj(s.alm[b2][i2])
+				if b1 == b2 && s.selfT != nil {
+					v -= s.selfT[b1][ci]
+				}
+				res.Aniso[row+b2] += pwc * v
+			}
+		}
+	}
+	s.tAlmZeta += time.Since(t0)
+
+	// Reset per-primary state (only the touched bins, so sparse primaries
+	// stay cheap).
+	for b := 0; b < nb; b++ {
+		if !s.touched[b] {
+			continue
+		}
+		sphharm.Zero(s.acc[b])
+		if s.selfT != nil {
+			for i := range s.selfT[b] {
+				s.selfT[b][i] = 0
+			}
+		}
+		s.touched[b] = false
+	}
+
+	res.NPrimaries++
+	res.SumWeight += pw
+	return nbrBuf
+}
+
+// flushFunc returns the bucket-flush closure: kernel accumulation plus,
+// when enabled, the self-pair tensor update.
+func (e *engine) flushFunc(s *workerState) hist.FlushFunc {
+	if !e.cfg.SelfCount {
+		return func(bin int, xs, ys, zs, ws []float64) {
+			s.kern.Accumulate(xs, ys, zs, ws, s.acc[bin])
+		}
+	}
+	return func(bin int, xs, ys, zs, ws []float64) {
+		s.kern.Accumulate(xs, ys, zs, ws, s.acc[bin])
+		t0 := time.Now()
+		for j := range xs {
+			e.ytab.EvalPoint(xs[j], ys[j], zs[j], s.yScr, s.yPt)
+			w2 := complex(ws[j]*ws[j], 0)
+			for ci, c := range e.combos.Combos {
+				if e.cfg.IsotropicOnly && c.L1 != c.L2 {
+					continue
+				}
+				y1 := s.yPt[sphharm.PairIndex(c.L1, c.M)]
+				y2 := s.yPt[sphharm.PairIndex(c.L2, c.M)]
+				s.selfT[bin][ci] += w2 * y1 * cmplx.Conj(y2)
+			}
+		}
+		s.tSelf += time.Since(t0)
+	}
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"galactos/internal/catalog"
+	"galactos/internal/geom"
+)
+
+// smallConfig returns a configuration sized for O(N^3)-verifiable tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RMax = 60
+	cfg.NBins = 6
+	cfg.LMax = 4
+	cfg.Workers = 4
+	cfg.BucketSize = 16 // force multiple flushes per primary
+	return cfg
+}
+
+func TestComputeEmptyCatalog(t *testing.T) {
+	cat := &catalog.Catalog{Box: geom.Periodic{L: 500}}
+	res, err := Compute(cat, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NPrimaries != 0 || res.Pairs != 0 {
+		t.Errorf("empty catalog: primaries=%d pairs=%d", res.NPrimaries, res.Pairs)
+	}
+	for _, v := range res.Aniso {
+		if v != 0 {
+			t.Fatal("nonzero channel from empty catalog")
+		}
+	}
+}
+
+func TestComputeSinglePrimaryNoPairs(t *testing.T) {
+	cat := &catalog.Catalog{
+		Box:      geom.Periodic{L: 500},
+		Galaxies: []catalog.Galaxy{{Pos: geom.Vec3{X: 10, Y: 10, Z: 10}, Weight: 1}},
+	}
+	res, err := Compute(cat, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NPrimaries != 1 || res.Pairs != 0 {
+		t.Errorf("primaries=%d pairs=%d", res.NPrimaries, res.Pairs)
+	}
+}
+
+func TestComputeRejectsBadConfig(t *testing.T) {
+	cat := catalog.Uniform(10, 100, 1)
+	cases := []func(*Config){
+		func(c *Config) { c.RMax = 0 },
+		func(c *Config) { c.RMax = 60; c.RMin = 80 },
+		func(c *Config) { c.NBins = 0 },
+		func(c *Config) { c.LMax = -1 },
+		func(c *Config) { c.LMax = 25 },
+		func(c *Config) { c.RMax = 70 }, // >= L/2 of the periodic box
+	}
+	for i, mutate := range cases {
+		cfg := smallConfig()
+		mutate(&cfg)
+		if _, err := Compute(cat, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestComputeRejectsBadMask(t *testing.T) {
+	cat := catalog.Uniform(10, 100, 1)
+	if _, err := ComputeSubset(cat, make([]bool, 5), smallConfig()); err == nil {
+		t.Error("mask length mismatch accepted")
+	}
+}
+
+func TestPairCountMatchesDirect(t *testing.T) {
+	cat := catalog.Uniform(300, 150, 3)
+	cfg := smallConfig()
+	res, err := Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct count of ordered pairs within [RMin, RMax).
+	want := uint64(0)
+	for i, g := range cat.Galaxies {
+		for j, h := range cat.Galaxies {
+			if i == j {
+				continue
+			}
+			r := cat.Box.Separation(g.Pos, h.Pos).Norm()
+			if r > 0 && r >= cfg.RMin && r < cfg.RMax {
+				want++
+			}
+		}
+	}
+	if res.Pairs != want {
+		t.Errorf("Pairs = %d, want %d", res.Pairs, want)
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	// The result must not depend on parallelism (up to floating-point
+	// addition order; channels are compared with a tight relative bound).
+	cat := catalog.Clustered(400, 200, catalog.DefaultClusterParams(), 5)
+	base := smallConfig()
+	base.Workers = 1
+	ref, err := Compute(cat, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := ref.MaxAbs()
+	for _, w := range []int{2, 3, 8} {
+		cfg := base
+		cfg.Workers = w
+		got, err := Compute(cat, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NPrimaries != ref.NPrimaries || got.Pairs != ref.Pairs {
+			t.Fatalf("workers=%d: primaries/pairs changed", w)
+		}
+		if d := got.MaxAbsDiff(ref); d > 1e-9*scale {
+			t.Errorf("workers=%d: max channel diff %v (scale %v)", w, d, scale)
+		}
+	}
+}
+
+func TestSchedulingInvariance(t *testing.T) {
+	cat := catalog.Uniform(300, 200, 6)
+	cfg := smallConfig()
+	cfg.Scheduling = SchedDynamic
+	a, err := Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scheduling = SchedStatic
+	b, err := Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.MaxAbsDiff(b); d > 1e-9*a.MaxAbs() {
+		t.Errorf("scheduling changed the result by %v", d)
+	}
+}
+
+func TestFinderInvariance(t *testing.T) {
+	// All three neighbor substrates must agree, on a periodic box (which
+	// exercises the k-d image queries vs the grid's native wrapping).
+	cat := catalog.Clustered(500, 160, catalog.DefaultClusterParams(), 7)
+	cfg := smallConfig()
+	cfg.RMax = 50
+	var results []*Result
+	for _, f := range []FinderKind{FinderKD32, FinderKD64, FinderGrid} {
+		cfg.Finder = f
+		r, err := Compute(cat, cfg)
+		if err != nil {
+			t.Fatalf("finder %v: %v", f, err)
+		}
+		results = append(results, r)
+	}
+	// KD64 vs Grid must agree to double precision.
+	if d := results[1].MaxAbsDiff(results[2]); d > 1e-9*results[1].MaxAbs() {
+		t.Errorf("kd64 vs grid differ by %v", d)
+	}
+	// KD32 may re-bin pairs within float32 epsilon of a bin edge; demand
+	// close agreement but not exactness.
+	if d := results[0].MaxAbsDiff(results[1]); d > 1e-3*results[1].MaxAbs() {
+		t.Errorf("kd32 vs kd64 differ by %v (beyond single-precision slack)", d)
+	}
+}
+
+func TestBucketSizeInvariance(t *testing.T) {
+	cat := catalog.Uniform(250, 150, 8)
+	ref, err := Compute(cat, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{1, 7, 64, 1024} {
+		cfg := smallConfig()
+		cfg.BucketSize = bs
+		got, err := Compute(cat, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := got.MaxAbsDiff(ref); d > 1e-9*ref.MaxAbs() {
+			t.Errorf("bucket size %d changed result by %v", bs, d)
+		}
+	}
+}
+
+func TestSubsetMaskRestrictsPrimaries(t *testing.T) {
+	cat := catalog.Uniform(200, 150, 9)
+	mask := make([]bool, cat.Len())
+	for i := 0; i < 50; i++ {
+		mask[i] = true
+	}
+	res, err := ComputeSubset(cat, mask, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NPrimaries != 50 {
+		t.Errorf("NPrimaries = %d, want 50", res.NPrimaries)
+	}
+}
+
+func TestSubsetsSumToWhole(t *testing.T) {
+	// Splitting primaries into two disjoint masks and adding the results
+	// must equal the full computation: the exact property the distributed
+	// reduction relies on.
+	cat := catalog.Clustered(300, 160, catalog.DefaultClusterParams(), 10)
+	cfg := smallConfig()
+	full, err := Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maskA := make([]bool, cat.Len())
+	maskB := make([]bool, cat.Len())
+	for i := range maskA {
+		if i%3 == 0 {
+			maskA[i] = true
+		} else {
+			maskB[i] = true
+		}
+	}
+	ra, err := ComputeSubset(cat, maskA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ComputeSubset(cat, maskB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Add(rb); err != nil {
+		t.Fatal(err)
+	}
+	if ra.NPrimaries != full.NPrimaries || ra.Pairs != full.Pairs {
+		t.Fatalf("split primaries/pairs: %d/%d vs %d/%d",
+			ra.NPrimaries, ra.Pairs, full.NPrimaries, full.Pairs)
+	}
+	if d := ra.MaxAbsDiff(full); d > 1e-9*full.MaxAbs() {
+		t.Errorf("split sum differs from whole by %v", d)
+	}
+}
+
+func TestRMinExcludesClosePairs(t *testing.T) {
+	cat := catalog.Uniform(200, 100, 11)
+	cfg := smallConfig()
+	cfg.RMin = 20
+	cfg.RMax = 45
+	res, err := Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(0)
+	for i, g := range cat.Galaxies {
+		for j, h := range cat.Galaxies {
+			if i == j {
+				continue
+			}
+			r := cat.Box.Separation(g.Pos, h.Pos).Norm()
+			if r >= 20 && r < 45 {
+				want++
+			}
+		}
+	}
+	if res.Pairs != want {
+		t.Errorf("Pairs = %d, want %d", res.Pairs, want)
+	}
+}
+
+func TestIsotropicOnlyMatchesFullOnDiagonal(t *testing.T) {
+	cat := catalog.Uniform(200, 150, 12)
+	cfg := smallConfig()
+	full, err := Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.IsotropicOnly = true
+	iso, err := Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l <= cfg.LMax; l++ {
+		for b1 := 0; b1 < cfg.NBins; b1++ {
+			for b2 := 0; b2 < cfg.NBins; b2++ {
+				a := full.IsoZeta(l, b1, b2)
+				b := iso.IsoZeta(l, b1, b2)
+				if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+					t.Fatalf("IsoZeta(%d,%d,%d): full %v vs iso-only %v", l, b1, b2, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestTimingsPopulated(t *testing.T) {
+	cat := catalog.Uniform(500, 150, 13)
+	res, err := Compute(cat, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timings.Total <= 0 || res.Timings.WorkerTotal <= 0 {
+		t.Error("timings not populated")
+	}
+	if res.Timings.Multipole < 0 {
+		t.Error("negative multipole time")
+	}
+}
+
+func TestComboTable(t *testing.T) {
+	ct := NewComboTable(10)
+	if ct.Len() != 286 {
+		t.Errorf("combo count = %d, want 286", ct.Len())
+	}
+	seen := make(map[int]bool)
+	for _, c := range ct.Combos {
+		if c.L1 > c.L2 || c.M > c.L1 || c.M < 0 {
+			t.Fatalf("non-canonical combo %+v", c)
+		}
+		i, ok := ct.Index(c.L1, c.L2, c.M)
+		if !ok || seen[i] {
+			t.Fatalf("bad index for %+v", c)
+		}
+		seen[i] = true
+	}
+	if _, ok := ct.Index(3, 2, 0); ok {
+		t.Error("l1 > l2 accepted as canonical")
+	}
+}
+
+func TestResultAddRejectsMismatch(t *testing.T) {
+	cat := catalog.Uniform(50, 200, 14)
+	cfgA := smallConfig()
+	ra, err := Compute(cat, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := smallConfig()
+	cfgB.LMax = 3
+	rb, err := Compute(cat, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Add(rb); err == nil {
+		t.Error("mismatched results merged")
+	}
+	cfgC := smallConfig()
+	cfgC.NBins = 4
+	rc, err := Compute(cat, cfgC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Add(rc); err == nil {
+		t.Error("mismatched binnings merged")
+	}
+}
+
+func TestFlopsEstimatePositive(t *testing.T) {
+	cat := catalog.Uniform(100, 200, 15)
+	res, err := Compute(cat, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs > 0 && res.FlopsEstimate() <= 0 {
+		t.Error("FlopsEstimate not positive")
+	}
+}

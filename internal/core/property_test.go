@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"galactos/internal/catalog"
+	"galactos/internal/geom"
+)
+
+// Physics property tests: invariances the estimator must satisfy exactly,
+// independent of any oracle.
+
+func propConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RMax = 45
+	cfg.NBins = 4
+	cfg.LMax = 4
+	cfg.Workers = 3
+	return cfg
+}
+
+func TestWeightScalingCubes(t *testing.T) {
+	// zeta is a weighted triplet sum: scaling every weight by s must scale
+	// every channel by exactly s^3.
+	cat := catalog.Clustered(250, 180, catalog.DefaultClusterParams(), 51)
+	cfg := propConfig()
+	base, err := Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const s = 2.5
+	scaled := &catalog.Catalog{Box: cat.Box, Galaxies: make([]catalog.Galaxy, cat.Len())}
+	for i, g := range cat.Galaxies {
+		scaled.Galaxies[i] = catalog.Galaxy{Pos: g.Pos, Weight: g.Weight * s}
+	}
+	got, err := Compute(scaled, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Aniso {
+		want := base.Aniso[i] * complex(s*s*s, 0)
+		if cmplx.Abs(got.Aniso[i]-want) > 1e-9*(1+cmplx.Abs(want)) {
+			t.Fatalf("channel %d: %v, want %v (s^3 scaling)", i, got.Aniso[i], want)
+		}
+	}
+}
+
+func TestTranslationInvariancePeriodic(t *testing.T) {
+	// A periodic box with the plane-parallel line of sight has no preferred
+	// origin: translating every galaxy (with wrap) must leave all channels
+	// unchanged.
+	cat := catalog.Clustered(300, 160, catalog.DefaultClusterParams(), 53)
+	cfg := propConfig()
+	base, err := Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift := geom.Vec3{X: 47.3, Y: 101.9, Z: 13.1}
+	moved := &catalog.Catalog{Box: cat.Box, Galaxies: make([]catalog.Galaxy, cat.Len())}
+	for i, g := range cat.Galaxies {
+		moved.Galaxies[i] = catalog.Galaxy{Pos: cat.Box.Wrap(g.Pos.Add(shift)), Weight: g.Weight}
+	}
+	got, err := Compute(moved, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pairs != base.Pairs {
+		t.Fatalf("translation changed pair count: %d vs %d", got.Pairs, base.Pairs)
+	}
+	if d := got.MaxAbsDiff(base); d > 1e-8*base.MaxAbs() {
+		t.Errorf("translation changed channels by %v", d)
+	}
+}
+
+func TestGlobalRotationInvarianceIsotropic(t *testing.T) {
+	// Rotating the whole catalog about the origin (open boundaries) must
+	// leave the isotropic multipoles unchanged; with the radial line of
+	// sight (which co-rotates with the data) the anisotropic channels are
+	// invariant too.
+	cat := catalog.Uniform(250, 140, 57)
+	cat.Box = geom.Periodic{}
+	cfg := propConfig()
+	cfg.LOS = LOSRadial
+	cfg.Observer = geom.Vec3{} // origin
+	base, err := Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot := geom.ToLineOfSight(geom.Vec3{X: 1, Y: 2, Z: 3}) // an arbitrary rotation
+	turned := &catalog.Catalog{Galaxies: make([]catalog.Galaxy, cat.Len())}
+	for i, g := range cat.Galaxies {
+		turned.Galaxies[i] = catalog.Galaxy{Pos: rot.Apply(g.Pos), Weight: g.Weight}
+	}
+	got, err := Compute(turned, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pairs != base.Pairs {
+		t.Fatalf("rotation changed pair count: %d vs %d", got.Pairs, base.Pairs)
+	}
+	scale := base.MaxAbs()
+	for l := 0; l <= cfg.LMax; l++ {
+		for b1 := 0; b1 < cfg.NBins; b1++ {
+			for b2 := 0; b2 < cfg.NBins; b2++ {
+				a := base.IsoZeta(l, b1, b2)
+				b := got.IsoZeta(l, b1, b2)
+				if math.Abs(a-b) > 1e-8*scale {
+					t.Fatalf("iso zeta_%d(%d,%d) changed under rotation: %v vs %v", l, b1, b2, a, b)
+				}
+			}
+		}
+	}
+	// Full anisotropic invariance under co-rotating LOS.
+	if d := got.MaxAbsDiff(base); d > 1e-8*scale {
+		t.Errorf("anisotropic channels changed by %v under co-rotating frame", d)
+	}
+}
+
+func TestMonopoleChannelIsRealPositive(t *testing.T) {
+	// zeta^0_{00}(b, b) is a sum over primaries of w_p |a_00(b)|^2 minus a
+	// positive self term; for unit weights with self-count it equals the
+	// (non-negative) distinct-triplet count.
+	cat := catalog.Uniform(300, 160, 59)
+	res, err := Compute(cat, propConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < res.Bins.N; b++ {
+		v := res.ZetaM(0, 0, 0, b, b)
+		if math.Abs(imag(v)) > 1e-9*(1+math.Abs(real(v))) {
+			t.Errorf("zeta^0_00(%d,%d) has imaginary part %v", b, b, imag(v))
+		}
+		if real(v) < -1e-9 {
+			t.Errorf("zeta^0_00(%d,%d) = %v negative for unit weights", b, b, real(v))
+		}
+	}
+}
+
+func TestZeroWeightGalaxiesAreInert(t *testing.T) {
+	// Galaxies with zero weight contribute nothing to any channel (they do
+	// enter pair counts as primaries, so compare channels only).
+	cat := catalog.Uniform(200, 160, 61)
+	cfg := propConfig()
+	base, err := Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded := &catalog.Catalog{Box: cat.Box}
+	padded.Galaxies = append(padded.Galaxies, cat.Galaxies...)
+	extra := catalog.Uniform(100, 160, 62)
+	for _, g := range extra.Galaxies {
+		padded.Galaxies = append(padded.Galaxies, catalog.Galaxy{Pos: g.Pos, Weight: 0})
+	}
+	got, err := Compute(padded, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.MaxAbsDiff(base); d > 1e-9*base.MaxAbs() {
+		t.Errorf("zero-weight galaxies changed channels by %v", d)
+	}
+}
+
+func TestMirrorSymmetryFlipsOddChannels(t *testing.T) {
+	// Reflecting the catalog through the x-y plane (z -> L - z, a parity
+	// flip of the line-of-sight axis) conjugates... specifically a_lm picks
+	// up (-1)^{l+m} under z -> -z, so zeta^m_{l1 l2} maps to
+	// (-1)^{l1+l2} zeta^m_{l1 l2}. Even-sum channels are invariant; odd-sum
+	// channels flip sign.
+	cat := catalog.Clustered(300, 160, catalog.DefaultClusterParams(), 63)
+	cfg := propConfig()
+	base, err := Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := &catalog.Catalog{Box: cat.Box, Galaxies: make([]catalog.Galaxy, cat.Len())}
+	for i, g := range cat.Galaxies {
+		p := g.Pos
+		p.Z = cat.Box.L - p.Z
+		flipped.Galaxies[i] = catalog.Galaxy{Pos: cat.Box.Wrap(p), Weight: g.Weight}
+	}
+	got, err := Compute(flipped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := base.MaxAbs()
+	for ci, c := range base.Combos.Combos {
+		sign := complex(1, 0)
+		if (c.L1+c.L2)%2 == 1 {
+			sign = -1
+		}
+		for b1 := 0; b1 < cfg.NBins; b1++ {
+			for b2 := 0; b2 < cfg.NBins; b2++ {
+				idx := (ci*cfg.NBins+b1)*cfg.NBins + b2
+				want := sign * base.Aniso[idx]
+				if cmplx.Abs(got.Aniso[idx]-want) > 1e-8*scale {
+					t.Fatalf("combo %+v (%d,%d): %v, want %v under z-mirror",
+						c, b1, b2, got.Aniso[idx], want)
+				}
+			}
+		}
+	}
+}

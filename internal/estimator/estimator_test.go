@@ -1,0 +1,205 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"galactos/internal/catalog"
+	"galactos/internal/core"
+	"galactos/internal/geom"
+)
+
+func TestMixingMatrixIdentityForPeriodicWindow(t *testing.T) {
+	// Maskless geometry: f_l = delta_{l0} -> M must be the identity.
+	f := []float64{1, 0, 0, 0, 0}
+	m := MixingMatrix(f)
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(m.At(i, j)-want) > 1e-12 {
+				t.Errorf("M[%d][%d] = %v, want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMixingMatrixRoundTrip(t *testing.T) {
+	// Construct N = M * zeta_true with a hand-built window, then verify the
+	// solve in EdgeCorrect's inner step recovers zeta_true exactly.
+	f := []float64{1, 0.3, -0.1, 0.05}
+	m := MixingMatrix(f)
+	zTrue := []float64{2.5, -1.0, 0.7, 0.2}
+	n := make([]float64, len(zTrue))
+	for l := range n {
+		for lp := range zTrue {
+			n[l] += m.At(l, lp) * zTrue[lp]
+		}
+	}
+	inv, err := m.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range zTrue {
+		got := 0.0
+		for lp := range n {
+			got += inv.At(l, lp) * n[lp]
+		}
+		if math.Abs(got-zTrue[l]) > 1e-10 {
+			t.Errorf("recovered zeta_%d = %v, want %v", l, got, zTrue[l])
+		}
+	}
+}
+
+func TestMixingMatrixRowStructure(t *testing.T) {
+	// The l''=0 term contributes f_0 * delta_{ll'}: diagonal entries must
+	// be >= contributions from higher window multipoles for a mild window.
+	f := []float64{1, 0.1, 0.05}
+	m := MixingMatrix(f)
+	for i := 0; i < m.N; i++ {
+		if m.At(i, i) < 0.9 {
+			t.Errorf("diagonal M[%d][%d] = %v too small for mild window", i, i, m.At(i, i))
+		}
+	}
+}
+
+func testConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.RMax = 35
+	cfg.NBins = 3
+	cfg.LMax = 3
+	cfg.Workers = 2
+	return cfg
+}
+
+func TestEdgeCorrectPeriodicIsNearNoOp(t *testing.T) {
+	// On a periodic box the randoms' 3PCF multipoles beyond l=0 are pure
+	// shot noise, so f_l ~ 0 and the corrected zeta_l must track N_l/R_0.
+	data := catalog.Clustered(1500, 150, catalog.DefaultClusterParams(), 3)
+	randoms := catalog.Uniform(6000, 150, 4)
+	cfg := testConfig()
+	dmr, err := catalog.WithDataMinusRandom(data, randoms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nRes, err := core.Compute(dmr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rRes, err := core.Compute(randoms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, err := EdgeCorrect(nRes, rRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := cfg.NBins
+	for b1 := 0; b1 < nb; b1++ {
+		for b2 := 0; b2 < nb; b2++ {
+			r0 := rRes.IsoZeta(0, b1, b2)
+			raw := nRes.IsoZeta(0, b1, b2) / r0
+			got := corr.Zeta[0][b1*nb+b2]
+			// Monopole correction should be a small perturbation.
+			if math.Abs(got-raw) > 0.15*(math.Abs(raw)+1e-3) {
+				t.Errorf("bins (%d,%d): corrected %v far from raw %v", b1, b2, got, raw)
+			}
+		}
+	}
+	if corr.Condition > 10 {
+		t.Errorf("condition %v too large for a periodic window", corr.Condition)
+	}
+}
+
+func TestEdgeCorrectDetectsClustering(t *testing.T) {
+	// The corrected monopole of clustered data must be positive at small
+	// scales and much larger than for random "data".
+	cfg := testConfig()
+	clustered := catalog.Clustered(1500, 150, catalog.DefaultClusterParams(), 5)
+	randomData := catalog.Uniform(1500, 150, 6)
+	randoms := catalog.Uniform(6000, 150, 7)
+
+	cCl, err := CorrectedZeta(clustered, randoms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRd, err := CorrectedZeta(randomData, randoms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cCl.Zeta[0][0] < 5*math.Abs(cRd.Zeta[0][0]) {
+		t.Errorf("clustered corrected monopole %v not dominant over random %v",
+			cCl.Zeta[0][0], cRd.Zeta[0][0])
+	}
+}
+
+func TestEdgeCorrectMaskedWindowHasNontrivialF(t *testing.T) {
+	// A survey-like geometry (galaxies only in one octant, open
+	// boundaries) must produce clearly nonzero window multipoles f_l.
+	rng := catalog.Uniform(8000, 120, 8)
+	// Cut an octant and treat as open-boundary survey.
+	oct := rng.SubBox(geom.Box{Min: geom.Vec3{}, Max: geom.Vec3{X: 60, Y: 60, Z: 120}})
+	oct.Box = geom.Periodic{}
+	cfg := testConfig()
+	cfg.LOS = core.LOSPlaneParallel
+	rRes, err := core.Compute(oct, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window multipoles of the mask itself.
+	maxF := 0.0
+	for l := 1; l <= cfg.LMax; l++ {
+		for b1 := 0; b1 < cfg.NBins; b1++ {
+			r0 := rRes.IsoZeta(0, b1, b1)
+			if r0 == 0 {
+				continue
+			}
+			f := math.Abs(rRes.IsoZeta(l, b1, b1) / r0)
+			if f > maxF {
+				maxF = f
+			}
+		}
+	}
+	if maxF < 0.02 {
+		t.Errorf("masked geometry produced near-zero window multipoles (max %v)", maxF)
+	}
+}
+
+func TestEdgeCorrectRejectsMismatch(t *testing.T) {
+	cat := catalog.Uniform(200, 150, 9)
+	cfgA := testConfig()
+	ra, err := core.Compute(cat, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := testConfig()
+	cfgB.LMax = 2
+	rb, err := core.Compute(cat, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EdgeCorrect(ra, rb); err == nil {
+		t.Error("mismatched configurations accepted")
+	}
+}
+
+func TestMixingMatrixSymmetryProperty(t *testing.T) {
+	// M_{ll'} / (2l'+1) is symmetric in (l, l') by the 3j symmetry.
+	f := []float64{1, 0.2, -0.15, 0.08, 0.02}
+	m := MixingMatrix(f)
+	for l := 0; l < m.N; l++ {
+		for lp := 0; lp < m.N; lp++ {
+			a := m.At(l, lp) / float64(2*lp+1)
+			b := m.At(lp, l) / float64(2*l+1)
+			if math.Abs(a-b) > 1e-12 {
+				t.Errorf("symmetry broken at (%d,%d)", l, lp)
+			}
+		}
+	}
+	// And it must reduce to stats-invertible form for mild windows.
+	if _, err := m.Inverse(); err != nil {
+		t.Errorf("mild window matrix not invertible: %v", err)
+	}
+}

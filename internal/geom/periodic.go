@@ -1,0 +1,74 @@
+package geom
+
+// Periodic describes periodic boundary conditions on a cubic box of side L
+// with the origin at a corner, the convention of cosmological N-body
+// simulations such as Outer Rim (Sec. 4.2). A zero side length means open
+// (non-periodic) boundaries.
+type Periodic struct {
+	L float64 // box side; 0 => open boundaries
+}
+
+// Wrap maps p into the canonical box [0, L)^3. With open boundaries it
+// returns p unchanged.
+func (pb Periodic) Wrap(p Vec3) Vec3 {
+	if pb.L <= 0 {
+		return p
+	}
+	return Vec3{wrap1(p.X, pb.L), wrap1(p.Y, pb.L), wrap1(p.Z, pb.L)}
+}
+
+func wrap1(x, l float64) float64 {
+	for x < 0 {
+		x += l
+	}
+	for x >= l {
+		x -= l
+	}
+	return x
+}
+
+// Separation returns the minimal-image separation b - a. With open
+// boundaries it is the plain difference.
+func (pb Periodic) Separation(a, b Vec3) Vec3 {
+	d := b.Sub(a)
+	if pb.L <= 0 {
+		return d
+	}
+	return Vec3{minImage(d.X, pb.L), minImage(d.Y, pb.L), minImage(d.Z, pb.L)}
+}
+
+func minImage(d, l float64) float64 {
+	h := l / 2
+	for d > h {
+		d -= l
+	}
+	for d < -h {
+		d += l
+	}
+	return d
+}
+
+// Distance returns the minimal-image Euclidean distance between a and b.
+func (pb Periodic) Distance(a, b Vec3) float64 {
+	return pb.Separation(a, b).Norm()
+}
+
+// Images returns the set of translation offsets that must be searched so a
+// radius-r query around any point in the box sees all periodic images. With
+// open boundaries only the zero offset is returned. For r < L/2 the 27
+// neighbor images suffice; larger r is rejected by callers (the paper uses
+// Rmax = 200 Mpc/h on a 3000 Mpc/h box, far below L/2).
+func (pb Periodic) Images(r float64) []Vec3 {
+	if pb.L <= 0 {
+		return []Vec3{{}}
+	}
+	offs := make([]Vec3, 0, 27)
+	for i := -1; i <= 1; i++ {
+		for j := -1; j <= 1; j++ {
+			for k := -1; k <= 1; k++ {
+				offs = append(offs, Vec3{float64(i) * pb.L, float64(j) * pb.L, float64(k) * pb.L})
+			}
+		}
+	}
+	return offs
+}

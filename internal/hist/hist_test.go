@@ -1,0 +1,197 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBinningValidation(t *testing.T) {
+	if _, err := NewBinning(0, 200, 20); err != nil {
+		t.Errorf("valid binning rejected: %v", err)
+	}
+	bad := []struct {
+		rmin, rmax float64
+		n          int
+	}{
+		{0, 200, 0},
+		{0, 200, -3},
+		{-1, 200, 10},
+		{200, 200, 10},
+		{300, 200, 10},
+	}
+	for _, c := range bad {
+		if _, err := NewBinning(c.rmin, c.rmax, c.n); err == nil {
+			t.Errorf("NewBinning(%v,%v,%d) accepted", c.rmin, c.rmax, c.n)
+		}
+	}
+}
+
+func TestBinningIndex(t *testing.T) {
+	b, _ := NewBinning(10, 110, 10) // width 10
+	cases := []struct {
+		r    float64
+		want int
+	}{
+		{9.999, -1},
+		{10, 0},
+		{19.999, 0},
+		{20, 1},
+		{105, 9},
+		{109.999, 9},
+		{110, -1},
+		{500, -1},
+		{0, -1},
+	}
+	for _, c := range cases {
+		if got := b.Index(c.r); got != c.want {
+			t.Errorf("Index(%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestBinningIndexConsistentWithEdges(t *testing.T) {
+	b, _ := NewBinning(0, 200, 20)
+	edges := b.Edges()
+	if len(edges) != 21 {
+		t.Fatalf("%d edges", len(edges))
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		r := rng.Float64() * 220
+		got := b.Index(r)
+		want := -1
+		for j := 0; j < b.N; j++ {
+			if r >= edges[j] && r < edges[j+1] {
+				want = j
+			}
+		}
+		if got != want {
+			t.Fatalf("Index(%v) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestBinningCenter(t *testing.T) {
+	b, _ := NewBinning(0, 200, 20)
+	if got := b.Center(0); got != 5 {
+		t.Errorf("Center(0) = %v", got)
+	}
+	if got := b.Center(19); got != 195 {
+		t.Errorf("Center(19) = %v", got)
+	}
+	// Center must land inside its own bin.
+	for i := 0; i < b.N; i++ {
+		if b.Index(b.Center(i)) != i {
+			t.Errorf("Center(%d) not in bin %d", i, i)
+		}
+	}
+}
+
+func TestShellVolumesSumToSphere(t *testing.T) {
+	b, _ := NewBinning(0, 100, 17)
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		sum += b.ShellVolume(i)
+	}
+	want := 4.0 / 3.0 * math.Pi * 1e6
+	if math.Abs(sum-want) > 1e-6*want {
+		t.Errorf("shell volumes sum %v, want %v", sum, want)
+	}
+}
+
+func TestBucketsFlushOnFull(t *testing.T) {
+	b := NewBuckets(3, 4)
+	var flushed [][]float64
+	flush := func(bin int, xs, ys, zs, ws []float64) {
+		cp := make([]float64, len(xs))
+		copy(cp, xs)
+		flushed = append(flushed, cp)
+		if bin != 1 {
+			t.Errorf("flush for bin %d, want 1", bin)
+		}
+	}
+	for i := 0; i < 9; i++ {
+		b.Add(1, float64(i), 0, 0, 1, flush)
+	}
+	if len(flushed) != 2 {
+		t.Fatalf("%d flushes, want 2 (two full buckets)", len(flushed))
+	}
+	if flushed[0][0] != 0 || flushed[1][0] != 4 {
+		t.Errorf("flush contents wrong: %v", flushed)
+	}
+	b.FlushAll(flush)
+	if len(flushed) != 3 || len(flushed[2]) != 1 || flushed[2][0] != 8 {
+		t.Errorf("final sweep wrong: %v", flushed)
+	}
+	// Second FlushAll is a no-op.
+	b.FlushAll(flush)
+	if len(flushed) != 3 {
+		t.Error("FlushAll flushed empty buckets")
+	}
+}
+
+func TestBucketsConservePairs(t *testing.T) {
+	// Property: every added pair is flushed exactly once, into its own bin,
+	// regardless of bucket size.
+	f := func(seed int64, size uint8) bool {
+		sz := int(size%31) + 1
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuckets(5, sz)
+		counts := make([]int, 5)
+		sums := make([]float64, 5)
+		flush := func(bin int, xs, ys, zs, ws []float64) {
+			counts[bin] += len(xs)
+			for _, x := range xs {
+				sums[bin] += x
+			}
+		}
+		wantCounts := make([]int, 5)
+		wantSums := make([]float64, 5)
+		n := rng.Intn(500)
+		for i := 0; i < n; i++ {
+			bin := rng.Intn(5)
+			x := rng.Float64()
+			wantCounts[bin]++
+			wantSums[bin] += x
+			b.Add(bin, x, 0, 0, 1, flush)
+		}
+		b.FlushAll(flush)
+		for i := range counts {
+			if counts[i] != wantCounts[i] || math.Abs(sums[i]-wantSums[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketsReset(t *testing.T) {
+	b := NewBuckets(2, 8)
+	flush := func(bin int, xs, ys, zs, ws []float64) {
+		t.Error("unexpected flush after reset")
+	}
+	b.Add(0, 1, 2, 3, 1, flush)
+	b.Reset()
+	b.FlushAll(flush)
+}
+
+func TestBucketsAccessors(t *testing.T) {
+	b := NewBuckets(7, 128)
+	if b.Bins() != 7 || b.Size() != 128 {
+		t.Errorf("Bins=%d Size=%d", b.Bins(), b.Size())
+	}
+}
+
+func TestNewBucketsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewBuckets(0, 10)
+}

@@ -1,0 +1,274 @@
+// Package kdtree implements the node-local spatial k-d tree Galactos uses to
+// gather all secondaries within Rmax of each primary (Algorithm 1). The
+// element type is generic over float32/float64: the paper runs the tree
+// search in single precision "due to its insensitivity to the precision of
+// galaxy locations" (Sec. 5.1) while the multipole kernel stays in double;
+// Tree[float32] vs Tree[float64] reproduces the mixed-vs-double precision
+// experiment of Sec. 5.4.
+package kdtree
+
+import (
+	"runtime"
+	"sync"
+
+	"galactos/internal/geom"
+)
+
+// Float constrains the coordinate storage precision.
+type Float interface {
+	~float32 | ~float64
+}
+
+type point[T Float] struct {
+	x, y, z T
+	id      int32
+}
+
+type node[T Float] struct {
+	// Bounding box of all points under this node ("marked" k-d tree info,
+	// Sec. 2.1): enables exact pruning in radius queries.
+	minX, minY, minZ T
+	maxX, maxY, maxZ T
+	left, right      int32 // children; -1 for leaf
+	start, end       int32 // leaf point range
+}
+
+// Tree is an immutable spatial index over a fixed point set. Queries are
+// safe for concurrent use; building is parallel across subtrees.
+type Tree[T Float] struct {
+	pts      []point[T]
+	nodes    []node[T]
+	leafSize int
+}
+
+// DefaultLeafSize balances tree depth against leaf scan cost.
+const DefaultLeafSize = 16
+
+// Build constructs a k-d tree over pts. leafSize <= 0 selects
+// DefaultLeafSize. The input slice is not modified.
+func Build[T Float](pts []geom.Vec3, leafSize int) *Tree[T] {
+	if leafSize <= 0 {
+		leafSize = DefaultLeafSize
+	}
+	t := &Tree[T]{
+		pts:      make([]point[T], len(pts)),
+		leafSize: leafSize,
+	}
+	for i, p := range pts {
+		t.pts[i] = point[T]{T(p.X), T(p.Y), T(p.Z), int32(i)}
+	}
+	if len(pts) == 0 {
+		return t
+	}
+	// Upper bound on node count: one split per leafSize/2 points, doubled.
+	t.nodes = make([]node[T], 0, 4*len(pts)/leafSize+8)
+	var mu sync.Mutex
+	root := t.alloc(&mu)
+	maxDepth := parallelDepth()
+	var wg sync.WaitGroup
+	t.build(root, 0, int32(len(t.pts)), 0, maxDepth, &mu, &wg)
+	wg.Wait()
+	return t
+}
+
+// parallelDepth returns how many top tree levels spawn goroutines.
+func parallelDepth() int {
+	d := 0
+	for c := runtime.GOMAXPROCS(0); c > 1; c /= 2 {
+		d++
+	}
+	return d
+}
+
+func (t *Tree[T]) alloc(mu *sync.Mutex) int32 {
+	mu.Lock()
+	defer mu.Unlock()
+	t.nodes = append(t.nodes, node[T]{})
+	return int32(len(t.nodes) - 1)
+}
+
+func (t *Tree[T]) build(ni, start, end int32, depth, maxDepth int, mu *sync.Mutex, wg *sync.WaitGroup) {
+	pts := t.pts[start:end]
+	var nd node[T]
+	nd.minX, nd.minY, nd.minZ = pts[0].x, pts[0].y, pts[0].z
+	nd.maxX, nd.maxY, nd.maxZ = pts[0].x, pts[0].y, pts[0].z
+	for _, p := range pts[1:] {
+		if p.x < nd.minX {
+			nd.minX = p.x
+		}
+		if p.x > nd.maxX {
+			nd.maxX = p.x
+		}
+		if p.y < nd.minY {
+			nd.minY = p.y
+		}
+		if p.y > nd.maxY {
+			nd.maxY = p.y
+		}
+		if p.z < nd.minZ {
+			nd.minZ = p.z
+		}
+		if p.z > nd.maxZ {
+			nd.maxZ = p.z
+		}
+	}
+	if int(end-start) <= t.leafSize {
+		nd.left, nd.right = -1, -1
+		nd.start, nd.end = start, end
+		mu.Lock()
+		t.nodes[ni] = nd
+		mu.Unlock()
+		return
+	}
+	// Split along the widest axis at the median.
+	ex := float64(nd.maxX - nd.minX)
+	ey := float64(nd.maxY - nd.minY)
+	ez := float64(nd.maxZ - nd.minZ)
+	axis := 0
+	if ey > ex && ey >= ez {
+		axis = 1
+	} else if ez > ex && ez > ey {
+		axis = 2
+	}
+	mid := start + (end-start)/2
+	t.selectNth(start, end, mid, axis)
+
+	left := t.alloc(mu)
+	right := t.alloc(mu)
+	nd.left, nd.right = left, right
+	nd.start, nd.end = start, end
+	mu.Lock()
+	t.nodes[ni] = nd
+	mu.Unlock()
+
+	if depth < maxDepth {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t.build(left, start, mid, depth+1, maxDepth, mu, wg)
+		}()
+		t.build(right, mid, end, depth+1, maxDepth, mu, wg)
+	} else {
+		t.build(left, start, mid, depth+1, maxDepth, mu, wg)
+		t.build(right, mid, end, depth+1, maxDepth, mu, wg)
+	}
+}
+
+func (t *Tree[T]) coord(i int32, axis int) T {
+	switch axis {
+	case 0:
+		return t.pts[i].x
+	case 1:
+		return t.pts[i].y
+	default:
+		return t.pts[i].z
+	}
+}
+
+// selectNth partitions pts[start:end) so the nth element is in its sorted
+// position along axis (quickselect with median-of-three pivots).
+func (t *Tree[T]) selectNth(start, end, nth int32, axis int) {
+	for end-start > 1 {
+		lo, hi := start, end-1
+		// Median-of-three pivot.
+		mid := lo + (hi-lo)/2
+		if t.coord(mid, axis) < t.coord(lo, axis) {
+			t.pts[mid], t.pts[lo] = t.pts[lo], t.pts[mid]
+		}
+		if t.coord(hi, axis) < t.coord(lo, axis) {
+			t.pts[hi], t.pts[lo] = t.pts[lo], t.pts[hi]
+		}
+		if t.coord(hi, axis) < t.coord(mid, axis) {
+			t.pts[hi], t.pts[mid] = t.pts[mid], t.pts[hi]
+		}
+		pivot := t.coord(mid, axis)
+		i, j := lo, hi
+		for i <= j {
+			for t.coord(i, axis) < pivot {
+				i++
+			}
+			for t.coord(j, axis) > pivot {
+				j--
+			}
+			if i <= j {
+				t.pts[i], t.pts[j] = t.pts[j], t.pts[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case nth <= j:
+			end = j + 1
+		case nth >= i:
+			start = i
+		default:
+			return
+		}
+	}
+}
+
+// Len returns the number of indexed points.
+func (t *Tree[T]) Len() int { return len(t.pts) }
+
+// QueryRadius appends to out the original indices of all points within
+// distance r of center (inclusive), and returns the extended slice. The
+// distance test runs in the tree's storage precision T, mirroring the
+// paper's single-precision tree search.
+func (t *Tree[T]) QueryRadius(center geom.Vec3, r float64, out []int32) []int32 {
+	if len(t.nodes) == 0 {
+		return out
+	}
+	cx, cy, cz, rr := T(center.X), T(center.Y), T(center.Z), T(r)
+	r2 := rr * rr
+	var rec func(ni int32)
+	rec = func(ni int32) {
+		nd := &t.nodes[ni]
+		// Distance from center to the node's bounding box.
+		var d2 T
+		d2 += axisDist2(cx, nd.minX, nd.maxX)
+		d2 += axisDist2(cy, nd.minY, nd.maxY)
+		d2 += axisDist2(cz, nd.minZ, nd.maxZ)
+		if d2 > r2 {
+			return
+		}
+		if nd.left < 0 {
+			for i := nd.start; i < nd.end; i++ {
+				p := &t.pts[i]
+				dx := p.x - cx
+				dy := p.y - cy
+				dz := p.z - cz
+				if dx*dx+dy*dy+dz*dz <= r2 {
+					out = append(out, p.id)
+				}
+			}
+			return
+		}
+		rec(nd.left)
+		rec(nd.right)
+	}
+	rec(0)
+	return out
+}
+
+func axisDist2[T Float](c, lo, hi T) T {
+	if c < lo {
+		d := lo - c
+		return d * d
+	}
+	if c > hi {
+		d := c - hi
+		return d * d
+	}
+	return 0
+}
+
+// CountRadius returns the number of points within distance r of center.
+func (t *Tree[T]) CountRadius(center geom.Vec3, r float64) int {
+	// Reuse QueryRadius through a small stack buffer to avoid a second
+	// traversal implementation drifting out of sync.
+	buf := make([]int32, 0, 64)
+	return len(t.QueryRadius(center, r, buf))
+}
+
+// NodeCount returns the number of tree nodes (for instrumentation).
+func (t *Tree[T]) NodeCount() int { return len(t.nodes) }

@@ -1,0 +1,305 @@
+// Package mpi is an in-process message-passing runtime that stands in for
+// the Cray MPI layer of the paper (see DESIGN.md, substitutions). Ranks are
+// goroutines; links are typed channels. The API mirrors the MPI subset
+// Galactos needs: point-to-point send/receive with tags, barriers,
+// broadcast, reductions, gather, and — crucially for the k-d partitioning of
+// Sec. 3.2 — communicator splitting into sub-communicators of arbitrary
+// (non-power-of-two) sizes.
+//
+// Messages carry arbitrary Go values. Because ranks share an address space,
+// senders must not mutate a payload after sending; the partition layer
+// copies slices it keeps writing into, mirroring real MPI's copy semantics.
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// message is one point-to-point payload in flight.
+type message struct {
+	src, tag int
+	data     any
+}
+
+// World is a group of ranks with all-to-all connectivity.
+type World struct {
+	size  int
+	boxes []*mailbox
+}
+
+// mailbox buffers incoming messages for one rank, with tag/source matching.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take blocks until a message from src with tag is available and removes it.
+func (m *mailbox) take(src, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if msg.src == src && msg.tag == tag {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// NewWorld creates a world of n ranks.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpi: world size %d must be positive", n))
+	}
+	w := &World{size: n, boxes: make([]*mailbox, n)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Run launches fn on every rank of a fresh world and waits for all to
+// finish. Each invocation receives the world communicator for its rank.
+// A panic on any rank propagates to the caller after all ranks stop.
+func Run(n int, fn func(c *Comm)) {
+	w := NewWorld(n)
+	var wg sync.WaitGroup
+	panics := make([]any, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[r] = p
+				}
+			}()
+			fn(w.Comm(r))
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+		}
+	}
+}
+
+// Comm is one rank's handle on a communicator: a subset of world ranks with
+// local numbering 0..Size()-1, like an MPI communicator.
+type Comm struct {
+	world *World
+	rank  int   // local rank within the communicator
+	ranks []int // world rank of each local rank, sorted
+	// tagShift namespaces tags per communicator so split communicators
+	// cannot intercept each other's traffic.
+	tagShift int
+}
+
+// Comm returns the world communicator handle for world rank r.
+func (w *World) Comm(r int) *Comm {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of world of size %d", r, w.size))
+	}
+	ranks := make([]int, w.size)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return &Comm{world: w, rank: r, ranks: ranks}
+}
+
+// Rank returns the caller's rank within this communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in this communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// WorldRank returns the caller's rank in the world communicator.
+func (c *Comm) WorldRank() int { return c.ranks[c.rank] }
+
+func (c *Comm) worldOf(local int) int {
+	if local < 0 || local >= len(c.ranks) {
+		panic(fmt.Sprintf("mpi: local rank %d out of communicator of size %d", local, len(c.ranks)))
+	}
+	return c.ranks[local]
+}
+
+// Send delivers data to local rank dst with the given tag. It does not
+// block (buffered semantics).
+func (c *Comm) Send(dst, tag int, data any) {
+	c.world.boxes[c.worldOf(dst)].put(message{
+		src:  c.WorldRank(),
+		tag:  tag ^ c.tagShift,
+		data: data,
+	})
+}
+
+// Recv blocks until a message with the given tag arrives from local rank
+// src, and returns its payload.
+func (c *Comm) Recv(src, tag int) any {
+	msg := c.world.boxes[c.WorldRank()].take(c.worldOf(src), tag^c.tagShift)
+	return msg.data
+}
+
+// SendRecv exchanges payloads with a peer (deadlock-free because Send is
+// buffered), the halo-exchange primitive.
+func (c *Comm) SendRecv(peer, tag int, data any) any {
+	c.Send(peer, tag, data)
+	return c.Recv(peer, tag)
+}
+
+// internal tags for collectives, above any user tag.
+const (
+	tagBarrier = 1 << 28
+	tagBcast   = 1<<28 + 1
+	tagReduce  = 1<<28 + 2
+	tagGather  = 1<<28 + 3
+)
+
+// Barrier blocks until every rank in the communicator has entered it.
+func (c *Comm) Barrier() {
+	// Dissemination barrier: log2(n) rounds.
+	n := c.Size()
+	for dist, round := 1, 0; dist < n; dist, round = dist*2, round+1 {
+		peer := (c.rank + dist) % n
+		from := (c.rank - dist + n*dist) % n
+		c.Send(peer, tagBarrier+round*16, nil)
+		c.Recv(from, tagBarrier+round*16)
+	}
+}
+
+// Bcast distributes root's value to every rank and returns it.
+func (c *Comm) Bcast(root int, data any) any {
+	if c.rank == root {
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.Send(r, tagBcast, data)
+			}
+		}
+		return data
+	}
+	return c.Recv(root, tagBcast)
+}
+
+// ReduceFloats element-wise sums the slices from all ranks onto root.
+// Non-root ranks return nil. All slices must share a length.
+func (c *Comm) ReduceFloats(root int, local []float64) []float64 {
+	if c.rank != root {
+		c.Send(root, tagReduce, local)
+		return nil
+	}
+	sum := make([]float64, len(local))
+	copy(sum, local)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		part := c.Recv(r, tagReduce).([]float64)
+		if len(part) != len(sum) {
+			panic(fmt.Sprintf("mpi: reduce length mismatch %d vs %d", len(part), len(sum)))
+		}
+		for i, v := range part {
+			sum[i] += v
+		}
+	}
+	return sum
+}
+
+// AllreduceFloats element-wise sums slices across all ranks; every rank
+// receives the total. Deterministic: the sum is accumulated in rank order on
+// rank 0 and broadcast, so all ranks see bit-identical results.
+func (c *Comm) AllreduceFloats(local []float64) []float64 {
+	sum := c.ReduceFloats(0, local)
+	out := c.Bcast(0, sum)
+	return out.([]float64)
+}
+
+// AllreduceInt sums one integer across ranks.
+func (c *Comm) AllreduceInt(v int) int {
+	total := c.AllreduceFloats([]float64{float64(v)})
+	return int(total[0])
+}
+
+// Gather collects every rank's payload on root, indexed by local rank.
+// Non-root ranks return nil.
+func (c *Comm) Gather(root int, data any) []any {
+	if c.rank != root {
+		c.Send(root, tagGather, data)
+		return nil
+	}
+	out := make([]any, c.Size())
+	out[root] = data
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		out[r] = c.Recv(r, tagGather)
+	}
+	return out
+}
+
+// Split partitions the communicator by color (like MPI_Comm_split with
+// key = current rank). Ranks passing the same color form a new communicator
+// ordered by their current rank; each caller gets its handle. Collective:
+// every rank of c must call it.
+func (c *Comm) Split(color int) *Comm {
+	// Exchange (color, worldRank) via a gather-and-broadcast on rank 0.
+	type pair struct{ color, world, local int }
+	all := c.Gather(0, pair{color: color, world: c.WorldRank(), local: c.rank})
+	var mine []pair
+	if c.rank == 0 {
+		pairs := make([]pair, len(all))
+		for i, a := range all {
+			pairs[i] = a.(pair)
+		}
+		c.Bcast(0, pairs)
+		mine = pairs
+	} else {
+		mine = c.Bcast(0, nil).([]pair)
+	}
+	var ranks []int
+	for _, p := range mine {
+		if p.color == color {
+			ranks = append(ranks, p.world)
+		}
+	}
+	sort.Ints(ranks)
+	local := -1
+	for i, wr := range ranks {
+		if wr == c.WorldRank() {
+			local = i
+		}
+	}
+	if local < 0 {
+		panic("mpi: split lost own rank")
+	}
+	return &Comm{
+		world: c.world,
+		rank:  local,
+		ranks: ranks,
+		// Namespace by color and parent namespace so sibling communicators
+		// never alias tags.
+		tagShift: c.tagShift ^ ((color + 1) * 65537),
+	}
+}

@@ -1,0 +1,268 @@
+package mpi
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, "hello")
+			if got := c.Recv(1, 8).(int); got != 42 {
+				t.Errorf("rank 0 got %v", got)
+			}
+		} else {
+			if got := c.Recv(0, 7).(string); got != "hello" {
+				t.Errorf("rank 1 got %v", got)
+			}
+			c.Send(0, 8, 42)
+		}
+	})
+}
+
+func TestTagMatching(t *testing.T) {
+	// A receive for tag B must not consume an earlier message with tag A.
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, "first")
+			c.Send(1, 2, "second")
+		} else {
+			if got := c.Recv(0, 2).(string); got != "second" {
+				t.Errorf("tag 2 got %q", got)
+			}
+			if got := c.Recv(0, 1).(string); got != "first" {
+				t.Errorf("tag 1 got %q", got)
+			}
+		}
+	})
+}
+
+func TestFIFOPerSourceAndTag(t *testing.T) {
+	Run(2, func(c *Comm) {
+		const n = 100
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 5, i)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if got := c.Recv(0, 5).(int); got != i {
+					t.Fatalf("message %d arrived as %d", i, got)
+				}
+			}
+		}
+	})
+}
+
+func TestSendRecvExchange(t *testing.T) {
+	Run(2, func(c *Comm) {
+		peer := 1 - c.Rank()
+		got := c.SendRecv(peer, 3, c.Rank()).(int)
+		if got != peer {
+			t.Errorf("rank %d exchanged got %d", c.Rank(), got)
+		}
+	})
+}
+
+func TestBarrierOrdersPhases(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		var before, violations atomic.Int64
+		Run(n, func(c *Comm) {
+			before.Add(1)
+			c.Barrier()
+			if before.Load() != int64(n) {
+				violations.Add(1)
+			}
+		})
+		if violations.Load() != 0 {
+			t.Errorf("n=%d: %d ranks passed the barrier early", n, violations.Load())
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, n := range []int{1, 2, 7} {
+		Run(n, func(c *Comm) {
+			var v any
+			if c.Rank() == 2%n {
+				v = "payload"
+			}
+			got := c.Bcast(2%n, v)
+			if got.(string) != "payload" {
+				t.Errorf("rank %d got %v", c.Rank(), got)
+			}
+		})
+	}
+}
+
+func TestReduceFloats(t *testing.T) {
+	const n = 6
+	Run(n, func(c *Comm) {
+		local := []float64{float64(c.Rank()), 1}
+		sum := c.ReduceFloats(0, local)
+		if c.Rank() == 0 {
+			want0 := float64(n * (n - 1) / 2)
+			if sum[0] != want0 || sum[1] != n {
+				t.Errorf("reduce got %v", sum)
+			}
+		} else if sum != nil {
+			t.Error("non-root received reduction")
+		}
+	})
+}
+
+func TestAllreduceDeterministicAcrossRanks(t *testing.T) {
+	const n = 5
+	results := make([][]float64, n)
+	Run(n, func(c *Comm) {
+		local := []float64{1.0 / float64(c.Rank()+1), math.Pi * float64(c.Rank())}
+		results[c.WorldRank()] = c.AllreduceFloats(local)
+	})
+	for r := 1; r < n; r++ {
+		for i := range results[0] {
+			if results[r][i] != results[0][i] {
+				t.Fatalf("rank %d allreduce differs from rank 0 (bit-level)", r)
+			}
+		}
+	}
+}
+
+func TestAllreduceInt(t *testing.T) {
+	Run(4, func(c *Comm) {
+		if got := c.AllreduceInt(c.Rank() + 1); got != 10 {
+			t.Errorf("AllreduceInt = %d", got)
+		}
+	})
+}
+
+func TestGather(t *testing.T) {
+	const n = 4
+	Run(n, func(c *Comm) {
+		got := c.Gather(1, c.Rank()*10)
+		if c.Rank() == 1 {
+			for r := 0; r < n; r++ {
+				if got[r].(int) != r*10 {
+					t.Errorf("gather[%d] = %v", r, got[r])
+				}
+			}
+		} else if got != nil {
+			t.Error("non-root received gather")
+		}
+	})
+}
+
+func TestSplitHalves(t *testing.T) {
+	const n = 7
+	var mu sync.Mutex
+	sizes := map[int][]int{}
+	Run(n, func(c *Comm) {
+		color := 0
+		if c.Rank() >= (n+1)/2 {
+			color = 1
+		}
+		sub := c.Split(color)
+		mu.Lock()
+		sizes[color] = append(sizes[color], sub.Size())
+		mu.Unlock()
+		// Communication inside the sub-communicator must work.
+		got := sub.Bcast(0, func() any {
+			if sub.Rank() == 0 {
+				return color * 100
+			}
+			return nil
+		}())
+		if got.(int) != color*100 {
+			t.Errorf("sub bcast got %v in color %d", got, color)
+		}
+	})
+	if len(sizes[0]) != 4 || len(sizes[1]) != 3 {
+		t.Errorf("split sizes: %v", sizes)
+	}
+	for _, s := range sizes[0] {
+		if s != 4 {
+			t.Errorf("color 0 size %d, want 4", s)
+		}
+	}
+	for _, s := range sizes[1] {
+		if s != 3 {
+			t.Errorf("color 1 size %d, want 3", s)
+		}
+	}
+}
+
+func TestRecursiveSplitToSingletons(t *testing.T) {
+	// The k-d partition's pattern: split until every communicator has one
+	// rank, with non-power-of-two sizes at every level.
+	const n = 11
+	var reached atomic.Int64
+	Run(n, func(c *Comm) {
+		comm := c
+		for comm.Size() > 1 {
+			half := (comm.Size() + 1) / 2
+			color := 0
+			if comm.Rank() >= half {
+				color = 1
+			}
+			comm = comm.Split(color)
+			comm.Barrier() // exercise collectives at every level
+		}
+		reached.Add(1)
+	})
+	if reached.Load() != n {
+		t.Errorf("%d ranks reached singleton, want %d", reached.Load(), n)
+	}
+}
+
+func TestSiblingCommunicatorsDoNotInterfere(t *testing.T) {
+	// Two sibling sub-communicators exchange internally with identical tags
+	// concurrently; payloads must not cross.
+	const n = 8
+	Run(n, func(c *Comm) {
+		color := c.Rank() % 2
+		sub := c.Split(color)
+		peer := sub.Rank() ^ 1
+		sent := color*1000 + sub.Rank()
+		got := sub.SendRecv(peer, 9, sent).(int)
+		want := color*1000 + peer
+		if got != want {
+			t.Errorf("world rank %d: got %d, want %d", c.WorldRank(), got, want)
+		}
+	})
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic to propagate from rank")
+		}
+	}()
+	Run(3, func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("rank failure")
+		}
+	})
+}
+
+func TestWorldSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for size 0")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestSingleRankCollectives(t *testing.T) {
+	Run(1, func(c *Comm) {
+		c.Barrier()
+		if got := c.Bcast(0, 5).(int); got != 5 {
+			t.Error("singleton bcast")
+		}
+		if got := c.AllreduceFloats([]float64{3}); got[0] != 3 {
+			t.Error("singleton allreduce")
+		}
+	})
+}

@@ -1,0 +1,217 @@
+// Package partition implements the multi-node decomposition of Sec. 3.2: a
+// parallel k-d tree partitioning that recursively splits MPI ranks into two
+// sub-communicators of nearly equal (not necessarily power-of-two) sizes and
+// divides galaxies in proportion to the sub-communicator sizes, followed by
+// a halo exchange that ships every galaxy within Rmax of a rank's subdomain
+// boundary to that rank — eliminating all communication during the 3PCF
+// evaluation itself.
+//
+// One deliberate mechanical substitution (documented in DESIGN.md): after
+// the recursive distribution, subdomain boxes are allgathered and each rank
+// selects boundary galaxies per target box directly, instead of replaying
+// the tree branch by branch. The paper itself notes the irregular
+// partitioning "prevents a priori computation of a process's neighbor list";
+// the box-based exchange produces exactly the halo set the tree replay
+// produces, including periodic images (halo copies are shipped with
+// image-shifted coordinates so each rank computes in open boundaries).
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"galactos/internal/catalog"
+	"galactos/internal/geom"
+	"galactos/internal/mpi"
+)
+
+// Domain is one rank's share of the problem after partitioning and halo
+// exchange.
+type Domain struct {
+	// Box is the rank's owned subdomain (half-open).
+	Box geom.Box
+	// Local contains the owned galaxies followed by the halo copies. It
+	// uses open boundaries: periodic wrap has been materialized into
+	// image-shifted halo coordinates.
+	Local *catalog.Catalog
+	// Primary marks the owned galaxies within Local (the halo copies are
+	// secondaries only, per Sec. 3.3).
+	Primary []bool
+	// NOwned and NHalo count owned galaxies and halo copies.
+	NOwned, NHalo int
+}
+
+// Distribute partitions cat (significant on rank 0 only) across the
+// communicator and performs the halo exchange for cutoff rmax. Every rank
+// receives its Domain. Collective: all ranks of comm must call it.
+func Distribute(comm *mpi.Comm, cat *catalog.Catalog, rmax float64) (*Domain, error) {
+	const (
+		tagMeta = 100
+		tagData = 101
+		tagHalo = 200
+	)
+	// Rank 0 broadcasts the global geometry.
+	type meta struct {
+		BoxL float64
+		Root geom.Box
+		N    int
+	}
+	var m meta
+	if comm.Rank() == 0 {
+		if cat == nil {
+			return nil, fmt.Errorf("partition: rank 0 must provide the catalog")
+		}
+		root := cat.Bounds()
+		if cat.Box.L > 0 {
+			root = geom.Box{Min: geom.Vec3{}, Max: geom.Vec3{X: cat.Box.L, Y: cat.Box.L, Z: cat.Box.L}}
+			if rmax >= cat.Box.L/2 {
+				return nil, fmt.Errorf("partition: rmax %v must be below half the periodic box %v", rmax, cat.Box.L)
+			}
+		}
+		m = meta{BoxL: cat.Box.L, Root: root, N: cat.Len()}
+		comm.Bcast(0, m)
+	} else {
+		m = comm.Bcast(0, nil).(meta)
+	}
+	periodic := geom.Periodic{L: m.BoxL}
+
+	// Recursive distribution. The leader (local rank 0) of each group holds
+	// the group's galaxies; at each level it cuts along the widest axis of
+	// the group's region, in proportion to the sub-communicator sizes, and
+	// ships the upper part to the leader of the upper sub-communicator.
+	var galaxies []catalog.Galaxy
+	if comm.Rank() == 0 {
+		galaxies = make([]catalog.Galaxy, cat.Len())
+		copy(galaxies, cat.Galaxies)
+	}
+	region := m.Root
+	cur := comm
+	for cur.Size() > 1 {
+		szL := (cur.Size() + 1) / 2 // ceil(n/2): the paper's relaxation of
+		// the perfect-binary-tree constraint, enabling 9636 nodes.
+		type cutMsg struct {
+			Region geom.Box
+			Gals   []catalog.Galaxy
+		}
+		if cur.Rank() == 0 {
+			axis := region.WidestAxis()
+			nLeft := int(math.Round(float64(len(galaxies)) * float64(szL) / float64(cur.Size())))
+			if nLeft > len(galaxies) {
+				nLeft = len(galaxies)
+			}
+			cut := selectCut(galaxies, axis, nLeft, region)
+			left, right := region, region
+			left.Max = left.Max.WithComponent(axis, cut)
+			right.Min = right.Min.WithComponent(axis, cut)
+			cur.Send(szL, tagData, cutMsg{Region: right, Gals: galaxies[nLeft:]})
+			galaxies = galaxies[:nLeft]
+			region = left
+		} else if cur.Rank() == szL {
+			msg := cur.Recv(0, tagData).(cutMsg)
+			region = msg.Region
+			galaxies = msg.Gals
+		}
+		color := 0
+		if cur.Rank() >= szL {
+			color = 1
+		}
+		cur = cur.Split(color)
+		// Non-leaders of a group carry no galaxies yet; their region is
+		// refined when they become leaders. Broadcast the group's region so
+		// every member tracks it for the next level.
+		region = cur.Bcast(0, region).(geom.Box)
+	}
+
+	// Every rank now owns `galaxies` within `region`.
+	dom := &Domain{Box: region, NOwned: len(galaxies)}
+
+	// Allgather subdomain boxes for the halo exchange.
+	boxesAny := comm.Gather(0, region)
+	var boxes []geom.Box
+	if comm.Rank() == 0 {
+		boxes = make([]geom.Box, comm.Size())
+		for i, b := range boxesAny {
+			boxes[i] = b.(geom.Box)
+		}
+		comm.Bcast(0, boxes)
+	} else {
+		boxes = comm.Bcast(0, nil).([]geom.Box)
+	}
+
+	// Halo selection: for every target rank and every periodic image, ship
+	// owned galaxies whose image lies within rmax of the target box. The
+	// image shift is baked into the shipped coordinates. For the rank's own
+	// box only nonzero images matter (periodic self-halo).
+	images := periodic.Images(rmax)
+	for dst := 0; dst < comm.Size(); dst++ {
+		var out []catalog.Galaxy
+		for _, off := range images {
+			selfZero := dst == comm.Rank() && off == (geom.Vec3{})
+			if selfZero {
+				continue
+			}
+			for _, g := range galaxies {
+				p := g.Pos.Add(off)
+				if pointBoxDist(p, boxes[dst]) <= rmax {
+					out = append(out, catalog.Galaxy{Pos: p, Weight: g.Weight})
+				}
+			}
+		}
+		comm.Send(dst, tagHalo, out)
+	}
+	var halo []catalog.Galaxy
+	for src := 0; src < comm.Size(); src++ {
+		part := comm.Recv(src, tagHalo).([]catalog.Galaxy)
+		halo = append(halo, part...)
+	}
+	dom.NHalo = len(halo)
+
+	local := &catalog.Catalog{} // open boundaries by construction
+	local.Galaxies = make([]catalog.Galaxy, 0, len(galaxies)+len(halo))
+	local.Galaxies = append(local.Galaxies, galaxies...)
+	local.Galaxies = append(local.Galaxies, halo...)
+	dom.Local = local
+	dom.Primary = make([]bool, local.Len())
+	for i := 0; i < dom.NOwned; i++ {
+		dom.Primary[i] = true
+	}
+	return dom, nil
+}
+
+// selectCut orders galaxies[0:n) below galaxies[n:) along axis (in place)
+// and returns the cut coordinate. Sorting keeps the implementation simple
+// and deterministic; setup cost is dwarfed by the O(N^2) main computation.
+func selectCut(gals []catalog.Galaxy, axis, n int, region geom.Box) float64 {
+	sort.Slice(gals, func(i, j int) bool {
+		return gals[i].Pos.Component(axis) < gals[j].Pos.Component(axis)
+	})
+	switch {
+	case len(gals) == 0:
+		return (region.Min.Component(axis) + region.Max.Component(axis)) / 2
+	case n <= 0:
+		return region.Min.Component(axis)
+	case n >= len(gals):
+		return region.Max.Component(axis)
+	default:
+		// Midpoint between the last kept and first shipped galaxy keeps the
+		// cut strictly separating.
+		return (gals[n-1].Pos.Component(axis) + gals[n].Pos.Component(axis)) / 2
+	}
+}
+
+// pointBoxDist returns the Euclidean distance from p to box (0 inside).
+func pointBoxDist(p geom.Vec3, b geom.Box) float64 {
+	d2 := 0.0
+	for axis := 0; axis < 3; axis++ {
+		c := p.Component(axis)
+		lo := b.Min.Component(axis)
+		hi := b.Max.Component(axis)
+		if c < lo {
+			d2 += (lo - c) * (lo - c)
+		} else if c > hi {
+			d2 += (c - hi) * (c - hi)
+		}
+	}
+	return math.Sqrt(d2)
+}

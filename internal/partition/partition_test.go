@@ -1,0 +1,281 @@
+package partition
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"galactos/internal/catalog"
+	"galactos/internal/core"
+	"galactos/internal/geom"
+	"galactos/internal/mpi"
+)
+
+func testConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.RMax = 40
+	cfg.NBins = 4
+	cfg.LMax = 3
+	cfg.Workers = 2
+	cfg.BucketSize = 32
+	return cfg
+}
+
+func TestDistributeConservesGalaxies(t *testing.T) {
+	for _, nranks := range []int{1, 2, 3, 5, 8} {
+		cat := catalog.Clustered(1200, 200, catalog.DefaultClusterParams(), 17)
+		var mu sync.Mutex
+		totalOwned := 0
+		balances := []int{}
+		mpi.Run(nranks, func(c *mpi.Comm) {
+			var in *catalog.Catalog
+			if c.Rank() == 0 {
+				in = cat
+			}
+			dom, err := Distribute(c, in, 40)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			totalOwned += dom.NOwned
+			balances = append(balances, dom.NOwned)
+			mu.Unlock()
+			// Every owned galaxy must lie in the rank's box.
+			for i := 0; i < dom.NOwned; i++ {
+				p := dom.Local.Galaxies[i].Pos
+				if pointBoxDist(p, dom.Box) > 1e-9 {
+					t.Errorf("rank %d owns galaxy at %v outside box %v", c.Rank(), p, dom.Box)
+					return
+				}
+			}
+		})
+		if totalOwned != cat.Len() {
+			t.Errorf("nranks=%d: owned %d galaxies total, want %d", nranks, totalOwned, cat.Len())
+		}
+		// Load balance: the k-d split balances primaries within a factor ~2.
+		min, max := balances[0], balances[0]
+		for _, b := range balances {
+			if b < min {
+				min = b
+			}
+			if b > max {
+				max = b
+			}
+		}
+		if min == 0 || float64(max)/float64(min) > 2.5 {
+			t.Errorf("nranks=%d: primary balance %d..%d too skewed", nranks, min, max)
+		}
+	}
+}
+
+func TestHaloContainsAllNeededSecondaries(t *testing.T) {
+	// For every rank and every owned primary, the local catalog must contain
+	// every galaxy of the global (periodic) catalog within rmax.
+	cat := catalog.Uniform(600, 150, 23)
+	const rmax = 30.0
+	mpi.Run(4, func(c *mpi.Comm) {
+		var in *catalog.Catalog
+		if c.Rank() == 0 {
+			in = cat
+		}
+		dom, err := Distribute(c, in, rmax)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < dom.NOwned; i++ {
+			p := dom.Local.Galaxies[i].Pos
+			// Count neighbors in the global periodic catalog.
+			want := 0
+			for _, g := range cat.Galaxies {
+				d := cat.Box.Separation(p, g.Pos).Norm()
+				if d > 0 && d < rmax {
+					want++
+				}
+			}
+			// Count neighbors in the local open-boundary catalog.
+			got := 0
+			for j, g := range dom.Local.Galaxies {
+				if j == i {
+					continue
+				}
+				d := g.Pos.Sub(p).Norm()
+				if d > 0 && d < rmax {
+					got++
+				}
+			}
+			if got != want {
+				t.Errorf("rank %d primary %d: %d local neighbors, want %d", c.Rank(), i, got, want)
+				return
+			}
+		}
+	})
+}
+
+func TestDistributedMatchesSingleNode(t *testing.T) {
+	// The headline property of Sec. 3.2: the distributed computation must
+	// reproduce the single-node result after the final reduction.
+	cat := catalog.Clustered(900, 180, catalog.DefaultClusterParams(), 31)
+	cfg := testConfig()
+	single, err := core.Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := single.MaxAbs()
+	for _, nranks := range []int{1, 2, 3, 6} {
+		var got *core.Result
+		mpi.Run(nranks, func(c *mpi.Comm) {
+			var in *catalog.Catalog
+			if c.Rank() == 0 {
+				in = cat
+			}
+			res, _, err := ComputeDistributed(c, in, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if c.Rank() == 0 {
+				got = res
+			}
+		})
+		if got == nil {
+			t.Fatalf("nranks=%d: no result on rank 0", nranks)
+		}
+		if got.NPrimaries != single.NPrimaries {
+			t.Errorf("nranks=%d: %d primaries, want %d", nranks, got.NPrimaries, single.NPrimaries)
+		}
+		if got.Pairs != single.Pairs {
+			t.Errorf("nranks=%d: %d pairs, want %d", nranks, got.Pairs, single.Pairs)
+		}
+		if math.Abs(got.SumWeight-single.SumWeight) > 1e-9*math.Abs(single.SumWeight) {
+			t.Errorf("nranks=%d: weight %v, want %v", nranks, got.SumWeight, single.SumWeight)
+		}
+		if d := got.MaxAbsDiff(single); d > 1e-9*scale {
+			t.Errorf("nranks=%d: distributed differs from single node by %v (scale %v)", nranks, d, scale)
+		}
+	}
+}
+
+func TestDistributedMatchesSingleNodeNonPowerOfTwo(t *testing.T) {
+	// The paper's specific contribution: 9636 is not a power of two. Verify
+	// odd and prime rank counts.
+	cat := catalog.Uniform(500, 160, 37)
+	cfg := testConfig()
+	single, err := core.Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nranks := range []int{5, 7, 11} {
+		var got *core.Result
+		mpi.Run(nranks, func(c *mpi.Comm) {
+			var in *catalog.Catalog
+			if c.Rank() == 0 {
+				in = cat
+			}
+			res, stats, err := ComputeDistributed(c, in, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if c.Rank() == 0 {
+				got = res
+				if len(stats) != nranks {
+					t.Errorf("stats for %d ranks, want %d", len(stats), nranks)
+				}
+			}
+		})
+		if got == nil {
+			t.Fatalf("nranks=%d: no result", nranks)
+		}
+		if d := got.MaxAbsDiff(single); d > 1e-9*single.MaxAbs() {
+			t.Errorf("nranks=%d: mismatch %v", nranks, d)
+		}
+	}
+}
+
+func TestDistributedOpenBoundaries(t *testing.T) {
+	// Survey-like geometry: open boundaries, radial line of sight.
+	cat := catalog.Uniform(400, 150, 41)
+	cat.Box = geom.Periodic{}
+	cfg := testConfig()
+	cfg.LOS = core.LOSRadial
+	cfg.Observer = geom.Vec3{X: -400, Y: -400, Z: -400}
+	single, err := core.Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *core.Result
+	mpi.Run(3, func(c *mpi.Comm) {
+		var in *catalog.Catalog
+		if c.Rank() == 0 {
+			in = cat
+		}
+		res, _, err := ComputeDistributed(c, in, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 0 {
+			got = res
+		}
+	})
+	if got == nil {
+		t.Fatal("no result")
+	}
+	if d := got.MaxAbsDiff(single); d > 1e-9*single.MaxAbs() {
+		t.Errorf("open-boundary distributed mismatch %v", d)
+	}
+}
+
+func TestDistributeRejectsMissingCatalog(t *testing.T) {
+	mpi.Run(1, func(c *mpi.Comm) {
+		if _, err := Distribute(c, nil, 10); err == nil {
+			t.Error("nil catalog accepted on rank 0")
+		}
+	})
+}
+
+func TestDistributeRejectsOversizedRmax(t *testing.T) {
+	cat := catalog.Uniform(100, 100, 1)
+	mpi.Run(1, func(c *mpi.Comm) {
+		if _, err := Distribute(c, cat, 60); err == nil {
+			t.Error("rmax >= L/2 accepted")
+		}
+	})
+}
+
+func TestPointBoxDist(t *testing.T) {
+	b := geom.Box{Min: geom.Vec3{X: 0, Y: 0, Z: 0}, Max: geom.Vec3{X: 10, Y: 10, Z: 10}}
+	cases := []struct {
+		p    geom.Vec3
+		want float64
+	}{
+		{geom.Vec3{X: 5, Y: 5, Z: 5}, 0},
+		{geom.Vec3{X: 15, Y: 5, Z: 5}, 5},
+		{geom.Vec3{X: -3, Y: -4, Z: 5}, 5},
+		{geom.Vec3{X: 13, Y: 14, Z: 10}, 5},
+	}
+	for _, c := range cases {
+		if got := pointBoxDist(c.p, b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("pointBoxDist(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	cat := catalog.Uniform(150, 150, 43)
+	res, err := core.Compute(cat, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := flattenResult(res)
+	back := core.NewResult(res.LMax, res.Bins)
+	unflattenResult(flat, back)
+	if back.NPrimaries != res.NPrimaries || back.Pairs != res.Pairs {
+		t.Error("counters lost in round trip")
+	}
+	if d := back.MaxAbsDiff(res); d != 0 {
+		t.Errorf("channels changed by %v", d)
+	}
+}

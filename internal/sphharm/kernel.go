@@ -1,0 +1,174 @@
+package sphharm
+
+// The multipole accumulation kernel (Sec. 3.3 of the paper). The dominant
+// cost of Galactos is accumulating, for each galaxy pair, the 286 (at l=10)
+// weighted power combinations (dx/r)^k (dy/r)^p (dz/r)^q into the radial
+// bin's monomial sums. The paper vectorizes this over *pairs* (not over
+// monomials), processes pairs in buckets sized to fill the vector registers,
+// and keeps an 8-element sub-accumulator per monomial so that N/8 vector
+// reductions collapse into a single reduction per primary (Sec. 3.3.2).
+//
+// This implementation mirrors that structure exactly:
+//
+//   - separations are stored structure-of-arrays (contiguous dx, dy, dz
+//     slices — the data-locality layout of Sec. 3.3.3);
+//   - the kernel walks monomials in the canonical (k, p, q) order, deriving
+//     each value from the previous by a single multiply on a running-product
+//     array, so the per-pair cost is 2 flops per monomial (1 mul + 1 add),
+//     i.e. 572 flops/pair at l = 10 versus the paper's 576 count;
+//   - each monomial accumulates into Lanes (=8) interleaved partial sums,
+//     folded once per primary by Reduce.
+
+// Lanes is the sub-accumulator width: 8 float64 values fill one 512-bit
+// vector register on the paper's Xeon Phi target.
+const Lanes = 8
+
+// FlopsPerPair returns the kernel's floating-point cost model per galaxy
+// pair at maximum order l: one multiply and one add per monomial. The paper
+// quotes 286*2 = 576 (rounding up for the bucket-management overhead); the
+// exact recurrence count is 2*MonomialCount(l).
+func FlopsPerPair(l int) int { return 2 * MonomialCount(l) }
+
+// Kernel accumulates monomial sums over pair buckets for a fixed maximum
+// order. A Kernel is owned by a single worker (thread): it carries scratch
+// buffers and is not safe for concurrent use. Accumulators live outside the
+// kernel (one per radial bin) so one kernel serves all bins.
+type Kernel struct {
+	Table *MonomialTable
+	cap   int
+	xk    []float64 // running w * x^k per pair
+	xy    []float64 // running w * x^k * y^p per pair
+	cur   []float64 // running w * x^k * y^p * z^q per pair
+}
+
+// NewKernel returns a kernel for monomial table t handling buckets of at
+// most bucketCap pairs.
+func NewKernel(t *MonomialTable, bucketCap int) *Kernel {
+	if bucketCap <= 0 {
+		panic("sphharm: bucket capacity must be positive")
+	}
+	return &Kernel{
+		Table: t,
+		cap:   bucketCap,
+		xk:    make([]float64, bucketCap),
+		xy:    make([]float64, bucketCap),
+		cur:   make([]float64, bucketCap),
+	}
+}
+
+// AccumulatorLen returns the length of the lane-striped accumulator slice
+// required by Accumulate for table t: one group of Lanes values per monomial.
+func AccumulatorLen(t *MonomialTable) int { return t.Len() * Lanes }
+
+// Accumulate adds the weighted power combinations of a bucket of pairs into
+// the lane-striped accumulator acc (length AccumulatorLen(Table)). xs, ys,
+// zs hold the scaled separations (dx/r etc., so x^2+y^2+z^2 = 1 per pair)
+// and ws the pair weights; all four must share a length <= the bucket
+// capacity.
+func (k *Kernel) Accumulate(xs, ys, zs, ws []float64, acc []float64) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	if len(ys) != n || len(zs) != n || len(ws) != n {
+		panic("sphharm: bucket slice length mismatch")
+	}
+	if n > k.cap {
+		panic("sphharm: bucket exceeds kernel capacity")
+	}
+	if len(acc) != AccumulatorLen(k.Table) {
+		panic("sphharm: accumulator length mismatch")
+	}
+	l := k.Table.L
+	xk := k.xk[:n]
+	xy := k.xy[:n]
+	cur := k.cur[:n]
+	copy(xk, ws)
+
+	i := 0
+	for kk := 0; kk <= l; kk++ {
+		if kk > 0 {
+			for j := range xk {
+				xk[j] *= xs[j]
+			}
+		}
+		copy(xy, xk)
+		for p := 0; p <= l-kk; p++ {
+			if p > 0 {
+				for j := range xy {
+					xy[j] *= ys[j]
+				}
+			}
+			copy(cur, xy)
+			a := acc[i*Lanes : i*Lanes+Lanes]
+			for j := 0; j < n; j++ {
+				a[j&(Lanes-1)] += cur[j]
+			}
+			i++
+			for q := 1; q <= l-kk-p; q++ {
+				a := acc[i*Lanes : i*Lanes+Lanes]
+				for j := 0; j < n; j++ {
+					cur[j] *= zs[j]
+					a[j&(Lanes-1)] += cur[j]
+				}
+				i++
+			}
+		}
+	}
+}
+
+// AccumulateScalar is the straightforward per-pair reference implementation
+// (no bucketing, no lane striping). It writes plain monomial sums into m
+// (length Table.Len()). Used to validate Accumulate and in the
+// pre-binning/post-binning ablation benchmark.
+func (k *Kernel) AccumulateScalar(xs, ys, zs, ws []float64, m []float64) {
+	if len(m) != k.Table.Len() {
+		panic("sphharm: monomial sum length mismatch")
+	}
+	l := k.Table.L
+	for j := range xs {
+		x, y, z, w := xs[j], ys[j], zs[j], ws[j]
+		i := 0
+		xk := w
+		for kk := 0; kk <= l; kk++ {
+			xy := xk
+			for p := 0; p <= l-kk; p++ {
+				cur := xy
+				m[i] += cur
+				i++
+				for q := 1; q <= l-kk-p; q++ {
+					cur *= z
+					m[i] += cur
+					i++
+				}
+				xy *= y
+			}
+			xk *= x
+		}
+	}
+}
+
+// Reduce folds a lane-striped accumulator into plain monomial sums: the
+// single reduction per primary that replaces N/8 in-loop reductions
+// (Sec. 3.3.2). out must have length Table.Len(); it is overwritten.
+func Reduce(acc []float64, out []float64) {
+	if len(acc) != len(out)*Lanes {
+		panic("sphharm: Reduce length mismatch")
+	}
+	for i := range out {
+		a := acc[i*Lanes : i*Lanes+Lanes]
+		// Pairwise tree reduction, matching a vector fold.
+		s01 := a[0] + a[1]
+		s23 := a[2] + a[3]
+		s45 := a[4] + a[5]
+		s67 := a[6] + a[7]
+		out[i] = (s01 + s23) + (s45 + s67)
+	}
+}
+
+// Zero clears a lane-striped accumulator in place.
+func Zero(acc []float64) {
+	for i := range acc {
+		acc[i] = 0
+	}
+}

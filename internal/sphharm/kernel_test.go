@@ -1,0 +1,245 @@
+package sphharm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMonomialCount(t *testing.T) {
+	cases := []struct{ l, want int }{
+		{0, 1}, {1, 4}, {2, 10}, {3, 20}, {10, 286},
+	}
+	for _, c := range cases {
+		if got := MonomialCount(c.l); got != c.want {
+			t.Errorf("MonomialCount(%d) = %d, want %d", c.l, got, c.want)
+		}
+	}
+}
+
+func TestMonomialTableOrderAndIndex(t *testing.T) {
+	tab := NewMonomialTable(5)
+	if tab.Len() != MonomialCount(5) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), MonomialCount(5))
+	}
+	for i := 0; i < tab.Len(); i++ {
+		k, p, q := int(tab.K[i]), int(tab.P[i]), int(tab.Q[i])
+		if k+p+q > 5 {
+			t.Fatalf("monomial %d has total order %d", i, k+p+q)
+		}
+		if tab.Index(k, p, q) != i {
+			t.Fatalf("Index(%d,%d,%d) = %d, want %d", k, p, q, tab.Index(k, p, q), i)
+		}
+	}
+}
+
+func TestMonomialIndexPanicsOutOfRange(t *testing.T) {
+	tab := NewMonomialTable(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range monomial")
+		}
+	}()
+	tab.Index(2, 2, 2)
+}
+
+func TestMonomialEvaluate(t *testing.T) {
+	tab := NewMonomialTable(6)
+	out := make([]float64, tab.Len())
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		x, y, z := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		tab.Evaluate(x, y, z, out)
+		for i := range out {
+			want := math.Pow(x, float64(tab.K[i])) * math.Pow(y, float64(tab.P[i])) * math.Pow(z, float64(tab.Q[i]))
+			if math.Abs(out[i]-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("monomial %d (%d,%d,%d) = %v, want %v",
+					i, tab.K[i], tab.P[i], tab.Q[i], out[i], want)
+			}
+		}
+	}
+}
+
+// directSums computes monomial sums the obvious O(n * len) way with math.Pow.
+func directSums(tab *MonomialTable, xs, ys, zs, ws []float64) []float64 {
+	out := make([]float64, tab.Len())
+	for j := range xs {
+		for i := range out {
+			out[i] += ws[j] *
+				math.Pow(xs[j], float64(tab.K[i])) *
+				math.Pow(ys[j], float64(tab.P[i])) *
+				math.Pow(zs[j], float64(tab.Q[i]))
+		}
+	}
+	return out
+}
+
+func randBucket(rng *rand.Rand, n int) (xs, ys, zs, ws []float64) {
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	zs = make([]float64, n)
+	ws = make([]float64, n)
+	for j := 0; j < n; j++ {
+		x, y, z := randUnit(rng)
+		xs[j], ys[j], zs[j] = x, y, z
+		ws[j] = rng.Float64()*2 - 0.5 // include negative weights (randoms)
+	}
+	return
+}
+
+func TestKernelAccumulateMatchesDirect(t *testing.T) {
+	const L = 10
+	tab := NewMonomialTable(L)
+	k := NewKernel(tab, 128)
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{1, 2, 7, 8, 9, 64, 127, 128} {
+		xs, ys, zs, ws := randBucket(rng, n)
+		acc := make([]float64, AccumulatorLen(tab))
+		k.Accumulate(xs, ys, zs, ws, acc)
+		got := make([]float64, tab.Len())
+		Reduce(acc, got)
+		want := directSums(tab, xs, ys, zs, ws)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d monomial %d: %v vs %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestKernelScalarMatchesBucketed(t *testing.T) {
+	const L = 8
+	tab := NewMonomialTable(L)
+	k := NewKernel(tab, 64)
+	rng := rand.New(rand.NewSource(16))
+	xs, ys, zs, ws := randBucket(rng, 64)
+
+	acc := make([]float64, AccumulatorLen(tab))
+	k.Accumulate(xs, ys, zs, ws, acc)
+	bucketed := make([]float64, tab.Len())
+	Reduce(acc, bucketed)
+
+	scalar := make([]float64, tab.Len())
+	k.AccumulateScalar(xs, ys, zs, ws, scalar)
+
+	for i := range scalar {
+		if math.Abs(scalar[i]-bucketed[i]) > 1e-10*(1+math.Abs(scalar[i])) {
+			t.Fatalf("monomial %d: scalar %v vs bucketed %v", i, scalar[i], bucketed[i])
+		}
+	}
+}
+
+func TestKernelAccumulateIsAdditive(t *testing.T) {
+	// Accumulating two buckets into one accumulator equals accumulating
+	// their concatenation: the property the bucket-flushing machinery
+	// relies on (Sec. 3.3.1).
+	const L = 6
+	tab := NewMonomialTable(L)
+	k := NewKernel(tab, 256)
+	rng := rand.New(rand.NewSource(61))
+	xs, ys, zs, ws := randBucket(rng, 200)
+
+	accSplit := make([]float64, AccumulatorLen(tab))
+	k.Accumulate(xs[:77], ys[:77], zs[:77], ws[:77], accSplit)
+	k.Accumulate(xs[77:], ys[77:], zs[77:], ws[77:], accSplit)
+	split := make([]float64, tab.Len())
+	Reduce(accSplit, split)
+
+	accAll := make([]float64, AccumulatorLen(tab))
+	k.Accumulate(xs, ys, zs, ws, accAll)
+	all := make([]float64, tab.Len())
+	Reduce(accAll, all)
+
+	for i := range all {
+		if math.Abs(all[i]-split[i]) > 1e-9*(1+math.Abs(all[i])) {
+			t.Fatalf("monomial %d: split %v vs whole %v", i, split[i], all[i])
+		}
+	}
+}
+
+func TestKernelEmptyBucketNoop(t *testing.T) {
+	tab := NewMonomialTable(4)
+	k := NewKernel(tab, 16)
+	acc := make([]float64, AccumulatorLen(tab))
+	k.Accumulate(nil, nil, nil, nil, acc)
+	for i, v := range acc {
+		if v != 0 {
+			t.Fatalf("accumulator touched at %d: %v", i, v)
+		}
+	}
+}
+
+func TestKernelPanicsOnMismatch(t *testing.T) {
+	tab := NewMonomialTable(4)
+	k := NewKernel(tab, 16)
+	acc := make([]float64, AccumulatorLen(tab))
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("length mismatch", func() {
+		k.Accumulate(make([]float64, 3), make([]float64, 2), make([]float64, 3), make([]float64, 3), acc)
+	})
+	mustPanic("over capacity", func() {
+		n := 17
+		k.Accumulate(make([]float64, n), make([]float64, n), make([]float64, n), make([]float64, n), acc)
+	})
+	mustPanic("bad accumulator", func() {
+		k.Accumulate(make([]float64, 3), make([]float64, 3), make([]float64, 3), make([]float64, 3), acc[:5])
+	})
+}
+
+func TestZero(t *testing.T) {
+	acc := []float64{1, 2, 3}
+	Zero(acc)
+	for _, v := range acc {
+		if v != 0 {
+			t.Fatal("Zero did not clear accumulator")
+		}
+	}
+}
+
+func TestFlopsPerPair(t *testing.T) {
+	if got := FlopsPerPair(10); got != 572 {
+		t.Errorf("FlopsPerPair(10) = %d, want 572", got)
+	}
+}
+
+func TestAlmFromKernelMatchesPointwise(t *testing.T) {
+	// End-to-end: kernel monomial sums -> Alm must equal the sum of
+	// pointwise Y_lm over the bucket. This is the identity the whole
+	// algorithm rests on: a_lm = sum_i w_i Y_lm(rhat_i).
+	const L = 10
+	mono := NewMonomialTable(L)
+	ytab := NewYlmTable(L, mono)
+	k := NewKernel(mono, 128)
+	rng := rand.New(rand.NewSource(30))
+	xs, ys, zs, ws := randBucket(rng, 100)
+
+	acc := make([]float64, AccumulatorLen(mono))
+	k.Accumulate(xs, ys, zs, ws, acc)
+	sums := make([]float64, mono.Len())
+	Reduce(acc, sums)
+	got := make([]complex128, PairCount(L))
+	ytab.Alm(sums, got)
+
+	want := make([]complex128, PairCount(L))
+	scratch := make([]float64, mono.Len())
+	point := make([]complex128, PairCount(L))
+	for j := range xs {
+		ytab.EvalPoint(xs[j], ys[j], zs[j], scratch, point)
+		for i := range want {
+			want[i] += complex(ws[j], 0) * point[i]
+		}
+	}
+	for i := range got {
+		d := got[i] - want[i]
+		if math.Hypot(real(d), imag(d)) > 1e-9*(1+math.Hypot(real(want[i]), imag(want[i]))) {
+			t.Fatalf("a_lm[%d]: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package sphharm implements the spherical-harmonic machinery at the heart
+// of the Galactos O(N^2) algorithm (Sec. 3.1 and 3.3 of the paper): monomial
+// power-combination tables, associated Legendre polynomials, the expansion of
+// complex Y_lm as polynomials in the scaled separations (dx/r, dy/r, dz/r),
+// the bucketed multipole-accumulation kernel, and conversion from monomial
+// sums to spherical-harmonic coefficients a_lm.
+package sphharm
+
+import "fmt"
+
+// MonomialCount returns the number of monomials x^k y^p z^q with
+// k+p+q <= l, which is binomial(l+3, 3) = (l+1)(l+2)(l+3)/6.
+// For l = 10 this is the paper's 286 unique contributions per galaxy pair.
+func MonomialCount(l int) int {
+	return (l + 1) * (l + 2) * (l + 3) / 6
+}
+
+// MonomialTable enumerates the monomials x^k y^p z^q with k+p+q <= L in a
+// fixed canonical order (k outer, p middle, q inner). The accumulation
+// kernel and the Y_lm coefficient tables share this ordering.
+type MonomialTable struct {
+	L     int
+	K     []int8 // exponent of x per monomial
+	P     []int8 // exponent of y per monomial
+	Q     []int8 // exponent of z per monomial
+	index map[[3]int8]int
+}
+
+// NewMonomialTable builds the table for maximum total order l (l >= 0).
+func NewMonomialTable(l int) *MonomialTable {
+	if l < 0 {
+		panic(fmt.Sprintf("sphharm: negative multipole order %d", l))
+	}
+	n := MonomialCount(l)
+	t := &MonomialTable{
+		L:     l,
+		K:     make([]int8, 0, n),
+		P:     make([]int8, 0, n),
+		Q:     make([]int8, 0, n),
+		index: make(map[[3]int8]int, n),
+	}
+	for k := 0; k <= l; k++ {
+		for p := 0; p <= l-k; p++ {
+			for q := 0; q <= l-k-p; q++ {
+				t.index[[3]int8{int8(k), int8(p), int8(q)}] = len(t.K)
+				t.K = append(t.K, int8(k))
+				t.P = append(t.P, int8(p))
+				t.Q = append(t.Q, int8(q))
+			}
+		}
+	}
+	return t
+}
+
+// Len returns the number of monomials.
+func (t *MonomialTable) Len() int { return len(t.K) }
+
+// Index returns the position of monomial x^k y^p z^q in the canonical order.
+// It panics if k+p+q exceeds the table's maximum order.
+func (t *MonomialTable) Index(k, p, q int) int {
+	i, ok := t.index[[3]int8{int8(k), int8(p), int8(q)}]
+	if !ok {
+		panic(fmt.Sprintf("sphharm: monomial (%d,%d,%d) exceeds order %d", k, p, q, t.L))
+	}
+	return i
+}
+
+// Evaluate computes the value of every monomial at the point (x, y, z),
+// writing into out (which must have length t.Len()). It uses the same
+// running-product recurrence as the accumulation kernel: one multiply per
+// monomial beyond the first in each run.
+func (t *MonomialTable) Evaluate(x, y, z float64, out []float64) {
+	if len(out) != t.Len() {
+		panic("sphharm: Evaluate output length mismatch")
+	}
+	i := 0
+	xk := 1.0
+	for k := 0; k <= t.L; k++ {
+		xy := xk
+		for p := 0; p <= t.L-k; p++ {
+			cur := xy
+			out[i] = cur
+			i++
+			for q := 1; q <= t.L-k-p; q++ {
+				cur *= z
+				out[i] = cur
+				i++
+			}
+			xy *= y
+		}
+		xk *= x
+	}
+}

@@ -1,0 +1,135 @@
+package sphharm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWigner3jKnownValues(t *testing.T) {
+	cases := []struct {
+		j1, j2, j3, m1, m2, m3 int
+		want                   float64
+	}{
+		{0, 0, 0, 0, 0, 0, 1},
+		{1, 1, 0, 0, 0, 0, -1 / math.Sqrt(3)},
+		{1, 1, 0, 1, -1, 0, 1 / math.Sqrt(3)},
+		{1, 1, 2, 0, 0, 0, math.Sqrt(2.0 / 15.0)},
+		{2, 2, 0, 0, 0, 0, 1 / math.Sqrt(5)},
+		{1, 1, 1, 1, -1, 0, 1 / math.Sqrt(6)},
+		{2, 1, 1, 0, 0, 0, math.Sqrt(2.0 / 15.0)},
+		{2, 2, 2, 0, 0, 0, -math.Sqrt(2.0 / 35.0)},
+		{3, 2, 1, 0, 0, 0, -math.Sqrt(3.0 / 35.0)},
+		{2, 2, 4, 0, 0, 0, math.Sqrt(2.0 / 35.0)},
+		{1, 2, 3, 1, 2, -3, 1 / math.Sqrt(7)},
+	}
+	for _, c := range cases {
+		got := Wigner3j(c.j1, c.j2, c.j3, c.m1, c.m2, c.m3)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("3j(%d %d %d; %d %d %d) = %v, want %v",
+				c.j1, c.j2, c.j3, c.m1, c.m2, c.m3, got, c.want)
+		}
+	}
+}
+
+func TestWigner3jSelectionRules(t *testing.T) {
+	if Wigner3j(1, 1, 1, 1, 1, 1) != 0 {
+		t.Error("m sum rule violated")
+	}
+	if Wigner3j(1, 1, 5, 0, 0, 0) != 0 {
+		t.Error("triangle rule violated")
+	}
+	if Wigner3j(1, 1, 2, 2, -2, 0) != 0 {
+		t.Error("|m| <= j rule violated")
+	}
+	if Wigner3j000(1, 1, 1) != 0 {
+		t.Error("odd j sum with zero m should vanish")
+	}
+}
+
+func TestWigner3jOrthogonality(t *testing.T) {
+	// sum over m1, m2 of (2j3+1) 3j(j1 j2 j3; m1 m2 m3)^2 = 1 for any
+	// valid (j3, m3) in the triangle range.
+	for _, js := range [][3]int{{2, 3, 4}, {1, 1, 2}, {5, 4, 3}, {6, 6, 6}} {
+		j1, j2, j3 := js[0], js[1], js[2]
+		for m3 := -j3; m3 <= j3; m3++ {
+			sum := 0.0
+			for m1 := -j1; m1 <= j1; m1++ {
+				m2 := -m3 - m1
+				if abs(m2) > j2 {
+					continue
+				}
+				v := Wigner3j(j1, j2, j3, m1, m2, m3)
+				sum += float64(2*j3+1) * v * v
+			}
+			if math.Abs(sum-1) > 1e-10 {
+				t.Errorf("orthogonality (%d %d %d; m3=%d): sum = %v", j1, j2, j3, m3, sum)
+			}
+		}
+	}
+}
+
+func TestWigner3jSymmetry(t *testing.T) {
+	// Even permutation of columns leaves the symbol unchanged; odd
+	// permutation multiplies by (-1)^(j1+j2+j3).
+	for j1 := 0; j1 <= 4; j1++ {
+		for j2 := 0; j2 <= 4; j2++ {
+			for j3 := abs(j1 - j2); j3 <= j1+j2 && j3 <= 4; j3++ {
+				for m1 := -j1; m1 <= j1; m1++ {
+					for m2 := -j2; m2 <= j2; m2++ {
+						m3 := -m1 - m2
+						if abs(m3) > j3 {
+							continue
+						}
+						a := Wigner3j(j1, j2, j3, m1, m2, m3)
+						cyc := Wigner3j(j2, j3, j1, m2, m3, m1)
+						if math.Abs(a-cyc) > 1e-12 {
+							t.Fatalf("cyclic symmetry broken at (%d %d %d; %d %d %d)", j1, j2, j3, m1, m2, m3)
+						}
+						swap := Wigner3j(j2, j1, j3, m2, m1, m3)
+						sign := 1.0
+						if (j1+j2+j3)%2 == 1 {
+							sign = -1
+						}
+						if math.Abs(a-sign*swap) > 1e-12 {
+							t.Fatalf("odd-permutation symmetry broken at (%d %d %d)", j1, j2, j3)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWigner3j000DiagonalLimit(t *testing.T) {
+	// 3j(l, l', 0; 0 0 0) = delta_{ll'} (-1)^l / sqrt(2l+1): the identity
+	// that makes the edge-correction matrix reduce to the identity for a
+	// periodic (maskless) geometry.
+	for l := 0; l <= 10; l++ {
+		for lp := 0; lp <= 10; lp++ {
+			got := Wigner3j000(l, lp, 0)
+			want := 0.0
+			if l == lp {
+				want = 1 / math.Sqrt(float64(2*l+1))
+				if l%2 == 1 {
+					want = -want
+				}
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("3j(%d %d 0;000) = %v, want %v", l, lp, got, want)
+			}
+		}
+	}
+}
+
+func TestWigner3jLargeJStability(t *testing.T) {
+	// Log-factorial evaluation must stay finite and normalized at large j.
+	sum := 0.0
+	j := 20
+	for m1 := -j; m1 <= j; m1++ {
+		v := Wigner3j(j, j, 0, m1, -m1, 0)
+		sum += v * v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("normalization at j=20: %v", sum)
+	}
+}

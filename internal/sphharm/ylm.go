@@ -1,0 +1,134 @@
+package sphharm
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// PairCount returns the number of (l, m) pairs with 0 <= m <= l <= L:
+// (L+1)(L+2)/2, e.g. 66 at L = 10. Negative m is implied by the symmetry
+// a_{l,-m} = (-1)^m conj(a_lm) for real weights.
+func PairCount(l int) int { return (l + 1) * (l + 2) / 2 }
+
+// PairIndex maps (l, m>=0) to a dense index in [0, PairCount(L)).
+func PairIndex(l, m int) int { return l*(l+1)/2 + m }
+
+// ylmTerm is one sparse entry of the polynomial expansion of Y_lm.
+type ylmTerm struct {
+	mono int        // monomial index in the shared MonomialTable ordering
+	c    complex128 // coefficient
+}
+
+// YlmTable holds, for every (l, m >= 0) up to L, the expansion of the
+// complex spherical harmonic Y_lm evaluated on the unit sphere as a sparse
+// polynomial in (x, y, z):
+//
+//	Y_lm(xhat) = N_lm * tildeP_l^m(z) * (x + i y)^m
+//	           = sum over monomials c^{lm}_{kpq} x^k y^p z^q,  k+p+q <= l.
+//
+// This is the bridge between the accumulated monomial sums M_kpq (Eq. 1 of
+// the paper) and the spherical-harmonic coefficients a_lm of each radial
+// shell: a_lm = sum_kpq c^{lm}_{kpq} M_kpq.
+type YlmTable struct {
+	L     int
+	Mono  *MonomialTable
+	terms [][]ylmTerm
+}
+
+// NewYlmTable builds the expansion tables for all l <= L. The table shares
+// the monomial ordering of mono, which must have order >= L.
+func NewYlmTable(l int, mono *MonomialTable) *YlmTable {
+	if mono == nil {
+		mono = NewMonomialTable(l)
+	}
+	if mono.L < l {
+		panic(fmt.Sprintf("sphharm: monomial table order %d < L %d", mono.L, l))
+	}
+	t := &YlmTable{L: l, Mono: mono, terms: make([][]ylmTerm, PairCount(l))}
+	for ll := 0; ll <= l; ll++ {
+		for m := 0; m <= ll; m++ {
+			t.terms[PairIndex(ll, m)] = buildYlmTerms(ll, m, mono)
+		}
+	}
+	return t
+}
+
+// buildYlmTerms expands N_lm tildeP_l^m(z) (x+iy)^m into monomials.
+func buildYlmTerms(l, m int, mono *MonomialTable) []ylmTerm {
+	norm := ylmNorm(l, m)
+	zc := strippedALP(l, m) // coefficients over z^j, j = 0..l-m
+	var out []ylmTerm
+	// (x+iy)^m = sum_a C(m,a) i^a x^(m-a) y^a
+	ipow := [4]complex128{1, 1i, -1, -1i}
+	for j, cz := range zc {
+		if cz == 0 {
+			continue
+		}
+		for a := 0; a <= m; a++ {
+			c := complex(norm*cz*binomial(m, a), 0) * ipow[a%4]
+			out = append(out, ylmTerm{mono: mono.Index(m-a, a, j), c: c})
+		}
+	}
+	return out
+}
+
+// Alm converts monomial sums M (length Mono.Len(), canonical order) into
+// spherical-harmonic coefficients for all (l, m >= 0), writing into out
+// (length PairCount(L)). This is the per-radial-bin, per-primary conversion
+// step: a_lm = sum_i Y_lm(rhat_i) for galaxies i in the bin, computed from
+// the bin's accumulated power combinations.
+func (t *YlmTable) Alm(m []float64, out []complex128) {
+	if len(m) != t.Mono.Len() {
+		panic("sphharm: Alm monomial sum length mismatch")
+	}
+	if len(out) != PairCount(t.L) {
+		panic("sphharm: Alm output length mismatch")
+	}
+	for i, terms := range t.terms {
+		var s complex128
+		for _, tm := range terms {
+			s += tm.c * complex(m[tm.mono], 0)
+		}
+		out[i] = s
+	}
+}
+
+// EvalPoint evaluates Y_lm(xhat) for every (l, m >= 0) at a single unit
+// vector, writing into out (length PairCount(L)). scratch must have length
+// Mono.Len(); it is overwritten. Used for the self-count correction and as
+// the reference path in tests.
+func (t *YlmTable) EvalPoint(x, y, z float64, scratch []float64, out []complex128) {
+	t.Mono.Evaluate(x, y, z, scratch)
+	t.Alm(scratch, out)
+}
+
+// YlmDirect evaluates the complex spherical harmonic Y_lm (any m, including
+// negative) at spherical angles theta, phi using the closed form
+// N_lm P_l^m(cos theta) e^{i m phi}. Independent of the polynomial tables;
+// used as a test oracle.
+func YlmDirect(l, m int, theta, phi float64) complex128 {
+	am := m
+	if am < 0 {
+		am = -am
+	}
+	v := complex(ylmNorm(l, am)*AssociatedLegendreP(l, am, math.Cos(theta)), 0) *
+		cmplx.Exp(complex(0, float64(am)*phi))
+	if m < 0 {
+		v = cmplx.Conj(v)
+		if am%2 == 1 {
+			v = -v
+		}
+	}
+	return v
+}
+
+// NegM returns a_{l,-m} given a_{lm} for real-weighted fields:
+// a_{l,-m} = (-1)^m conj(a_lm).
+func NegM(m int, alm complex128) complex128 {
+	v := cmplx.Conj(alm)
+	if m%2 == 1 {
+		v = -v
+	}
+	return v
+}

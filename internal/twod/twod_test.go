@@ -1,0 +1,186 @@
+package twod
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randPoints(rng *rand.Rand, n int, l float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * l, Y: rng.Float64() * l, W: 1}
+	}
+	return pts
+}
+
+func testConfig() Config {
+	return Config{RMax: 30, NBins: 4, MMax: 5, Workers: 3, SelfCount: true}
+}
+
+func TestComputeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randPoints(rng, 150, 100)
+	// Mixed weights, including negatives.
+	for i := range pts {
+		if i%4 == 0 {
+			pts[i].W = -0.5
+		} else if i%3 == 0 {
+			pts[i].W = 1.7
+		}
+	}
+	for _, boxL := range []float64{0, 100} {
+		cfg := testConfig()
+		cfg.BoxL = boxL
+		got, err := Compute(pts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := BruteForce(pts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Pairs != want.Pairs {
+			t.Fatalf("boxL=%v: pairs %d vs %d", boxL, got.Pairs, want.Pairs)
+		}
+		scale := 0.0
+		for _, v := range want.Zeta {
+			if a := cmplx.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		for i := range got.Zeta {
+			if cmplx.Abs(got.Zeta[i]-want.Zeta[i]) > 1e-9*scale {
+				t.Fatalf("boxL=%v: channel %d: %v vs %v", boxL, i, got.Zeta[i], want.Zeta[i])
+			}
+		}
+	}
+}
+
+func TestWorkerInvariance2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randPoints(rng, 400, 150)
+	cfg := testConfig()
+	cfg.Workers = 1
+	a, err := Compute(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	b, err := Compute(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Zeta {
+		if cmplx.Abs(a.Zeta[i]-b.Zeta[i]) > 1e-9*(1+cmplx.Abs(a.Zeta[i])) {
+			t.Fatalf("worker dependence at channel %d", i)
+		}
+	}
+}
+
+func TestZetaMNegativeConjugate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randPoints(rng, 100, 80)
+	res, err := Compute(pts, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 1; m <= res.MMax; m++ {
+		a := res.ZetaM(m, 1, 2)
+		b := res.ZetaM(-m, 1, 2)
+		if cmplx.Abs(a-cmplx.Conj(b)) > 1e-12*(1+cmplx.Abs(a)) {
+			t.Fatalf("negative-m symmetry broken at m=%d", m)
+		}
+	}
+}
+
+func TestM0IsRealAndPositiveForUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randPoints(rng, 300, 120)
+	res, err := Compute(pts, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b1 := 0; b1 < res.Bins.N; b1++ {
+		for b2 := 0; b2 < res.Bins.N; b2++ {
+			v := res.ZetaM(0, b1, b2)
+			if math.Abs(imag(v)) > 1e-9*(1+math.Abs(real(v))) {
+				t.Fatalf("zeta_0 not real at (%d,%d): %v", b1, b2, v)
+			}
+			if b1 != b2 && real(v) < 0 {
+				t.Fatalf("zeta_0 negative for unit weights at (%d,%d): %v", b1, b2, v)
+			}
+		}
+	}
+}
+
+func TestFilamentAnisotropySignal(t *testing.T) {
+	// Points on a line (an idealized ISM filament) have all separations at
+	// phi ~ 0 or pi: |zeta_2| ~ zeta_0 (perfect alignment), unlike an
+	// isotropic cloud where zeta_2 << zeta_0.
+	var line []Point
+	for i := 0; i < 200; i++ {
+		line = append(line, Point{X: float64(i) * 0.5, Y: 50, W: 1})
+	}
+	cfg := Config{RMax: 20, NBins: 2, MMax: 2, SelfCount: true}
+	resL, err := Compute(line, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	cloud := randPoints(rng, 200, 100)
+	resC, err := Compute(cloud, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := func(r *Result) float64 {
+		return cmplx.Abs(r.ZetaM(2, 0, 0)) / cmplx.Abs(r.ZetaM(0, 0, 0))
+	}
+	if rl := ratio(resL); rl < 0.9 {
+		t.Errorf("filament m=2/m=0 = %v, want ~1", rl)
+	}
+	if rc := ratio(resC); rc > 0.3 {
+		t.Errorf("cloud m=2/m=0 = %v, want << 1", rc)
+	}
+}
+
+func TestValidation2D(t *testing.T) {
+	pts := randPoints(rand.New(rand.NewSource(6)), 10, 50)
+	if _, err := Compute(pts, Config{RMax: 0, NBins: 2}); err == nil {
+		t.Error("zero RMax accepted")
+	}
+	if _, err := Compute(pts, Config{RMax: 10, NBins: 2, MMax: -1}); err == nil {
+		t.Error("negative MMax accepted")
+	}
+	if _, err := Compute(pts, Config{RMax: 30, NBins: 2, BoxL: 50}); err == nil {
+		t.Error("RMax >= BoxL/2 accepted")
+	}
+}
+
+func TestEmpty2D(t *testing.T) {
+	res, err := Compute(nil, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != 0 {
+		t.Error("pairs from empty set")
+	}
+}
+
+func TestPeriodicWrap2D(t *testing.T) {
+	// Two points straddling the boundary must pair through the wrap.
+	pts := []Point{
+		{X: 1, Y: 50, W: 1},
+		{X: 99, Y: 50, W: 1},
+		{X: 50, Y: 50, W: 1},
+	}
+	cfg := Config{RMax: 10, NBins: 1, MMax: 1, BoxL: 100, SelfCount: true}
+	res, err := Compute(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != 2 { // points 0 and 1, both directions
+		t.Errorf("pairs = %d, want 2 (wrapped)", res.Pairs)
+	}
+}
