@@ -1,0 +1,31 @@
+# Build/test/benchmark entry points (documented in README.md).
+
+GO ?= go
+
+.PHONY: all build test vet bench bench-exp ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short-mode benchmark smoke: every benchmark runs one iteration, which
+# catches regressions in the bench harness without laptop-hours of timing.
+bench:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+# A fast pass over the paper-experiment suite (see DESIGN.md's experiment
+# index; the documented full run lives in EXPERIMENTS.md).
+bench-exp:
+	$(GO) run ./cmd/galactos-bench -exp all -scale small
+
+ci: build vet test bench
+
+clean:
+	$(GO) clean ./...

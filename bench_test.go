@@ -302,6 +302,30 @@ func BenchmarkScheduling(b *testing.B) {
 	}
 }
 
+// BenchmarkSharded measures the sharded out-of-core pipeline against the
+// single-shot engine on the same catalog (the `sharded` experiment;
+// sharding pays a halo-overlap tax in exchange for a bounded footprint).
+func BenchmarkSharded(b *testing.B) {
+	cat := benchCatalog(5000, 14)
+	cfg := benchConfig(12)
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := galactos.Compute(cat, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, nshards := range []int{4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", nshards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := galactos.ShardedCompute(cat, nshards, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSelfCount measures the cost of the exact self-pair correction.
 func BenchmarkSelfCount(b *testing.B) {
 	cat := benchCatalog(2500, 12)

@@ -6,6 +6,7 @@
 //
 //	galactos -in catalog.glxc -rmax 200 -nbins 20 -lmax 10 -out zeta
 //	galactos -in survey.csv -los radial -ranks 4 -out zeta
+//	galactos -in huge.glxc -shards 16 -checkpoint-dir ckpt -resume -out zeta
 //
 // Outputs <out>.aniso.csv (channels zeta^m_{l1 l2}(r1, r2)) and
 // <out>.iso.csv (isotropic multipoles zeta_l(r1, r2)), plus a run summary
@@ -39,6 +40,12 @@ func main() {
 		noSelf  = flag.Bool("no-selfcount", false, "skip self-pair correction (raw kernel mode)")
 		ranks   = flag.Int("ranks", 1, "simulated MPI ranks (distributed pipeline)")
 		bucket  = flag.Int("bucket", 128, "pair bucket size")
+
+		shards    = flag.Int("shards", 1, "spatial shards (bounded-memory out-of-core pipeline)")
+		shardPar  = flag.Int("shard-concurrency", 1, "shards computed concurrently")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-shard Result checkpoints (with -shards)")
+		resume    = flag.Bool("resume", false, "reuse valid checkpoints found in -checkpoint-dir")
+		keepCkpts = flag.Bool("keep-checkpoints", false, "keep per-shard checkpoints after a successful merge")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -81,9 +88,40 @@ func main() {
 		fatalf("unknown -finder %q", *finder)
 	}
 
+	useSharded := *shards > 1 || *ckptDir != ""
+	if useSharded && *ranks > 1 {
+		fatalf("-shards/-checkpoint-dir and -ranks are alternative scale-out paths; pick one")
+	}
+	if !useSharded && (*resume || *keepCkpts || *shardPar != 1) {
+		fatalf("-resume, -keep-checkpoints and -shard-concurrency require -shards > 1 or -checkpoint-dir")
+	}
+
 	start := time.Now()
 	var res *galactos.Result
-	if *ranks > 1 {
+	if useSharded {
+		var stats []galactos.ShardStats
+		res, stats, err = galactos.ComputeSharded(cat, cfg, galactos.ShardOptions{
+			NShards:       *shards,
+			MaxConcurrent: *shardPar,
+			CheckpointDir: *ckptDir,
+			Resume:        *resume,
+			Keep:          *keepCkpts,
+			Log: func(format string, args ...any) {
+				fmt.Printf("  "+format+"\n", args...)
+			},
+		})
+		if err == nil {
+			fmt.Printf("sharded over %d shards:\n", *shards)
+			for _, s := range stats {
+				state := ""
+				if s.Resumed {
+					state = "  (resumed)"
+				}
+				fmt.Printf("  shard %2d: owned %8d  halo %8d  pairs %12d  %v%s\n",
+					s.Shard, s.NOwned, s.NHalo, s.Pairs, s.Elapsed.Round(time.Millisecond), state)
+			}
+		}
+	} else if *ranks > 1 {
 		var stats []galactos.RankStats
 		res, stats, err = galactos.ComputeDistributed(cat, *ranks, cfg)
 		if err == nil {

@@ -1,0 +1,139 @@
+// Sharded out-of-core pipeline: compute the 3PCF of a catalog in
+// halo-padded spatial shards with per-shard checkpoints, then kill-and-
+// resume the run. The sharded result matches single-shot Compute to
+// floating-point rounding while the peak engine footprint (neighbor index,
+// worker accumulators, partial results) stays near one shard's share — the
+// architectural move that let the paper reach 2 billion galaxies by giving
+// each node a halo-padded piece it could finish independently (Sec. 3.2).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"galactos"
+)
+
+func main() {
+	// Keep the heap close to the live set so the peak-heap figures reflect
+	// resident state rather than garbage awaiting collection.
+	debug.SetGCPercent(20)
+	// A catalog sized so the engine state is noticeable: 60,000 clustered
+	// galaxies. At 2 billion this catalog would not fit in memory at all;
+	// the shard loop's footprint is what would still be bounded.
+	const n = 60000
+	cat := galactos.GenerateClustered(n, 600, galactos.DefaultClusterParams(), 1)
+	fmt.Printf("catalog: %d galaxies, box %.0f Mpc/h\n\n", cat.Len(), cat.Box.L)
+
+	cfg := galactos.DefaultConfig()
+	cfg.RMax = 30
+	cfg.NBins = 6
+	cfg.LMax = 5
+	cfg.SelfCount = false
+	// One worker makes the accumulation order deterministic, so the
+	// resumed run below reproduces the uninterrupted result bit for bit
+	// (with more workers the results agree to floating-point rounding).
+	cfg.Workers = 1
+
+	// Single shot: the whole catalog through one engine.
+	stop := heapSampler()
+	start := time.Now()
+	single, err := galactos.Compute(cat, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single shot: %d pairs in %v, peak engine heap %.1f MB\n",
+		single.Pairs, time.Since(start).Round(time.Millisecond), mb(stop()))
+
+	// Sharded: 8 halo-padded spatial shards, one at a time, each partial
+	// checkpointed to disk in the versioned binary Result format.
+	dir, err := os.MkdirTemp("", "galactos-sharded-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	opts := galactos.ShardOptions{
+		NShards:       8,
+		CheckpointDir: dir,
+		Keep:          true, // keep the checkpoints so we can "resume" below
+		Log:           func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) },
+	}
+	stop = heapSampler()
+	start = time.Now()
+	sharded, stats, err := galactos.ComputeSharded(cat, cfg, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sharded:     %d pairs in %v, peak engine heap %.1f MB\n",
+		sharded.Pairs, time.Since(start).Round(time.Millisecond), mb(stop()))
+	fmt.Printf("max |aniso difference| vs single shot: %.3e (scale %.3e)\n",
+		sharded.MaxAbsDiff(single), single.MaxAbs())
+	fmt.Println("both peaks include the catalog itself; the sharded path replaces the")
+	fmt.Println("whole-catalog engine state (positions copy, k-d tree, worker buffers)")
+	fmt.Println("with one shard's share, so at the single-shot peak's memory budget the")
+	fmt.Println("shard loop handles a catalog single-shot Compute cannot fit.")
+	fmt.Println()
+
+	// Simulate a killed run: drop the last three checkpoints, then resume.
+	// Shards with a surviving checkpoint are loaded, the rest recomputed;
+	// the merged result is identical to the uninterrupted run.
+	for _, s := range stats[len(stats)-3:] {
+		os.Remove(fmt.Sprintf("%s/shard-%04d-of-%04d.gres", dir, s.Shard, opts.NShards))
+	}
+	opts.Resume = true
+	opts.Keep = false
+	fmt.Println("resume after simulated kill (3 of 8 checkpoints lost):")
+	resumed, rstats, err := galactos.ComputeSharded(cat, cfg, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nres := 0
+	for _, s := range rstats {
+		if s.Resumed {
+			nres++
+		}
+	}
+	fmt.Printf("resumed %d shards, recomputed %d; identical to uninterrupted run: %v\n",
+		nres, len(rstats)-nres, resumed.MaxAbsDiff(sharded) == 0)
+}
+
+func mb(b uint64) float64 { return float64(b) / (1 << 20) }
+
+// heapSampler polls the live heap and returns a stop function yielding the
+// observed peak. It is a local copy of the measurement the benchmark suite
+// uses (internal/sim.HeapSampler): examples stick to the public API so
+// they stay copy-pasteable outside this module.
+func heapSampler() func() uint64 {
+	runtime.GC()
+	var (
+		peak uint64
+		done = make(chan struct{})
+		quit = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		t := time.NewTicker(2 * time.Millisecond)
+		defer t.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapInuse > peak {
+					peak = ms.HeapInuse
+				}
+			}
+		}
+	}()
+	return func() uint64 {
+		close(quit)
+		<-done
+		return peak
+	}
+}

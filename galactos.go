@@ -28,6 +28,7 @@ import (
 	"galactos/internal/gridded"
 	"galactos/internal/mpi"
 	"galactos/internal/partition"
+	"galactos/internal/shard"
 	"galactos/internal/stats"
 	"galactos/internal/twopcf"
 )
@@ -128,6 +129,38 @@ func ComputeDistributed(cat *Catalog, nranks int, cfg Config) (*Result, []RankSt
 	})
 	return res, st, firstErr
 }
+
+// ShardStats reports per-shard load statistics from a sharded run.
+type ShardStats = shard.Stats
+
+// ShardOptions configures the sharded out-of-core pipeline: shard count,
+// concurrency bound, checkpoint directory, and resume-from-checkpoint.
+type ShardOptions = shard.Options
+
+// ShardedCompute runs the bounded-memory sharded pipeline (DESIGN.md,
+// "shard"): the catalog is cut into nshards halo-padded spatial shards with
+// the same k-d partitioner as the distributed path, each shard's node-local
+// 3PCF runs in turn, and the partial multipoles are merged. The result
+// matches single-shot Compute to floating-point rounding while the peak
+// engine footprint is that of one shard.
+func ShardedCompute(cat *Catalog, nshards int, cfg Config) (*Result, []ShardStats, error) {
+	return shard.ShardedCompute(cat, nshards, cfg)
+}
+
+// ComputeSharded is ShardedCompute with full options: bounded shard
+// concurrency, per-shard checkpoints of the partial Result in the versioned
+// binary format, and resume-from-checkpoint after a killed run.
+func ComputeSharded(cat *Catalog, cfg Config, opts ShardOptions) (*Result, []ShardStats, error) {
+	return shard.Compute(cat, cfg, opts)
+}
+
+// SaveResult writes a Result checkpoint in the versioned binary format
+// (atomic: written to a temporary file and renamed into place).
+func SaveResult(path string, r *Result) error { return core.SaveResult(path, r) }
+
+// LoadResult reads a Result checkpoint, rejecting unknown versions and
+// corrupted or truncated files.
+func LoadResult(path string) (*Result, error) { return core.LoadResult(path) }
 
 // BruteForce3PCF computes the anisotropic 3PCF by O(N^3) direct triplet
 // counting — the verification oracle (use only on small catalogs).

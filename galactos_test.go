@@ -59,6 +59,47 @@ func TestPublicDistributedMatchesSingle(t *testing.T) {
 	}
 }
 
+func TestPublicShardedMatchesSingle(t *testing.T) {
+	cat := galactos.GenerateClustered(700, 170, galactos.DefaultClusterParams(), 4)
+	cfg := smallConfig()
+	single, err := galactos.Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, stats, err := galactos.ShardedCompute(cat, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 4 {
+		t.Errorf("%d shard stats", len(stats))
+	}
+	if sharded.Pairs != single.Pairs {
+		t.Errorf("sharded pairs %d, want %d", sharded.Pairs, single.Pairs)
+	}
+	if d := sharded.MaxAbsDiff(single); d > 1e-9*single.MaxAbs() {
+		t.Errorf("sharded differs by %v", d)
+	}
+}
+
+func TestPublicResultIO(t *testing.T) {
+	cat := galactos.GenerateClustered(300, 150, galactos.DefaultClusterParams(), 5)
+	res, err := galactos.Compute(cat, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "zeta.gres")
+	if err := galactos.SaveResult(path, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := galactos.LoadResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := back.MaxAbsDiff(res); d != 0 {
+		t.Errorf("result changed by %v in the file round trip", d)
+	}
+}
+
 func TestPublicCatalogIO(t *testing.T) {
 	dir := t.TempDir()
 	cat := galactos.GenerateUniform(50, 90, 4)

@@ -1,0 +1,3 @@
+module galactos
+
+go 1.24

@@ -181,6 +181,22 @@ func (r *Result) Add(o *Result) error {
 	return nil
 }
 
+// Merge folds the partial results of others into r, in order. It is the
+// reduction step of the sharded pipeline: each shard accumulates the
+// multipole contributions of its own primaries, so summing the partials
+// over any disjoint cover of the primaries reproduces the single-shot
+// result. Merge is associative and (up to floating-point rounding)
+// commutative; merging in a fixed order keeps it deterministic. All results
+// must share LMax and binning.
+func (r *Result) Merge(others ...*Result) error {
+	for _, o := range others {
+		if err := r.Add(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // MaxAbsDiff returns the largest |difference| between the channels of two
 // results (verification helper).
 func (r *Result) MaxAbsDiff(o *Result) float64 {

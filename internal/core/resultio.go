@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"galactos/internal/hist"
+)
+
+// Binary Result format: the checkpoint unit of the sharded pipeline. A
+// partial Result is written after each shard completes and read back by the
+// merge step (or by a resumed run), so the format must detect truncated and
+// corrupted files from a killed process: every field is covered by a
+// trailing CRC-64 and the payload length is stated in the header.
+//
+//	offset  size   field
+//	0       4      magic "GRES"
+//	4       4      version (uint32) = 1
+//	8       4      LMax (uint32)
+//	12      4      NBins (uint32)
+//	16      8      RMin (float64)
+//	24      8      RMax (float64)
+//	32      8      NPrimaries (uint64)
+//	40      8      NGalaxies (uint64)
+//	48      8      Pairs (uint64)
+//	56      8      SumWeight (float64)
+//	64      64     Timings: 8 int64 nanosecond durations
+//	128     8      channel count (uint64) = len(Aniso)
+//	136     16*C   Aniso as (re, im) float64 pairs
+//	        8      CRC-64/ECMA over bytes [0, 136+16*C)
+const (
+	resultMagic   = "GRES"
+	resultVersion = 1
+	// resultMaxLMax bounds header sanity checks; the engine itself caps
+	// LMax at 20 (Config.normalize).
+	resultMaxLMax = 64
+	// resultMaxBins bounds the radial bin count a reader will allocate for.
+	resultMaxBins = 1 << 20
+)
+
+var resultCRCTable = crc64.MakeTable(crc64.ECMA)
+
+// WriteResult writes r in the versioned binary format.
+func WriteResult(w io.Writer, r *Result) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	h := crc64.New(resultCRCTable)
+	mw := io.MultiWriter(bw, h)
+
+	buf := make([]byte, 136)
+	copy(buf[0:4], resultMagic)
+	le := binary.LittleEndian
+	le.PutUint32(buf[4:8], resultVersion)
+	le.PutUint32(buf[8:12], uint32(r.LMax))
+	le.PutUint32(buf[12:16], uint32(r.Bins.N))
+	le.PutUint64(buf[16:24], math.Float64bits(r.Bins.RMin))
+	le.PutUint64(buf[24:32], math.Float64bits(r.Bins.RMax))
+	le.PutUint64(buf[32:40], uint64(r.NPrimaries))
+	le.PutUint64(buf[40:48], uint64(r.NGalaxies))
+	le.PutUint64(buf[48:56], r.Pairs)
+	le.PutUint64(buf[56:64], math.Float64bits(r.SumWeight))
+	t := r.Timings
+	for i, d := range []int64{
+		int64(t.IO), int64(t.TreeBuild), int64(t.TreeSearch), int64(t.Multipole),
+		int64(t.SelfCount), int64(t.AlmZeta), int64(t.Total), int64(t.WorkerTotal),
+	} {
+		le.PutUint64(buf[64+8*i:72+8*i], uint64(d))
+	}
+	le.PutUint64(buf[128:136], uint64(len(r.Aniso)))
+	if _, err := mw.Write(buf); err != nil {
+		return err
+	}
+
+	rec := make([]byte, 16)
+	for _, v := range r.Aniso {
+		le.PutUint64(rec[0:8], math.Float64bits(real(v)))
+		le.PutUint64(rec[8:16], math.Float64bits(imag(v)))
+		if _, err := mw.Write(rec); err != nil {
+			return err
+		}
+	}
+
+	le.PutUint64(rec[0:8], h.Sum64())
+	if _, err := bw.Write(rec[0:8]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadResult reads a Result in the versioned binary format, rejecting
+// unknown versions, impossible headers, truncation, and checksum
+// mismatches.
+func ReadResult(r io.Reader) (*Result, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	h := crc64.New(resultCRCTable)
+
+	buf := make([]byte, 136)
+	if err := readFullCRC(br, h, buf); err != nil {
+		return nil, fmt.Errorf("core: reading result header: %w", err)
+	}
+	le := binary.LittleEndian
+	if string(buf[0:4]) != resultMagic {
+		return nil, fmt.Errorf("core: bad result magic %q", buf[0:4])
+	}
+	if v := le.Uint32(buf[4:8]); v != resultVersion {
+		return nil, fmt.Errorf("core: unsupported result version %d (want %d)", v, resultVersion)
+	}
+	lmax := int(le.Uint32(buf[8:12]))
+	nbins := int(le.Uint32(buf[12:16]))
+	if lmax < 0 || lmax > resultMaxLMax {
+		return nil, fmt.Errorf("core: implausible LMax %d in result header", lmax)
+	}
+	if nbins <= 0 || nbins > resultMaxBins {
+		return nil, fmt.Errorf("core: implausible bin count %d in result header", nbins)
+	}
+	bins, err := hist.NewBinning(math.Float64frombits(le.Uint64(buf[16:24])),
+		math.Float64frombits(le.Uint64(buf[24:32])), nbins)
+	if err != nil {
+		return nil, fmt.Errorf("core: invalid binning in result header: %w", err)
+	}
+
+	res := NewResult(lmax, bins)
+	res.NPrimaries = int(le.Uint64(buf[32:40]))
+	res.NGalaxies = int(le.Uint64(buf[40:48]))
+	res.Pairs = le.Uint64(buf[48:56])
+	res.SumWeight = math.Float64frombits(le.Uint64(buf[56:64]))
+	durs := [8]int64{}
+	for i := range durs {
+		durs[i] = int64(le.Uint64(buf[64+8*i : 72+8*i]))
+	}
+	res.Timings = breakdownFromNanos(durs)
+	if n := le.Uint64(buf[128:136]); n != uint64(len(res.Aniso)) {
+		return nil, fmt.Errorf("core: result header claims %d channels, LMax %d with %d bins implies %d",
+			n, lmax, nbins, len(res.Aniso))
+	}
+
+	rec := make([]byte, 16)
+	for i := range res.Aniso {
+		if err := readFullCRC(br, h, rec); err != nil {
+			return nil, fmt.Errorf("core: reading result channel %d: %w", i, err)
+		}
+		res.Aniso[i] = complex(math.Float64frombits(le.Uint64(rec[0:8])),
+			math.Float64frombits(le.Uint64(rec[8:16])))
+	}
+
+	want := h.Sum64()
+	if _, err := io.ReadFull(br, rec[0:8]); err != nil {
+		return nil, fmt.Errorf("core: reading result checksum: %w", err)
+	}
+	if got := le.Uint64(rec[0:8]); got != want {
+		return nil, fmt.Errorf("core: result checksum mismatch (file %016x, computed %016x): corrupt or truncated", got, want)
+	}
+	return res, nil
+}
+
+// readFullCRC fills buf from r while feeding the bytes into the checksum.
+func readFullCRC(r io.Reader, h hash.Hash64, buf []byte) error {
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	_, _ = h.Write(buf) // hash.Hash never errors
+	return nil
+}
+
+func breakdownFromNanos(d [8]int64) Breakdown {
+	return Breakdown{
+		IO:          time.Duration(d[0]),
+		TreeBuild:   time.Duration(d[1]),
+		TreeSearch:  time.Duration(d[2]),
+		Multipole:   time.Duration(d[3]),
+		SelfCount:   time.Duration(d[4]),
+		AlmZeta:     time.Duration(d[5]),
+		Total:       time.Duration(d[6]),
+		WorkerTotal: time.Duration(d[7]),
+	}
+}
+
+// SaveResult writes r to path atomically: the bytes go to a temporary file
+// in the same directory which is renamed over path only after a successful
+// flush, so a crash mid-write never leaves a half-written checkpoint under
+// the final name.
+func SaveResult(path string, r *Result) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := WriteResult(tmp, r); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadResult reads a Result from a file written by SaveResult/WriteResult.
+func LoadResult(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadResult(f)
+}

@@ -1,0 +1,114 @@
+package partition
+
+import (
+	"testing"
+
+	"galactos/internal/catalog"
+	"galactos/internal/geom"
+)
+
+func TestSplitPartitionsEveryGalaxy(t *testing.T) {
+	cat := catalog.Clustered(1100, 190, catalog.DefaultClusterParams(), 3)
+	for _, nparts := range []int{1, 2, 3, 5, 8, 13} {
+		parts, err := Split(cat, nparts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parts) != nparts {
+			t.Fatalf("nparts=%d: got %d parts", nparts, len(parts))
+		}
+		seen := make([]bool, cat.Len())
+		for pi, p := range parts {
+			for _, i := range p.Index {
+				if seen[i] {
+					t.Fatalf("nparts=%d: galaxy %d owned twice", nparts, i)
+				}
+				seen[i] = true
+				if !p.Box.Contains(cat.Galaxies[i].Pos) {
+					t.Fatalf("nparts=%d part %d: galaxy %d at %v outside box %+v",
+						nparts, pi, i, cat.Galaxies[i].Pos, p.Box)
+				}
+			}
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("nparts=%d: galaxy %d unowned", nparts, i)
+			}
+		}
+	}
+}
+
+func TestSplitIsDeterministic(t *testing.T) {
+	cat := catalog.Clustered(700, 170, catalog.DefaultClusterParams(), 9)
+	a, err := Split(cat, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Split(cat, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Box != b[i].Box || len(a[i].Index) != len(b[i].Index) {
+			t.Fatalf("part %d differs between identical splits", i)
+		}
+		for j := range a[i].Index {
+			if a[i].Index[j] != b[i].Index[j] {
+				t.Fatalf("part %d index %d differs between identical splits", i, j)
+			}
+		}
+	}
+}
+
+func TestHaloContainsExactlyTheBoundaryGalaxies(t *testing.T) {
+	const rmax = 35.0
+	cat := catalog.Clustered(800, 180, catalog.DefaultClusterParams(), 21)
+	parts, err := Split(cat, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range parts {
+		owned := make(map[geom.Vec3]bool, len(parts[i].Index))
+		for _, gi := range parts[i].Index {
+			owned[cat.Galaxies[gi].Pos] = true
+		}
+		halo := Halo(cat, parts, i, rmax)
+		// Every halo copy must lie within rmax of the box and must not
+		// duplicate an owned galaxy at its owned position.
+		for _, h := range halo {
+			if d := pointBoxDist(h.Pos, parts[i].Box); d > rmax {
+				t.Fatalf("part %d: halo copy at distance %v > rmax", i, d)
+			}
+			if owned[h.Pos] && parts[i].Box.Contains(h.Pos) {
+				t.Fatalf("part %d: owned galaxy duplicated into its own halo at %v", i, h.Pos)
+			}
+		}
+		// Zero-image halo copies keep their in-box coordinates (image
+		// shifts of ±L land outside [0, L)^3), so the in-box halo count
+		// must equal the number of other-part galaxies within rmax.
+		want := 0
+		for j := range parts {
+			if j == i {
+				continue
+			}
+			for _, gi := range parts[j].Index {
+				if pointBoxDist(cat.Galaxies[gi].Pos, parts[i].Box) <= rmax {
+					want++
+				}
+			}
+		}
+		got := 0
+		for _, h := range halo {
+			if insideBox(h.Pos, cat.Box.L) {
+				got++
+			}
+		}
+		if got != want {
+			t.Fatalf("part %d: %d zero-image halo copies, want %d", i, got, want)
+		}
+	}
+}
+
+func insideBox(p geom.Vec3, l float64) bool {
+	return p.X >= 0 && p.X < l && p.Y >= 0 && p.Y < l && p.Z >= 0 && p.Z < l
+}

@@ -11,6 +11,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -294,6 +295,41 @@ type BucketPoint struct {
 
 // BucketSweep measures time-to-solution across bucket sizes and reports the
 // paper's analytic flop/byte ratio 286*2*k / ((3k + 286*2) * 8) per point.
+// HeapSampler starts a goroutine polling runtime.MemStats.HeapInuse and
+// returns a stop function yielding the observed peak — the measurement
+// behind the out-of-core memory comparisons (the `sharded` experiment).
+// It forces a collection first so the peak reflects the measured phase.
+func HeapSampler() func() uint64 {
+	runtime.GC()
+	var (
+		peak uint64
+		done = make(chan struct{})
+		quit = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		t := time.NewTicker(2 * time.Millisecond)
+		defer t.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapInuse > peak {
+					peak = ms.HeapInuse
+				}
+			}
+		}
+	}()
+	return func() uint64 {
+		close(quit)
+		<-done
+		return peak
+	}
+}
+
 func BucketSweep(cat *catalog.Catalog, cfg core.Config, sizes []int) ([]BucketPoint, error) {
 	out := make([]BucketPoint, 0, len(sizes))
 	for _, k := range sizes {
