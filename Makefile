@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-exp ci clean
+.PHONY: all build test test-race vet fmt-check bench bench-exp \
+	bench-baseline bench-check ci clean
 
 all: build
 
@@ -12,8 +13,18 @@ build:
 test:
 	$(GO) test ./...
 
+# Race detector over the concurrency surfaces: the engine worker pool and
+# the sharded checkpointing pipeline.
+test-race:
+	$(GO) test -race ./internal/core/... ./internal/shard/...
+
 vet:
 	$(GO) vet ./...
+
+# Formatting drift fails the pipeline.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Short-mode benchmark smoke: every benchmark runs one iteration, which
 # catches regressions in the bench harness without laptop-hours of timing.
@@ -25,7 +36,20 @@ bench:
 bench-exp:
 	$(GO) run ./cmd/galactos-bench -exp all -scale small
 
-ci: build vet test bench
+# Refresh the committed benchmark-regression floor. Run after an intentional
+# performance change (on the machine class CI uses, ideally) and commit the
+# resulting BENCH_baseline.json.
+bench-baseline:
+	$(GO) run ./cmd/galactos-bench -exp perfstat -perf-json BENCH_baseline.json
+
+# The CI benchmark gate: measure the pinned perfstat scenario fresh and fail
+# on >25% pairs/sec regression against the committed baseline.
+bench-check:
+	$(GO) run ./cmd/galactos-bench -exp perfstat -perf-json BENCH_fresh.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -fresh BENCH_fresh.json -threshold 0.25
+
+ci: fmt-check build vet test bench
 
 clean:
 	$(GO) clean ./...
+	rm -f BENCH_fresh.json

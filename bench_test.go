@@ -32,6 +32,24 @@ func benchConfig(rmax float64) galactos.Config {
 	return cfg
 }
 
+// BenchmarkCompute is the end-to-end regression anchor: the full single-node
+// pipeline at the default multipole order (l_max = 10). Its pairs/sec is the
+// number BENCH_baseline.json pins and `make bench-check` defends in CI.
+func BenchmarkCompute(b *testing.B) {
+	cat := benchCatalog(6000, 5)
+	cfg := benchConfig(15)
+	b.ResetTimer()
+	var pairs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := galactos.Compute(cat, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs += res.Pairs
+	}
+	b.ReportMetric(float64(pairs)/b.Elapsed().Seconds()/1e6, "Mpairs/s")
+}
+
 // BenchmarkKernelAccumulate measures the hot multipole kernel alone: the
 // 286-term power-combination accumulation over one 128-pair bucket
 // (Sec. 3.3.2; the paper reaches 1017 GF/s = 39% of Xeon Phi peak here).

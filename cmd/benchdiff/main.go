@@ -1,0 +1,57 @@
+// Command benchdiff is the CI benchmark-regression gate: it compares a
+// freshly measured perfstat report against the committed baseline and exits
+// nonzero when pairs/sec regressed past the tolerance (or when the two
+// reports measure different scenarios, which means the baseline is stale).
+//
+// Typical pipeline (see `make bench-check`):
+//
+//	galactos-bench -exp perfstat -perf-json fresh.json
+//	benchdiff -baseline BENCH_baseline.json -fresh fresh.json -threshold 0.25
+//
+// Improvements always pass; after an intentional speedup, refresh the
+// committed floor with `make bench-baseline`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"galactos/internal/perfstat"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "committed baseline perfstat report")
+		fresh     = flag.String("fresh", "", "freshly measured perfstat report; required")
+		threshold = flag.Float64("threshold", 0.25, "fractional pairs/sec regression that fails the gate")
+	)
+	flag.Parse()
+	if *fresh == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -fresh report is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *threshold <= 0 || *threshold >= 1 {
+		fatalf("-threshold %v must be in (0, 1)", *threshold)
+	}
+
+	base, err := perfstat.ReadJSON(*baseline)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cur, err := perfstat.ReadJSON(*fresh)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	summary, err := perfstat.Compare(base, cur, *threshold)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("benchdiff: PASS — %s\n", summary)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

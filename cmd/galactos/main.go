@@ -41,6 +41,8 @@ func main() {
 		ranks   = flag.Int("ranks", 1, "simulated MPI ranks (distributed pipeline)")
 		bucket  = flag.Int("bucket", 128, "pair bucket size")
 
+		perfJSON = flag.String("perf-json", "", "write a machine-readable perfstat report (pairs/sec, FLOP rate, phase breakdown) to this path")
+
 		shards    = flag.Int("shards", 1, "spatial shards (bounded-memory out-of-core pipeline)")
 		shardPar  = flag.Int("shard-concurrency", 1, "shards computed concurrently")
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-shard Result checkpoints (with -shards)")
@@ -149,6 +151,14 @@ func main() {
 		b.TreeBuild.Round(time.Millisecond), b.TreeSearch.Round(time.Millisecond),
 		b.Multipole.Round(time.Millisecond), b.SelfCount.Round(time.Millisecond),
 		b.AlmZeta.Round(time.Millisecond))
+
+	if *perfJSON != "" {
+		report := galactos.CollectPerf("galactos-run", res, elapsed)
+		if err := report.WriteJSON(*perfJSON); err != nil {
+			fatalf("writing perf report: %v", err)
+		}
+		fmt.Printf("wrote perf report %s (%.3e pairs/s)\n", *perfJSON, report.PairsPerSec)
+	}
 
 	if err := writeAniso(*out+".aniso.csv", res); err != nil {
 		fatalf("%v", err)

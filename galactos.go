@@ -20,6 +20,8 @@
 package galactos
 
 import (
+	"time"
+
 	"galactos/internal/bruteforce"
 	"galactos/internal/catalog"
 	"galactos/internal/core"
@@ -28,6 +30,7 @@ import (
 	"galactos/internal/gridded"
 	"galactos/internal/mpi"
 	"galactos/internal/partition"
+	"galactos/internal/perfstat"
 	"galactos/internal/shard"
 	"galactos/internal/stats"
 	"galactos/internal/twopcf"
@@ -161,6 +164,24 @@ func SaveResult(path string, r *Result) error { return core.SaveResult(path, r) 
 // LoadResult reads a Result checkpoint, rejecting unknown versions and
 // corrupted or truncated files.
 func LoadResult(path string) (*Result, error) { return core.LoadResult(path) }
+
+// PerfReport is the machine-readable performance summary of one run:
+// pairs/sec, model FLOP rate, and the per-phase timing breakdown. It
+// serializes to JSON (WriteJSON / perfstat.ReadJSON) and is what the CI
+// benchmark-regression gate compares against BENCH_baseline.json.
+type PerfReport = perfstat.Report
+
+// CollectPerf builds a PerfReport from any computed Result — single-shot,
+// sharded, or distributed — and the run's wall clock.
+func CollectPerf(label string, res *Result, elapsed time.Duration) *PerfReport {
+	return perfstat.Collect(label, res, elapsed)
+}
+
+// ComparePerf gates a fresh report against a baseline, failing on more than
+// tolerance fractional pairs/sec regression (see `make bench-check`).
+func ComparePerf(baseline, fresh *PerfReport, tolerance float64) (string, error) {
+	return perfstat.Compare(baseline, fresh, tolerance)
+}
 
 // BruteForce3PCF computes the anisotropic 3PCF by O(N^3) direct triplet
 // counting — the verification oracle (use only on small catalogs).

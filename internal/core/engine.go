@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +35,15 @@ func Compute(cat *catalog.Catalog, cfg Config) (*Result, error) {
 // excludes halo-exchange copies ("ignoring secondary galaxies that are in
 // the k-d tree because of halo exchange", Sec. 3.3).
 func ComputeSubset(cat *catalog.Catalog, primary []bool, cfg Config) (*Result, error) {
+	return computeSubset(cat, primary, cfg, false)
+}
+
+// computeSubset is ComputeSubset with the dense-scan reference switch.
+// denseScan makes the per-primary reduction enumerate touched bins by
+// scanning all NBins flags (the pre-touched-list behavior) instead of
+// walking the touched list; the two paths must be bitwise identical, which
+// the property tests assert.
+func computeSubset(cat *catalog.Catalog, primary []bool, cfg Config, denseScan bool) (*Result, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
 		return nil, err
@@ -51,11 +61,12 @@ func ComputeSubset(cat *catalog.Catalog, primary []bool, cfg Config) (*Result, e
 	}
 
 	e := &engine{
-		cfg:  cfg,
-		bins: bins,
-		box:  cat.Box,
-		pts:  cat.Positions(),
-		ws:   cat.Weights(),
+		cfg:       cfg,
+		bins:      bins,
+		box:       cat.Box,
+		pts:       cat.Positions(),
+		ws:        cat.Weights(),
+		denseScan: denseScan,
 	}
 	e.primaryIdx = primaryIndices(primary, cat.Len())
 
@@ -102,11 +113,26 @@ type engine struct {
 	// intrinsically periodic (k-d trees); a single zero offset otherwise.
 	images []geom.Vec3
 
-	mono   *sphharm.MonomialTable
-	ytab   *sphharm.YlmTable
-	combos *ComboTable
+	mono     *sphharm.MonomialTable
+	ytab     *sphharm.YlmTable
+	combos   *ComboTable
+	channels []zetaChannel
+
+	// denseScan selects the dense-scan reference reduction (test hook).
+	denseScan bool
 
 	next atomic.Int64
+}
+
+// zetaChannel caches one canonical channel's constants for the per-primary
+// outer-product sweep: the flattened Aniso base offset, the (m >= 0) pair
+// indices of the two a_lm legs, and the channel index into the self-pair
+// tensor. Channels excluded by IsotropicOnly are filtered out at build time
+// so the hot loop carries no per-channel mode branch.
+type zetaChannel struct {
+	base   int
+	i1, i2 int32
+	ci     int32
 }
 
 func (e *engine) buildFinder() error {
@@ -131,6 +157,18 @@ func (e *engine) buildFinder() error {
 	e.mono = sphharm.NewMonomialTable(e.cfg.LMax)
 	e.ytab = sphharm.NewYlmTable(e.cfg.LMax, e.mono)
 	e.combos = NewComboTable(e.cfg.LMax)
+	nb := e.bins.N
+	for ci, c := range e.combos.Combos {
+		if e.cfg.IsotropicOnly && c.L1 != c.L2 {
+			continue
+		}
+		e.channels = append(e.channels, zetaChannel{
+			base: ci * nb * nb,
+			i1:   int32(sphharm.PairIndex(c.L1, c.M)),
+			i2:   int32(sphharm.PairIndex(c.L2, c.M)),
+			ci:   int32(ci),
+		})
+	}
 	return nil
 }
 
@@ -167,34 +205,50 @@ func (e *engine) run() *Result {
 type workerState struct {
 	kern    *sphharm.Kernel
 	buckets *hist.Buckets
-	acc     [][]float64    // per-bin lane-striped monomial accumulators
-	touched []bool         // bins with data for the current primary
-	msums   []float64      // reduced monomial sums scratch
-	alm     [][]complex128 // per-bin a_lm for the current primary
-	selfT   [][]complex128 // per-bin self-pair tensor (SelfCount only)
-	yScr    []float64      // monomial scratch for point evaluation
-	yPt     []complex128   // per-point Y_lm scratch
-	res     *Result
+	acc     [][]float64 // per-bin lane-striped monomial accumulators
+	touched []bool      // bins with data for the current primary
+	tl      []int32     // touched bin indices, appended on first touch
+	tlDense []int32     // dense-scan scratch (reference path only)
+	msums   []float64   // reduced monomial sums scratch
+	// Split a_lm storage for the current primary, pair-major over touched
+	// slots: alm{Re,Im}[i*NBins + t] holds Re/Im a_i of touched slot t, so
+	// every zeta channel's leg is a contiguous run of touched-slot values.
+	// alm{Re,Im}W hold the same values pre-scaled by the primary weight (the
+	// b1 leg of the outer product).
+	almRe, almIm   []float64
+	almReW, almImW []float64
+	reScr, imScr   []float64      // contiguous AlmRI output, scattered per slot
+	selfT          [][]complex128 // per-bin self-pair tensor (SelfCount only)
+	yScr           []float64      // monomial scratch for point evaluation
+	yPt            []complex128   // per-point Y_lm scratch
+	res            *Result
 	// timing
 	tSearch, tMulti, tSelf, tAlmZeta time.Duration
 }
 
 func (e *engine) newWorkerState() *workerState {
 	nb := e.bins.N
+	pc := sphharm.PairCount(e.cfg.LMax)
 	s := &workerState{
 		kern:    sphharm.NewKernel(e.mono, e.cfg.BucketSize),
 		buckets: hist.NewBuckets(nb, e.cfg.BucketSize),
 		acc:     make([][]float64, nb),
 		touched: make([]bool, nb),
+		tl:      make([]int32, 0, nb),
+		tlDense: make([]int32, 0, nb),
 		msums:   make([]float64, e.mono.Len()),
-		alm:     make([][]complex128, nb),
+		almRe:   make([]float64, pc*nb),
+		almIm:   make([]float64, pc*nb),
+		almReW:  make([]float64, pc*nb),
+		almImW:  make([]float64, pc*nb),
+		reScr:   make([]float64, pc),
+		imScr:   make([]float64, pc),
 		yScr:    make([]float64, e.mono.Len()),
-		yPt:     make([]complex128, sphharm.PairCount(e.cfg.LMax)),
+		yPt:     make([]complex128, pc),
 		res:     NewResult(e.cfg.LMax, e.bins),
 	}
 	for b := 0; b < nb; b++ {
 		s.acc[b] = make([]float64, sphharm.AccumulatorLen(e.mono))
-		s.alm[b] = make([]complex128, sphharm.PairCount(e.cfg.LMax))
 	}
 	if e.cfg.SelfCount {
 		s.selfT = make([][]complex128, nb)
@@ -284,7 +338,10 @@ func (e *engine) processPrimary(s *workerState, pi int32, nbrBuf []int32) []int3
 			sep = rot.Apply(sep)
 		}
 		inv := 1 / r
-		s.touched[bin] = true
+		if !s.touched[bin] {
+			s.touched[bin] = true
+			s.tl = append(s.tl, int32(bin))
+		}
 		s.buckets.Add(bin, sep.X*inv, sep.Y*inv, sep.Z*inv, e.ws[j], flush)
 		pairs++
 	}
@@ -294,58 +351,80 @@ func (e *engine) processPrimary(s *workerState, pi int32, nbrBuf []int32) []int3
 
 	// Convert monomial sums to a_lm per touched bin, then accumulate the
 	// zeta^m_{l1 l2}(b1, b2) outer products weighted by the primary weight.
+	// Everything below walks the touched list only: untouched bins hold no
+	// data and cost nothing (the pre-touched-list engine scanned all NBins
+	// three times per primary).
 	t0 = time.Now()
-	nb := e.bins.N
-	for b := 0; b < nb; b++ {
-		if !s.touched[b] {
-			continue
+	// Ascending bin order makes the Aniso scatter walk forward and decouples
+	// the reduction from first-touch order: a dense flag scan must enumerate
+	// the same bins in the same order, which the dense-scan property test
+	// pins bitwise.
+	slices.Sort(s.tl)
+	tl := s.tl
+	if e.denseScan {
+		tl = s.tlDense[:0]
+		for b, on := range s.touched {
+			if on {
+				tl = append(tl, int32(b))
+			}
 		}
-		sphharm.Reduce(s.acc[b], s.msums)
-		e.ytab.Alm(s.msums, s.alm[b])
 	}
+	nb := e.bins.N
 	res := s.res
 	pwc := complex(pw, 0)
-	for ci, c := range e.combos.Combos {
-		if e.cfg.IsotropicOnly && c.L1 != c.L2 {
-			continue
-		}
-		i1 := sphharm.PairIndex(c.L1, c.M)
-		i2 := sphharm.PairIndex(c.L2, c.M)
-		base := ci * nb * nb
-		for b1 := 0; b1 < nb; b1++ {
-			if !s.touched[b1] {
-				continue
+	if nt := len(tl); nt > 0 {
+		// Per touched slot t: reduce the lane accumulators, convert to
+		// split a_lm, and transpose into the pair-major slot arrays (plus
+		// the weight-scaled copies for the b1 leg).
+		for t, b := range tl {
+			sphharm.Reduce(s.acc[b], s.msums)
+			e.ytab.AlmRI(s.msums, s.reScr, s.imScr)
+			for i, v := range s.reScr {
+				s.almRe[i*nb+t] = v
+				s.almReW[i*nb+t] = pw * v
 			}
-			a1 := s.alm[b1][i1]
-			row := base + b1*nb
-			for b2 := 0; b2 < nb; b2++ {
-				if !s.touched[b2] {
-					continue
+			for i, v := range s.imScr {
+				s.almIm[i*nb+t] = v
+				s.almImW[i*nb+t] = pw * v
+			}
+		}
+		// Cache-blocked outer product: per channel, both legs are dense
+		// length-nt runs, and the inner b2 sweep is a branch-free float64
+		// SoA kernel — w_p * a1 * conj(a2) expanded into real arithmetic.
+		for _, ch := range e.channels {
+			a1re := s.almReW[int(ch.i1)*nb : int(ch.i1)*nb+nt]
+			a1im := s.almImW[int(ch.i1)*nb : int(ch.i1)*nb+nt]
+			a2re := s.almRe[int(ch.i2)*nb : int(ch.i2)*nb+nt]
+			a2im := s.almIm[int(ch.i2)*nb : int(ch.i2)*nb+nt]
+			for t1 := 0; t1 < nt; t1++ {
+				x, y := a1re[t1], a1im[t1]
+				row := res.Aniso[ch.base+int(tl[t1])*nb : ch.base+int(tl[t1])*nb+nb]
+				for t2, b2 := range tl {
+					re := x*a2re[t2] + y*a2im[t2]
+					im := y*a2re[t2] - x*a2im[t2]
+					row[b2] += complex(re, im)
 				}
-				v := a1 * cmplx.Conj(s.alm[b2][i2])
-				if b1 == b2 && s.selfT != nil {
-					v -= s.selfT[b1][ci]
+			}
+			if s.selfT != nil {
+				// Diagonal self-pair subtraction, off the hot loop.
+				for _, b := range tl {
+					res.Aniso[ch.base+int(b)*nb+int(b)] -= pwc * s.selfT[b][ch.ci]
 				}
-				res.Aniso[row+b2] += pwc * v
 			}
 		}
 	}
 	s.tAlmZeta += time.Since(t0)
 
-	// Reset per-primary state (only the touched bins, so sparse primaries
-	// stay cheap).
-	for b := 0; b < nb; b++ {
-		if !s.touched[b] {
-			continue
-		}
+	// Reset per-primary state (touched bins only, so sparse primaries stay
+	// cheap and untouched bins are never written).
+	for _, b := range s.tl {
 		sphharm.Zero(s.acc[b])
 		if s.selfT != nil {
-			for i := range s.selfT[b] {
-				s.selfT[b][i] = 0
-			}
+			clear(s.selfT[b])
 		}
 		s.touched[b] = false
 	}
+	s.tl = s.tl[:0]
 
 	res.NPrimaries++
 	res.SumWeight += pw

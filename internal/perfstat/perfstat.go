@@ -1,0 +1,136 @@
+// Package perfstat turns one 3PCF run's counters and phase timings into a
+// machine-readable performance report: pairs/sec, the model FLOP rate from
+// sphharm.FlopsPerPair, and the per-phase wall-clock breakdown the engine
+// workers already record (tree search, multipole kernel, a_lm + zeta). A
+// Report round-trips through JSON; CI's benchmark-regression gate
+// (cmd/benchdiff via `make bench-check`) compares a fresh report against the
+// committed BENCH_baseline.json and fails the pipeline when pairs/sec drops
+// past the tolerance.
+package perfstat
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"galactos/internal/core"
+	"galactos/internal/sphharm"
+)
+
+// Report is the machine-readable performance summary of one computation.
+// Scenario fields (NGalaxies, NBins, LMax, pairs) identify what was
+// measured; two reports are comparable only when those match.
+type Report struct {
+	// Label names the scenario, e.g. "bench-baseline".
+	Label string `json:"label"`
+	// Host describes the measuring machine; regression comparisons across
+	// differing hosts are flagged in the Compare summary.
+	Host string `json:"host"`
+	// Timestamp is the measurement time, RFC 3339.
+	Timestamp string `json:"timestamp"`
+
+	NGalaxies  int    `json:"n_galaxies"`
+	NPrimaries int    `json:"n_primaries"`
+	NBins      int    `json:"n_bins"`
+	LMax       int    `json:"l_max"`
+	Pairs      uint64 `json:"pairs"`
+
+	ElapsedSec        float64 `json:"elapsed_sec"`
+	PairsPerSec       float64 `json:"pairs_per_sec"`
+	FlopsPerPair      int     `json:"flops_per_pair"`
+	ModelGFlopsPerSec float64 `json:"model_gflops_per_sec"`
+
+	// PhaseSec breaks the run down by engine phase (seconds): tree_build,
+	// tree_search, multipole, self_count, alm_zeta, worker_total. Worker
+	// phases are summed across workers, so they can exceed ElapsedSec.
+	PhaseSec map[string]float64 `json:"phase_sec"`
+}
+
+// Collect builds a report from a computed result and the run's wall clock.
+func Collect(label string, res *core.Result, elapsed time.Duration) *Report {
+	sec := elapsed.Seconds()
+	r := &Report{
+		Label:        label,
+		Host:         fmt.Sprintf("%s/%s %d-cpu", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+		NGalaxies:    res.NGalaxies,
+		NPrimaries:   res.NPrimaries,
+		NBins:        res.Bins.N,
+		LMax:         res.LMax,
+		Pairs:        res.Pairs,
+		ElapsedSec:   sec,
+		FlopsPerPair: sphharm.FlopsPerPair(res.LMax),
+		PhaseSec: map[string]float64{
+			"tree_build":   res.Timings.TreeBuild.Seconds(),
+			"tree_search":  res.Timings.TreeSearch.Seconds(),
+			"multipole":    res.Timings.Multipole.Seconds(),
+			"self_count":   res.Timings.SelfCount.Seconds(),
+			"alm_zeta":     res.Timings.AlmZeta.Seconds(),
+			"worker_total": res.Timings.WorkerTotal.Seconds(),
+		},
+	}
+	if sec > 0 {
+		r.PairsPerSec = float64(res.Pairs) / sec
+		r.ModelGFlopsPerSec = res.FlopsEstimate() / sec / 1e9
+	}
+	return r
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadJSON loads a report written by WriteJSON.
+func ReadJSON(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perfstat: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Compare checks a fresh report against a baseline with a fractional
+// pairs/sec regression tolerance (0.25 fails anything more than 25% slower
+// than baseline). It returns a human-readable summary, and an error when the
+// reports measure different scenarios or the fresh rate regresses past the
+// tolerance. Faster-than-baseline results always pass: the gate protects a
+// floor, and `make bench-baseline` refreshes it after intentional changes.
+func Compare(baseline, fresh *Report, tolerance float64) (string, error) {
+	if baseline.NGalaxies != fresh.NGalaxies || baseline.NBins != fresh.NBins ||
+		baseline.LMax != fresh.LMax {
+		return "", fmt.Errorf(
+			"perfstat: reports measure different scenarios (baseline %d galaxies / %d bins / lmax %d, fresh %d / %d / %d); refresh the baseline",
+			baseline.NGalaxies, baseline.NBins, baseline.LMax,
+			fresh.NGalaxies, fresh.NBins, fresh.LMax)
+	}
+	if baseline.Pairs != fresh.Pairs {
+		return "", fmt.Errorf(
+			"perfstat: pair counts differ (baseline %d, fresh %d) — the measured computation changed; refresh the baseline",
+			baseline.Pairs, fresh.Pairs)
+	}
+	if baseline.PairsPerSec <= 0 {
+		return "", fmt.Errorf("perfstat: baseline has no pairs/sec rate")
+	}
+	ratio := fresh.PairsPerSec / baseline.PairsPerSec
+	summary := fmt.Sprintf("pairs/sec %.3e vs baseline %.3e (%+.1f%%)",
+		fresh.PairsPerSec, baseline.PairsPerSec, (ratio-1)*100)
+	if baseline.Host != fresh.Host {
+		summary += fmt.Sprintf("; hosts differ (baseline %q, fresh %q)", baseline.Host, fresh.Host)
+	}
+	if ratio < 1-tolerance {
+		return summary, fmt.Errorf("perfstat: pairs/sec regressed %.1f%% (tolerance %.0f%%): %s",
+			(1-ratio)*100, tolerance*100, summary)
+	}
+	return summary, nil
+}

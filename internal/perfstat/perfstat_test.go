@@ -1,0 +1,124 @@
+package perfstat
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"galactos/internal/catalog"
+	"galactos/internal/core"
+)
+
+func sampleReport(t *testing.T) *Report {
+	t.Helper()
+	cat := catalog.Clustered(300, 160, catalog.DefaultClusterParams(), 3)
+	cfg := core.DefaultConfig()
+	cfg.RMax = 40
+	cfg.NBins = 4
+	cfg.LMax = 4
+	start := time.Now()
+	res, err := core.Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Collect("test", res, time.Since(start))
+}
+
+func TestCollectPopulatesRates(t *testing.T) {
+	r := sampleReport(t)
+	if r.Pairs == 0 || r.PairsPerSec <= 0 {
+		t.Fatalf("no pair rate: %+v", r)
+	}
+	if r.FlopsPerPair <= 0 || r.ModelGFlopsPerSec <= 0 {
+		t.Errorf("no flop accounting: %+v", r)
+	}
+	if r.NGalaxies != 300 || r.NBins != 4 || r.LMax != 4 {
+		t.Errorf("scenario fields wrong: %+v", r)
+	}
+	for _, phase := range []string{"tree_build", "tree_search", "multipole", "alm_zeta", "worker_total"} {
+		if _, ok := r.PhaseSec[phase]; !ok {
+			t.Errorf("missing phase %q", phase)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := sampleReport(t)
+	path := filepath.Join(t.TempDir(), "perf.json")
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pairs != r.Pairs || got.PairsPerSec != r.PairsPerSec || got.Label != r.Label {
+		t.Errorf("round trip changed report: %+v vs %+v", got, r)
+	}
+	if got.PhaseSec["multipole"] != r.PhaseSec["multipole"] {
+		t.Errorf("phase breakdown lost in round trip")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(path, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(path); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+	if _, err := ReadJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := sampleReport(t)
+	base.PairsPerSec = 1e6
+
+	fresh := *base
+	fresh.PairsPerSec = 0.9e6 // -10%: inside a 25% tolerance
+	if _, err := Compare(base, &fresh, 0.25); err != nil {
+		t.Errorf("10%% regression rejected at 25%% tolerance: %v", err)
+	}
+
+	fresh.PairsPerSec = 0.6e6 // -40%: regression
+	if _, err := Compare(base, &fresh, 0.25); err == nil {
+		t.Error("40% regression passed a 25% tolerance")
+	}
+
+	fresh.PairsPerSec = 2e6 // faster always passes
+	summary, err := Compare(base, &fresh, 0.25)
+	if err != nil {
+		t.Errorf("improvement rejected: %v", err)
+	}
+	if !strings.Contains(summary, "pairs/sec") {
+		t.Errorf("summary uninformative: %q", summary)
+	}
+}
+
+func TestCompareRejectsScenarioMismatch(t *testing.T) {
+	base := sampleReport(t)
+	other := *base
+	other.NGalaxies++
+	if _, err := Compare(base, &other, 0.25); err == nil {
+		t.Error("different scenarios compared")
+	}
+	other = *base
+	other.Pairs++
+	if _, err := Compare(base, &other, 0.25); err == nil {
+		t.Error("different pair counts compared")
+	}
+	other = *base
+	other.PairsPerSec = 0
+	if _, err := Compare(&other, base, 0.25); err == nil {
+		t.Error("zero-rate baseline accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -88,33 +88,129 @@ func (k *Kernel) Accumulate(xs, ys, zs, ws []float64, acc []float64) {
 	i := 0
 	for kk := 0; kk <= l; kk++ {
 		if kk > 0 {
-			for j := range xk {
-				xk[j] *= xs[j]
-			}
+			mulInto(xk, xs)
 		}
 		copy(xy, xk)
 		for p := 0; p <= l-kk; p++ {
 			if p > 0 {
-				for j := range xy {
-					xy[j] *= ys[j]
-				}
+				mulInto(xy, ys)
 			}
-			copy(cur, xy)
-			a := acc[i*Lanes : i*Lanes+Lanes]
-			for j := 0; j < n; j++ {
-				a[j&(Lanes-1)] += cur[j]
-			}
+			addLanes(acc[i*Lanes:i*Lanes+Lanes], xy)
 			i++
+			src := xy // the q recurrence starts from the z^0 products
 			for q := 1; q <= l-kk-p; q++ {
-				a := acc[i*Lanes : i*Lanes+Lanes]
-				for j := 0; j < n; j++ {
-					cur[j] *= zs[j]
-					a[j&(Lanes-1)] += cur[j]
-				}
+				mulAddLanes(acc[i*Lanes:i*Lanes+Lanes], cur, src, zs)
+				src = cur
 				i++
 			}
 		}
 	}
+}
+
+// mulInto multiplies dst elementwise by src (the x^k / y^p running-product
+// updates).
+func mulInto(dst, src []float64) {
+	for j, v := range src[:len(dst)] {
+		dst[j] *= v
+	}
+}
+
+// addLanes folds src into one monomial's Lanes-striped accumulator group a,
+// pair j landing in lane j & (Lanes-1). The lane sums are carried in
+// registers across the whole bucket, so the accumulator group is loaded and
+// stored once instead of once per pair.
+func addLanes(a, src []float64) {
+	a = a[:Lanes:Lanes]
+	a0, a1, a2, a3, a4, a5, a6, a7 := a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7]
+	j := 0
+	for ; j+Lanes <= len(src); j += Lanes {
+		s := src[j : j+Lanes : j+Lanes]
+		a0 += s[0]
+		a1 += s[1]
+		a2 += s[2]
+		a3 += s[3]
+		a4 += s[4]
+		a5 += s[5]
+		a6 += s[6]
+		a7 += s[7]
+	}
+	for ; j < len(src); j++ {
+		switch j & (Lanes - 1) {
+		case 0:
+			a0 += src[j]
+		case 1:
+			a1 += src[j]
+		case 2:
+			a2 += src[j]
+		case 3:
+			a3 += src[j]
+		case 4:
+			a4 += src[j]
+		case 5:
+			a5 += src[j]
+		case 6:
+			a6 += src[j]
+		default:
+			a7 += src[j]
+		}
+	}
+	a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7] = a0, a1, a2, a3, a4, a5, a6, a7
+}
+
+// mulAddLanes advances the z recurrence one power — dst = src .* zs — and
+// folds the products into one monomial's lane group a. dst aliases src after
+// the first power; keeping the products in dst feeds the next call. The lane
+// map and accumulation order match addLanes exactly, so bucket contents
+// produce identical lane sums to the pre-blocked loop.
+func mulAddLanes(a, dst, src, zs []float64) {
+	a = a[:Lanes:Lanes]
+	a0, a1, a2, a3, a4, a5, a6, a7 := a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7]
+	j := 0
+	for ; j+Lanes <= len(dst); j += Lanes {
+		d := dst[j : j+Lanes : j+Lanes]
+		s := src[j : j+Lanes : j+Lanes]
+		z := zs[j : j+Lanes : j+Lanes]
+		c0 := s[0] * z[0]
+		c1 := s[1] * z[1]
+		c2 := s[2] * z[2]
+		c3 := s[3] * z[3]
+		c4 := s[4] * z[4]
+		c5 := s[5] * z[5]
+		c6 := s[6] * z[6]
+		c7 := s[7] * z[7]
+		d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7] = c0, c1, c2, c3, c4, c5, c6, c7
+		a0 += c0
+		a1 += c1
+		a2 += c2
+		a3 += c3
+		a4 += c4
+		a5 += c5
+		a6 += c6
+		a7 += c7
+	}
+	for ; j < len(dst); j++ {
+		c := src[j] * zs[j]
+		dst[j] = c
+		switch j & (Lanes - 1) {
+		case 0:
+			a0 += c
+		case 1:
+			a1 += c
+		case 2:
+			a2 += c
+		case 3:
+			a3 += c
+		case 4:
+			a4 += c
+		case 5:
+			a5 += c
+		case 6:
+			a6 += c
+		default:
+			a7 += c
+		}
+	}
+	a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7] = a0, a1, a2, a3, a4, a5, a6, a7
 }
 
 // AccumulateScalar is the straightforward per-pair reference implementation

@@ -20,6 +20,16 @@ type ylmTerm struct {
 	c    complex128 // coefficient
 }
 
+// ylmTermRI is one sparse entry of the real- or imaginary-part expansion of
+// Y_lm: a real coefficient over one monomial. Every complex term of
+// buildYlmTerms has a purely real or purely imaginary coefficient (the i^a
+// factors of the (x+iy)^m binomial expansion), so the complex expansion
+// splits losslessly into two real ones of half the combined arithmetic.
+type ylmTermRI struct {
+	mono int32
+	c    float64
+}
+
 // YlmTable holds, for every (l, m >= 0) up to L, the expansion of the
 // complex spherical harmonic Y_lm evaluated on the unit sphere as a sparse
 // polynomial in (x, y, z):
@@ -30,10 +40,18 @@ type ylmTerm struct {
 // This is the bridge between the accumulated monomial sums M_kpq (Eq. 1 of
 // the paper) and the spherical-harmonic coefficients a_lm of each radial
 // shell: a_lm = sum_kpq c^{lm}_{kpq} M_kpq.
+//
+// Only m >= 0 is tabulated. The monomial sums the engine feeds through
+// Alm/AlmRI come from real weights, so a_{l,-m} = (-1)^m conj(a_{l,m})
+// (NegM) reconstructs every negative-m coefficient; tabulating them would
+// double the conversion work for no information. The expansions are stored
+// split into real- and imaginary-part term lists with real coefficients, so
+// the conversion is two real sparse dot products instead of one complex one.
 type YlmTable struct {
-	L     int
-	Mono  *MonomialTable
-	terms [][]ylmTerm
+	L       int
+	Mono    *MonomialTable
+	reTerms [][]ylmTermRI // per (l, m>=0): expansion of Re Y_lm
+	imTerms [][]ylmTermRI // per (l, m>=0): expansion of Im Y_lm
 }
 
 // NewYlmTable builds the expansion tables for all l <= L. The table shares
@@ -45,10 +63,23 @@ func NewYlmTable(l int, mono *MonomialTable) *YlmTable {
 	if mono.L < l {
 		panic(fmt.Sprintf("sphharm: monomial table order %d < L %d", mono.L, l))
 	}
-	t := &YlmTable{L: l, Mono: mono, terms: make([][]ylmTerm, PairCount(l))}
+	t := &YlmTable{
+		L:       l,
+		Mono:    mono,
+		reTerms: make([][]ylmTermRI, PairCount(l)),
+		imTerms: make([][]ylmTermRI, PairCount(l)),
+	}
 	for ll := 0; ll <= l; ll++ {
 		for m := 0; m <= ll; m++ {
-			t.terms[PairIndex(ll, m)] = buildYlmTerms(ll, m, mono)
+			i := PairIndex(ll, m)
+			for _, tm := range buildYlmTerms(ll, m, mono) {
+				if re := real(tm.c); re != 0 {
+					t.reTerms[i] = append(t.reTerms[i], ylmTermRI{mono: int32(tm.mono), c: re})
+				}
+				if im := imag(tm.c); im != 0 {
+					t.imTerms[i] = append(t.imTerms[i], ylmTermRI{mono: int32(tm.mono), c: im})
+				}
+			}
 		}
 	}
 	return t
@@ -85,13 +116,38 @@ func (t *YlmTable) Alm(m []float64, out []complex128) {
 	if len(out) != PairCount(t.L) {
 		panic("sphharm: Alm output length mismatch")
 	}
-	for i, terms := range t.terms {
-		var s complex128
-		for _, tm := range terms {
-			s += tm.c * complex(m[tm.mono], 0)
-		}
-		out[i] = s
+	for i := range out {
+		out[i] = complex(dotRI(t.reTerms[i], m), dotRI(t.imTerms[i], m))
 	}
+}
+
+// AlmRI is Alm with structure-of-arrays output: the real parts of every
+// (l, m >= 0) coefficient go to re and the imaginary parts to im (each of
+// length PairCount(L)). This is the engine's hot conversion path: two real
+// sparse dot products per coefficient, roughly half the arithmetic of the
+// complex-accumulator form, feeding the split zeta accumulation directly.
+func (t *YlmTable) AlmRI(m []float64, re, im []float64) {
+	if len(m) != t.Mono.Len() {
+		panic("sphharm: AlmRI monomial sum length mismatch")
+	}
+	if len(re) != PairCount(t.L) || len(im) != PairCount(t.L) {
+		panic("sphharm: AlmRI output length mismatch")
+	}
+	for i := range re {
+		re[i] = dotRI(t.reTerms[i], m)
+	}
+	for i := range im {
+		im[i] = dotRI(t.imTerms[i], m)
+	}
+}
+
+// dotRI evaluates one sparse real dot product over monomial sums.
+func dotRI(terms []ylmTermRI, m []float64) float64 {
+	var s float64
+	for _, tm := range terms {
+		s += tm.c * m[tm.mono]
+	}
+	return s
 }
 
 // EvalPoint evaluates Y_lm(xhat) for every (l, m >= 0) at a single unit
