@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build test test-race vet fmt-check bench bench-exp \
-	bench-baseline bench-check ci clean
+	bench-baseline bench-check examples-smoke ci clean
 
 all: build
 
@@ -13,10 +13,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race detector over the concurrency surfaces: the engine worker pool and
-# the sharded checkpointing pipeline.
+# Race detector over the concurrency surfaces: the engine worker pool, the
+# sharded checkpointing pipeline, and the execution layer's cancellation
+# paths.
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/shard/...
+	$(GO) test -race ./internal/core/... ./internal/shard/... ./internal/exec/...
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +48,13 @@ bench-baseline:
 bench-check:
 	$(GO) run ./cmd/galactos-bench -exp perfstat -perf-json BENCH_fresh.json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -fresh BENCH_fresh.json -threshold 0.25
+
+# Run every documented example entry point at tiny N: facade refactors
+# cannot silently break them. Each example takes a -n flag for exactly this.
+examples-smoke:
+	@set -e; for ex in examples/*/; do \
+		echo "== $$ex =="; $(GO) run ./$$ex -n 1200 > /dev/null; done
+	@echo "all examples ran clean"
 
 ci: fmt-check build vet test bench
 

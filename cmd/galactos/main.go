@@ -1,12 +1,17 @@
 // Command galactos computes the anisotropic (and isotropic) 3-point
 // correlation function of a galaxy catalog: the production entry point of
-// the library, mirroring the pipeline of the paper's Algorithm 1.
+// the library, mirroring the pipeline of the paper's Algorithm 1. Every run
+// goes through the unified execution layer (-backend): the in-memory
+// engine, the bounded-memory sharded pipeline (optionally streaming the
+// catalog from disk shard-by-shard), or the simulated multi-node pipeline.
+// SIGINT/SIGTERM cancel the run cleanly: completed shard checkpoints are
+// kept on disk so -resume can pick the run back up.
 //
 // Examples:
 //
 //	galactos -in catalog.glxc -rmax 200 -nbins 20 -lmax 10 -out zeta
-//	galactos -in survey.csv -los radial -ranks 4 -out zeta
-//	galactos -in huge.glxc -shards 16 -checkpoint-dir ckpt -resume -out zeta
+//	galactos -in survey.csv -los radial -backend dist -ranks 4 -out zeta
+//	galactos -in huge.glxc -backend sharded -shards 16 -stream -checkpoint-dir ckpt -resume -out zeta
 //
 // Outputs <out>.aniso.csv (channels zeta^m_{l1 l2}(r1, r2)) and
 // <out>.iso.csv (isotropic multipoles zeta_l(r1, r2)), plus a run summary
@@ -15,13 +20,18 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"galactos"
 	"galactos/internal/core"
+	"galactos/internal/exec"
 	"galactos/internal/perfmodel"
 )
 
@@ -38,14 +48,17 @@ func main() {
 		finder  = flag.String("finder", "kd32", "neighbor finder: kd32 | kd64 | grid")
 		isoOnly = flag.Bool("iso-only", false, "isotropic-only mode (SE15 baseline)")
 		noSelf  = flag.Bool("no-selfcount", false, "skip self-pair correction (raw kernel mode)")
-		ranks   = flag.Int("ranks", 1, "simulated MPI ranks (distributed pipeline)")
 		bucket  = flag.Int("bucket", 128, "pair bucket size")
+
+		backend = flag.String("backend", "", "execution backend: local | sharded | dist (default: inferred from -shards/-ranks)")
+		ranks   = flag.Int("ranks", 1, "simulated MPI ranks (dist backend)")
 
 		perfJSON = flag.String("perf-json", "", "write a machine-readable perfstat report (pairs/sec, FLOP rate, phase breakdown) to this path")
 
-		shards    = flag.Int("shards", 1, "spatial shards (bounded-memory out-of-core pipeline)")
+		shards    = flag.Int("shards", 1, "spatial shards (sharded backend)")
 		shardPar  = flag.Int("shard-concurrency", 1, "shards computed concurrently")
-		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-shard Result checkpoints (with -shards)")
+		stream    = flag.Bool("stream", false, "stream the catalog from disk shard-by-shard (sharded backend; bounds peak memory)")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-shard Result checkpoints (sharded backend)")
 		resume    = flag.Bool("resume", false, "reuse valid checkpoints found in -checkpoint-dir")
 		keepCkpts = flag.Bool("keep-checkpoints", false, "keep per-shard checkpoints after a successful merge")
 	)
@@ -55,12 +68,6 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	cat, err := galactos.LoadCatalog(*in)
-	if err != nil {
-		fatalf("loading %s: %v", *in, err)
-	}
-	fmt.Printf("loaded %d galaxies (box %.1f Mpc/h)\n", cat.Len(), cat.Box.L)
 
 	cfg := galactos.DefaultConfig()
 	cfg.RMax = *rmax
@@ -90,74 +97,114 @@ func main() {
 		fatalf("unknown -finder %q", *finder)
 	}
 
-	useSharded := *shards > 1 || *ckptDir != ""
-	if useSharded && *ranks > 1 {
-		fatalf("-shards/-checkpoint-dir and -ranks are alternative scale-out paths; pick one")
-	}
-	if !useSharded && (*resume || *keepCkpts || *shardPar != 1) {
-		fatalf("-resume, -keep-checkpoints and -shard-concurrency require -shards > 1 or -checkpoint-dir")
-	}
-
-	start := time.Now()
-	var res *galactos.Result
-	if useSharded {
-		var stats []galactos.ShardStats
-		res, stats, err = galactos.ComputeSharded(cat, cfg, galactos.ShardOptions{
-			NShards:       *shards,
-			MaxConcurrent: *shardPar,
-			CheckpointDir: *ckptDir,
-			Resume:        *resume,
-			Keep:          *keepCkpts,
-			Log: func(format string, args ...any) {
-				fmt.Printf("  "+format+"\n", args...)
-			},
-		})
-		if err == nil {
-			fmt.Printf("sharded over %d shards:\n", *shards)
-			for _, s := range stats {
-				state := ""
-				if s.Resumed {
-					state = "  (resumed)"
-				}
-				fmt.Printf("  shard %2d: owned %8d  halo %8d  pairs %12d  %v%s\n",
-					s.Shard, s.NOwned, s.NHalo, s.Pairs, s.Elapsed.Round(time.Millisecond), state)
-			}
+	// Backend selection: explicit -backend wins; otherwise the legacy
+	// flags imply it (-shards/-checkpoint-dir -> sharded, -ranks -> dist).
+	// A contradiction is an error, never a silent drop: a user who asked
+	// for shards must not get a fully-resident local run.
+	name := *backend
+	if name == "" {
+		switch {
+		case (*shards > 1 || *ckptDir != "" || *stream) && *ranks > 1:
+			fatalf("-shards/-checkpoint-dir/-stream and -ranks are alternative scale-out paths; pick one (or set -backend)")
+		case *shards > 1 || *ckptDir != "" || *stream:
+			name = "sharded"
+		case *ranks > 1:
+			name = "dist"
+		default:
+			name = "local"
 		}
-	} else if *ranks > 1 {
-		var stats []galactos.RankStats
-		res, stats, err = galactos.ComputeDistributed(cat, *ranks, cfg)
-		if err == nil {
-			fmt.Printf("distributed over %d ranks:\n", *ranks)
-			for _, s := range stats {
-				fmt.Printf("  rank %2d: owned %8d  halo %8d  pairs %12d  %v\n",
-					s.Rank, s.NOwned, s.NHalo, s.Pairs, s.Elapsed.Round(time.Millisecond))
-			}
-		}
-	} else {
-		res, err = galactos.Compute(cat, cfg)
 	}
+	if name != "sharded" && (*shards > 1 || *resume || *keepCkpts || *stream || *shardPar != 1 || *ckptDir != "") {
+		fatalf("-shards, -resume, -keep-checkpoints, -stream, -checkpoint-dir and -shard-concurrency require the sharded backend (got -backend %s)", name)
+	}
+	if name != "dist" && *ranks > 1 {
+		fatalf("-ranks requires the dist backend (got -backend %s)", name)
+	}
+	if *stream && *shardPar != 1 {
+		fatalf("-shard-concurrency has no effect with -stream (the streaming pipeline is the minimum-memory path and computes slabs sequentially)")
+	}
+	spec := exec.Spec{
+		Name:             name,
+		Shards:           *shards,
+		ShardConcurrency: *shardPar,
+		CheckpointDir:    *ckptDir,
+		Resume:           *resume,
+		Keep:             *keepCkpts,
+		Stream:           *stream,
+		Ranks:            *ranks,
+	}
+	b, err := spec.Backend()
 	if err != nil {
 		fatalf("%v", err)
 	}
-	elapsed := time.Since(start)
+
+	// SIGINT/SIGTERM cancel the context: in-flight engines stop at their
+	// next scheduling chunk, completed shard checkpoints stay on disk.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	// The streaming sharded backend never materializes the catalog; every
+	// other path loads it up front.
+	src := galactos.NewFileSource(*in)
+	if !(*stream && name == "sharded") {
+		cat, err := galactos.LoadCatalog(*in)
+		if err != nil {
+			fatalf("loading %s: %v", *in, err)
+		}
+		fmt.Printf("loaded %d galaxies (box %.1f Mpc/h)\n", cat.Len(), cat.Box.L)
+		src = galactos.NewMemorySource(cat)
+	} else {
+		fmt.Printf("streaming %s (catalog never fully resident)\n", *in)
+	}
+
+	run, err := exec.Run(ctx, b, &exec.Job{
+		Source: src,
+		Config: cfg,
+		Label:  "galactos-run",
+		Log: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			msg := "interrupted"
+			if *ckptDir != "" {
+				msg += "; completed shard checkpoints kept in " + *ckptDir + " (rerun with -resume)"
+			}
+			fatalf("%s", msg)
+		}
+		fatalf("%v", err)
+	}
+	res := run.Result
+
+	if name != "local" {
+		fmt.Printf("%s over %d units:\n", b.Name(), len(run.Units))
+		for _, u := range run.Units {
+			state := ""
+			if u.Resumed {
+				state = "  (resumed)"
+			}
+			fmt.Printf("  unit %2d: owned %8d  halo %8d  pairs %12d  %v%s\n",
+				u.Unit, u.NOwned, u.NHalo, u.Pairs, u.Elapsed.Round(time.Millisecond), state)
+		}
+	}
 
 	fmt.Printf("primaries:     %d\n", res.NPrimaries)
 	fmt.Printf("pairs:         %d\n", res.Pairs)
-	fmt.Printf("time:          %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("time:          %v\n", run.Elapsed.Round(time.Millisecond))
 	fmt.Printf("model flops:   %.3e (%.2f GF/s sustained)\n",
-		res.FlopsEstimate(), perfmodel.GF(res.FlopsEstimate()/elapsed.Seconds()))
-	b := res.Timings
+		res.FlopsEstimate(), perfmodel.GF(res.FlopsEstimate()/run.Elapsed.Seconds()))
+	bd := res.Timings
 	fmt.Printf("breakdown:     build %v | search %v | multipole %v | self %v | alm+zeta %v\n",
-		b.TreeBuild.Round(time.Millisecond), b.TreeSearch.Round(time.Millisecond),
-		b.Multipole.Round(time.Millisecond), b.SelfCount.Round(time.Millisecond),
-		b.AlmZeta.Round(time.Millisecond))
+		bd.TreeBuild.Round(time.Millisecond), bd.TreeSearch.Round(time.Millisecond),
+		bd.Multipole.Round(time.Millisecond), bd.SelfCount.Round(time.Millisecond),
+		bd.AlmZeta.Round(time.Millisecond))
 
 	if *perfJSON != "" {
-		report := galactos.CollectPerf("galactos-run", res, elapsed)
-		if err := report.WriteJSON(*perfJSON); err != nil {
+		if err := run.Perf.WriteJSON(*perfJSON); err != nil {
 			fatalf("writing perf report: %v", err)
 		}
-		fmt.Printf("wrote perf report %s (%.3e pairs/s)\n", *perfJSON, report.PairsPerSec)
+		fmt.Printf("wrote perf report %s (%.3e pairs/s)\n", *perfJSON, run.Perf.PairsPerSec)
 	}
 
 	if err := writeAniso(*out+".aniso.csv", res); err != nil {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"strings"
@@ -14,8 +15,10 @@ import (
 )
 
 func main() {
+	nFlag := flag.Int("n", 8000, "galaxies per catalog (small values smoke-test only)")
+	flag.Parse()
+	n := *nFlag
 	const boxL = 420.0
-	const n = 8000
 
 	// Exaggerate the shell population relative to real surveys so the
 	// feature rises above shot noise at laptop-scale N (the paper's figure

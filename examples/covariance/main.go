@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -18,7 +19,9 @@ import (
 )
 
 func main() {
-	const n = 24000
+	nFlag := flag.Int("n", 24000, "catalog size (small values smoke-test only)")
+	flag.Parse()
+	n := *nFlag
 	const boxL = 320.0
 	const cells = 3 // 3x3x3 = 27 jackknife sub-volumes
 

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -12,10 +13,13 @@ import (
 )
 
 func main() {
-	// A BOSS-like clustered mock: 20,000 galaxies in a 200 Mpc/h periodic
-	// box. The only required input is the 3-D positions (Sec. 1.3 of the
-	// paper); weights default to 1.
-	cat := galactos.GenerateClustered(10000, 200, galactos.DefaultClusterParams(), 1)
+	nFlag := flag.Int("n", 10000, "catalog size (small values smoke-test only)")
+	flag.Parse()
+	n := *nFlag
+	// A BOSS-like clustered mock in a 200 Mpc/h periodic box. The only
+	// required input is the 3-D positions (Sec. 1.3 of the paper); weights
+	// default to 1.
+	cat := galactos.GenerateClustered(n, 200, galactos.DefaultClusterParams(), 1)
 	fmt.Printf("catalog: %d galaxies, box %.0f Mpc/h, density %.4f (Mpc/h)^-3\n",
 		cat.Len(), cat.Box.L, cat.Density())
 

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -19,7 +20,9 @@ import (
 )
 
 func main() {
-	const n = 15000
+	nFlag := flag.Int("n", 15000, "catalog size (small values smoke-test only)")
+	flag.Parse()
+	n := *nFlag
 	const boxL = 250.0
 
 	params := galactos.DefaultClusterParams()

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -23,9 +24,12 @@ func main() {
 	// resident state rather than garbage awaiting collection.
 	debug.SetGCPercent(20)
 	// A catalog sized so the engine state is noticeable: 60,000 clustered
-	// galaxies. At 2 billion this catalog would not fit in memory at all;
-	// the shard loop's footprint is what would still be bounded.
-	const n = 60000
+	// galaxies by default. At 2 billion this catalog would not fit in
+	// memory at all; the shard loop's footprint is what would still be
+	// bounded.
+	nFlag := flag.Int("n", 60000, "catalog size (small values smoke-test only)")
+	flag.Parse()
+	n := *nFlag
 	cat := galactos.GenerateClustered(n, 600, galactos.DefaultClusterParams(), 1)
 	fmt.Printf("catalog: %d galaxies, box %.0f Mpc/h\n\n", cat.Len(), cat.Box.L)
 

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -22,8 +23,10 @@ import (
 )
 
 func main() {
+	nFlag := flag.Int("n", 20000, "data catalog size (small values smoke-test only)")
+	flag.Parse()
 	const boxL = 240.0
-	const nData = 20000
+	nData := *nFlag
 
 	// The "true" universe: a clustered periodic box.
 	full := galactos.GenerateClustered(nData, boxL, galactos.DefaultClusterParams(), 11)

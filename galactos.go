@@ -20,15 +20,16 @@
 package galactos
 
 import (
+	"context"
 	"time"
 
 	"galactos/internal/bruteforce"
 	"galactos/internal/catalog"
 	"galactos/internal/core"
 	"galactos/internal/estimator"
+	"galactos/internal/exec"
 	"galactos/internal/geom"
 	"galactos/internal/gridded"
-	"galactos/internal/mpi"
 	"galactos/internal/partition"
 	"galactos/internal/perfstat"
 	"galactos/internal/shard"
@@ -100,9 +101,77 @@ const (
 // scheduling.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
+// Backend is one execution strategy of the unified execution layer
+// (internal/exec): Local, Sharded, or Distributed. All three run the same
+// job descriptor and feed the same telemetry; see DESIGN.md, "Execution
+// layer".
+type Backend = exec.Backend
+
+// BackendSpec selects and parameterizes a backend from flag-shaped inputs
+// (the cmd/galactos -backend surface).
+type BackendSpec = exec.Spec
+
+// UnitStats is the uniform per-unit (engine run / shard / rank) report of a
+// backend run.
+type UnitStats = exec.UnitStats
+
+// RunResult bundles a backend run's outputs: the merged Result, per-unit
+// statistics, and the uniform perfstat report.
+type RunResult = exec.RunResult
+
+// CatalogSource streams a catalog in chunks; see NewFileSource for the
+// out-of-core entry point.
+type CatalogSource = catalog.Source
+
+// NewMemorySource adapts an in-memory catalog to the streaming interface.
+func NewMemorySource(cat *Catalog) CatalogSource { return catalog.NewMemorySource(cat) }
+
+// NewFileSource streams a catalog file (binary, or CSV for .csv paths)
+// without loading it into memory; the sharded backend consumes it
+// shard-by-shard, so peak memory stays bounded by one shard.
+func NewFileSource(path string) CatalogSource { return catalog.NewFileSource(path) }
+
+// LocalBackend runs the single-node in-memory engine.
+func LocalBackend() Backend { return exec.Local{} }
+
+// ShardedBackend runs the bounded-memory out-of-core pipeline. A Log in
+// opts becomes the run's progress logger.
+func ShardedBackend(nshards int, opts ShardOptions) Backend {
+	b := Backend(exec.Sharded{
+		NShards:       nshards,
+		MaxConcurrent: opts.MaxConcurrent,
+		CheckpointDir: opts.CheckpointDir,
+		Resume:        opts.Resume,
+		Keep:          opts.Keep,
+	})
+	if opts.Log != nil {
+		b = exec.WithLog(b, opts.Log)
+	}
+	return b
+}
+
+// DistributedBackend runs the simulated multi-node pipeline over nranks
+// in-process ranks.
+func DistributedBackend(nranks int) Backend { return exec.Distributed{Ranks: nranks} }
+
+// RunBackend executes a 3PCF job on any backend under the shared timing and
+// perfstat telemetry. Cancelling ctx (deadline, SIGINT, ...) stops the run
+// promptly with ctx.Err(); a cancelled checkpointed sharded run leaves a
+// resumable checkpoint directory.
+func RunBackend(ctx context.Context, b Backend, src CatalogSource, cfg Config) (*RunResult, error) {
+	return exec.Run(ctx, b, &exec.Job{Source: src, Config: cfg})
+}
+
 // Compute runs the single-node anisotropic 3PCF over a catalog.
 func Compute(cat *Catalog, cfg Config) (*Result, error) {
-	return core.Compute(cat, cfg)
+	return ComputeContext(context.Background(), cat, cfg)
+}
+
+// ComputeContext is Compute under a context: cancelling ctx stops the
+// worker loop at its next scheduling chunk and returns ctx.Err().
+func ComputeContext(ctx context.Context, cat *Catalog, cfg Config) (*Result, error) {
+	res, _, err := exec.Local{}.Run(ctx, &exec.Job{Source: catalog.NewMemorySource(cat), Config: cfg})
+	return res, err
 }
 
 // ComputeSubset computes with an explicit primary mask (halo copies or
@@ -117,20 +186,16 @@ func ComputeSubset(cat *Catalog, primary []bool, cfg Config) (*Result, error) {
 // the in-process message-passing runtime. It returns the reduced result and
 // per-rank load statistics.
 func ComputeDistributed(cat *Catalog, nranks int, cfg Config) (*Result, []RankStats, error) {
-	var res *Result
-	var st []RankStats
-	var firstErr error
-	mpi.Run(nranks, func(c *mpi.Comm) {
-		var in *Catalog
-		if c.Rank() == 0 {
-			in = cat
-		}
-		r, s, err := partition.ComputeDistributed(c, in, cfg)
-		if c.Rank() == 0 {
-			res, st, firstErr = r, s, err
-		}
-	})
-	return res, st, firstErr
+	res, units, err := exec.Distributed{Ranks: nranks}.Run(context.Background(),
+		&exec.Job{Source: catalog.NewMemorySource(cat), Config: cfg})
+	if err != nil {
+		return nil, nil, err
+	}
+	st := make([]RankStats, len(units))
+	for i, u := range units {
+		st[i] = RankStats{Rank: u.Unit, NOwned: u.NOwned, NHalo: u.NHalo, Pairs: u.Pairs, Elapsed: u.Elapsed}
+	}
+	return res, st, nil
 }
 
 // ShardStats reports per-shard load statistics from a sharded run.
@@ -147,14 +212,45 @@ type ShardOptions = shard.Options
 // matches single-shot Compute to floating-point rounding while the peak
 // engine footprint is that of one shard.
 func ShardedCompute(cat *Catalog, nshards int, cfg Config) (*Result, []ShardStats, error) {
-	return shard.ShardedCompute(cat, nshards, cfg)
+	return ComputeSharded(cat, cfg, ShardOptions{NShards: nshards})
 }
 
 // ComputeSharded is ShardedCompute with full options: bounded shard
 // concurrency, per-shard checkpoints of the partial Result in the versioned
 // binary format, and resume-from-checkpoint after a killed run.
 func ComputeSharded(cat *Catalog, cfg Config, opts ShardOptions) (*Result, []ShardStats, error) {
-	return shard.Compute(cat, cfg, opts)
+	return ComputeShardedContext(context.Background(), cat, cfg, opts)
+}
+
+// ComputeShardedContext is ComputeSharded under a context: cancellation
+// stops the pipeline promptly and leaves completed shards' checkpoints (and
+// the manifest) on disk, so the run is resumable like a killed one.
+func ComputeShardedContext(ctx context.Context, cat *Catalog, cfg Config, opts ShardOptions) (*Result, []ShardStats, error) {
+	b := exec.Sharded{
+		NShards:       opts.NShards,
+		MaxConcurrent: opts.MaxConcurrent,
+		CheckpointDir: opts.CheckpointDir,
+		Resume:        opts.Resume,
+		Keep:          opts.Keep,
+	}
+	res, units, err := b.Run(ctx, &exec.Job{Source: catalog.NewMemorySource(cat), Config: cfg, Log: opts.Log})
+	if err != nil {
+		return nil, nil, err
+	}
+	st := make([]ShardStats, len(units))
+	for i, u := range units {
+		st[i] = ShardStats{Shard: u.Unit, NOwned: u.NOwned, NHalo: u.NHalo,
+			Pairs: u.Pairs, Elapsed: u.Elapsed, Resumed: u.Resumed}
+	}
+	return res, st, nil
+}
+
+// ComputeShardedStream runs the sharded pipeline over a streaming catalog
+// source (e.g. NewFileSource): the catalog is never loaded whole — three
+// sequential passes plan equal-count slabs, spill each slab's galaxies plus
+// halo to disk, and the engine computes one slab at a time.
+func ComputeShardedStream(ctx context.Context, src CatalogSource, cfg Config, opts ShardOptions) (*Result, []ShardStats, error) {
+	return shard.ComputeStream(ctx, src, cfg, opts)
 }
 
 // SaveResult writes a Result checkpoint in the versioned binary format

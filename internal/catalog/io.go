@@ -7,7 +7,6 @@ import (
 	"io"
 	"math"
 	"os"
-	"strconv"
 	"strings"
 
 	"galactos/internal/geom"
@@ -28,6 +27,22 @@ const (
 	binaryVersion = 1
 )
 
+// RecordSize is the byte length of one packed (x, y, z, w) record — the
+// unit of the binary catalog body and of the streaming pipeline's spill
+// files.
+const RecordSize = 32
+
+// PutRecord packs g into dst[:RecordSize].
+func PutRecord(dst []byte, g Galaxy) {
+	binary.LittleEndian.PutUint64(dst[0:8], math.Float64bits(g.Pos.X))
+	binary.LittleEndian.PutUint64(dst[8:16], math.Float64bits(g.Pos.Y))
+	binary.LittleEndian.PutUint64(dst[16:24], math.Float64bits(g.Pos.Z))
+	binary.LittleEndian.PutUint64(dst[24:32], math.Float64bits(g.Weight))
+}
+
+// GetRecord unpacks one record from src[:RecordSize].
+func GetRecord(src []byte) Galaxy { return decodeRecord(src) }
+
 // WriteBinary writes the catalog in the binary format.
 func WriteBinary(w io.Writer, c *Catalog) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
@@ -41,12 +56,9 @@ func WriteBinary(w io.Writer, c *Catalog) error {
 	if _, err := bw.Write(hdr); err != nil {
 		return err
 	}
-	rec := make([]byte, 32)
+	rec := make([]byte, RecordSize)
 	for _, g := range c.Galaxies {
-		binary.LittleEndian.PutUint64(rec[0:8], math.Float64bits(g.Pos.X))
-		binary.LittleEndian.PutUint64(rec[8:16], math.Float64bits(g.Pos.Y))
-		binary.LittleEndian.PutUint64(rec[16:24], math.Float64bits(g.Pos.Z))
-		binary.LittleEndian.PutUint64(rec[24:32], math.Float64bits(g.Weight))
+		PutRecord(rec, g)
 		if _, err := bw.Write(rec); err != nil {
 			return err
 		}
@@ -54,24 +66,46 @@ func WriteBinary(w io.Writer, c *Catalog) error {
 	return bw.Flush()
 }
 
+// readBinaryHeader parses the fixed header, returning the box side and the
+// declared galaxy count.
+func readBinaryHeader(br io.Reader) (l float64, n uint64, err error) {
+	head := make([]byte, 24)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return 0, 0, fmt.Errorf("catalog: reading header: %w", err)
+	}
+	if string(head[0:4]) != binaryMagic {
+		return 0, 0, fmt.Errorf("catalog: bad magic %q", head[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:8]); v != binaryVersion {
+		return 0, 0, fmt.Errorf("catalog: unsupported version %d", v)
+	}
+	l = math.Float64frombits(binary.LittleEndian.Uint64(head[8:16]))
+	n = binary.LittleEndian.Uint64(head[16:24])
+	const maxGalaxies = 1 << 33
+	if n > maxGalaxies {
+		return 0, 0, fmt.Errorf("catalog: implausible galaxy count %d", n)
+	}
+	return l, n, nil
+}
+
+// decodeRecord unpacks one 32-byte (x, y, z, w) record.
+func decodeRecord(rec []byte) Galaxy {
+	return Galaxy{
+		Pos: geom.Vec3{
+			X: math.Float64frombits(binary.LittleEndian.Uint64(rec[0:8])),
+			Y: math.Float64frombits(binary.LittleEndian.Uint64(rec[8:16])),
+			Z: math.Float64frombits(binary.LittleEndian.Uint64(rec[16:24])),
+		},
+		Weight: math.Float64frombits(binary.LittleEndian.Uint64(rec[24:32])),
+	}
+}
+
 // ReadBinary reads a catalog in the binary format.
 func ReadBinary(r io.Reader) (*Catalog, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	head := make([]byte, 24)
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("catalog: reading header: %w", err)
-	}
-	if string(head[0:4]) != binaryMagic {
-		return nil, fmt.Errorf("catalog: bad magic %q", head[0:4])
-	}
-	if v := binary.LittleEndian.Uint32(head[4:8]); v != binaryVersion {
-		return nil, fmt.Errorf("catalog: unsupported version %d", v)
-	}
-	l := math.Float64frombits(binary.LittleEndian.Uint64(head[8:16]))
-	n := binary.LittleEndian.Uint64(head[16:24])
-	const maxGalaxies = 1 << 33
-	if n > maxGalaxies {
-		return nil, fmt.Errorf("catalog: implausible galaxy count %d", n)
+	l, n, err := readBinaryHeader(br)
+	if err != nil {
+		return nil, err
 	}
 	c := &Catalog{Box: geom.Periodic{L: l}, Galaxies: make([]Galaxy, n)}
 	rec := make([]byte, 32)
@@ -79,14 +113,7 @@ func ReadBinary(r io.Reader) (*Catalog, error) {
 		if _, err := io.ReadFull(br, rec); err != nil {
 			return nil, fmt.Errorf("catalog: reading record %d: %w", i, err)
 		}
-		c.Galaxies[i] = Galaxy{
-			Pos: geom.Vec3{
-				X: math.Float64frombits(binary.LittleEndian.Uint64(rec[0:8])),
-				Y: math.Float64frombits(binary.LittleEndian.Uint64(rec[8:16])),
-				Z: math.Float64frombits(binary.LittleEndian.Uint64(rec[16:24])),
-			},
-			Weight: math.Float64frombits(binary.LittleEndian.Uint64(rec[24:32])),
-		}
+		c.Galaxies[i] = decodeRecord(rec)
 	}
 	return c, nil
 }
@@ -107,50 +134,23 @@ func WriteCSV(w io.Writer, c *Catalog) error {
 
 // ReadCSV reads rows of "x,y,z[,w]" (weight defaults to 1). Lines starting
 // with '#' are comments; a "L=<val>" token in a comment sets the box side.
+// It drains the streaming CSV cursor — the one implementation of the
+// dialect.
 func ReadCSV(r io.Reader) (*Catalog, error) {
+	cur := newCSVCursor(r, nil)
 	c := &Catalog{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+	buf := make([]Galaxy, ChunkSize)
+	for {
+		n, err := cur.Next(buf)
+		c.Galaxies = append(c.Galaxies, buf[:n]...)
+		if err == io.EOF {
+			break
 		}
-		if strings.HasPrefix(line, "#") {
-			for _, tok := range strings.Fields(line) {
-				if v, ok := strings.CutPrefix(tok, "L="); ok {
-					l, err := strconv.ParseFloat(v, 64)
-					if err != nil {
-						return nil, fmt.Errorf("catalog: line %d: bad L: %w", lineNo, err)
-					}
-					c.Box.L = l
-				}
-			}
-			continue
+		if err != nil {
+			return nil, err
 		}
-		fields := strings.Split(line, ",")
-		if len(fields) != 3 && len(fields) != 4 {
-			return nil, fmt.Errorf("catalog: line %d: want 3 or 4 fields, got %d", lineNo, len(fields))
-		}
-		var vals [4]float64
-		vals[3] = 1
-		for i, f := range fields {
-			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-			if err != nil {
-				return nil, fmt.Errorf("catalog: line %d field %d: %w", lineNo, i, err)
-			}
-			vals[i] = v
-		}
-		c.Galaxies = append(c.Galaxies, Galaxy{
-			Pos:    geom.Vec3{X: vals[0], Y: vals[1], Z: vals[2]},
-			Weight: vals[3],
-		})
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
+	c.Box = cur.Box()
 	return c, nil
 }
 

@@ -1,0 +1,278 @@
+package catalog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"galactos/internal/geom"
+)
+
+// Source streams a catalog in chunks without requiring it to be resident in
+// memory: the ingestion abstraction of the execution layer (see DESIGN.md,
+// "Execution layer"). A Source can be opened repeatedly — the streaming
+// sharded pipeline makes several sequential passes (bounds, slab histogram,
+// spill) — and each Open starts a fresh pass from the first galaxy.
+type Source interface {
+	// Open starts a new pass over the galaxies.
+	Open() (Cursor, error)
+}
+
+// Cursor is one in-progress pass over a Source's galaxies.
+type Cursor interface {
+	// Box returns the periodic geometry. For the binary format it is known
+	// as soon as the cursor opens; for CSV it is complete once the cursor
+	// has passed the comment line carrying the L= token (drain the cursor
+	// before trusting it).
+	Box() geom.Periodic
+	// Next fills buf with the next galaxies and returns how many were
+	// written. It returns 0, io.EOF at the end of the pass.
+	Next(buf []Galaxy) (int, error)
+	// Close releases the pass's resources.
+	Close() error
+}
+
+// ChunkSize is the suggested Next buffer length for streaming consumers:
+// large enough to amortize per-call overhead, small enough to stay cache-
+// and memory-friendly (32 bytes per galaxy -> 2 MB chunks).
+const ChunkSize = 1 << 16
+
+// ReadAll materializes a Source into an in-memory catalog.
+func ReadAll(src Source) (*Catalog, error) {
+	if m, ok := src.(*MemorySource); ok && m.Cat != nil {
+		return m.Cat, nil
+	}
+	cur, err := src.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	c := &Catalog{}
+	buf := make([]Galaxy, ChunkSize)
+	for {
+		n, err := cur.Next(buf)
+		c.Galaxies = append(c.Galaxies, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.Box = cur.Box()
+	return c, nil
+}
+
+// MemorySource adapts an in-memory catalog to the Source interface — the
+// degenerate (everything already resident) case, and the fast path the
+// execution layer unwraps where possible.
+type MemorySource struct{ Cat *Catalog }
+
+// NewMemorySource wraps an in-memory catalog.
+func NewMemorySource(c *Catalog) *MemorySource { return &MemorySource{Cat: c} }
+
+// Open starts a pass over the in-memory galaxies.
+func (s *MemorySource) Open() (Cursor, error) {
+	if s.Cat == nil {
+		return nil, fmt.Errorf("catalog: nil catalog in MemorySource")
+	}
+	return &memoryCursor{cat: s.Cat}, nil
+}
+
+type memoryCursor struct {
+	cat *Catalog
+	pos int
+}
+
+func (c *memoryCursor) Box() geom.Periodic { return c.cat.Box }
+
+func (c *memoryCursor) Next(buf []Galaxy) (int, error) {
+	if c.pos >= len(c.cat.Galaxies) {
+		return 0, io.EOF
+	}
+	n := copy(buf, c.cat.Galaxies[c.pos:])
+	c.pos += n
+	return n, nil
+}
+
+func (c *memoryCursor) Close() error { return nil }
+
+// FileSource streams a catalog file, dispatching on extension like Load:
+// ".csv" uses the CSV cursor, anything else the binary cursor. Each Open
+// reopens the file, so repeated passes never require the catalog resident.
+type FileSource struct{ Path string }
+
+// NewFileSource streams the catalog file at path.
+func NewFileSource(path string) *FileSource { return &FileSource{Path: path} }
+
+// Open starts a new pass by reopening the file.
+func (s *FileSource) Open() (Cursor, error) {
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(s.Path, ".csv") {
+		return newCSVCursor(f, f), nil
+	}
+	cur, err := OpenBinary(f, f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return cur, nil
+}
+
+// OpenBinary starts a streaming pass over a binary-format catalog carried
+// by any io.Reader. closer, when non-nil, is closed by Cursor.Close.
+func OpenBinary(r io.Reader, closer io.Closer) (Cursor, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	l, n, err := readBinaryHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	return &binaryCursor{br: br, closer: closer, box: geom.Periodic{L: l}, remaining: n}, nil
+}
+
+type binaryCursor struct {
+	br        *bufio.Reader
+	closer    io.Closer
+	box       geom.Periodic
+	remaining uint64
+	rec       [32]byte
+}
+
+func (c *binaryCursor) Box() geom.Periodic { return c.box }
+
+func (c *binaryCursor) Next(buf []Galaxy) (int, error) {
+	if c.remaining == 0 {
+		return 0, io.EOF
+	}
+	n := len(buf)
+	if uint64(n) > c.remaining {
+		n = int(c.remaining)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(c.br, c.rec[:]); err != nil {
+			return i, fmt.Errorf("catalog: reading record: %w", err)
+		}
+		buf[i] = decodeRecord(c.rec[:])
+	}
+	c.remaining -= uint64(n)
+	if c.remaining == 0 {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (c *binaryCursor) Close() error {
+	if c.closer != nil {
+		return c.closer.Close()
+	}
+	return nil
+}
+
+// newCSVCursor starts a streaming pass over CSV rows of "x,y,z[,w]" (the
+// ReadCSV dialect: '#' comments, an optional "L=<val>" box token).
+func newCSVCursor(r io.Reader, closer io.Closer) Cursor {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	return &csvCursor{sc: sc, closer: closer}
+}
+
+type csvCursor struct {
+	sc     *bufio.Scanner
+	closer io.Closer
+	box    geom.Periodic
+	lineNo int
+}
+
+func (c *csvCursor) Box() geom.Periodic { return c.box }
+
+func (c *csvCursor) Next(buf []Galaxy) (int, error) {
+	n := 0
+	for n < len(buf) {
+		if !c.sc.Scan() {
+			if err := c.sc.Err(); err != nil {
+				return n, err
+			}
+			return n, io.EOF
+		}
+		c.lineNo++
+		line := strings.TrimSpace(c.sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			for _, tok := range strings.Fields(line) {
+				if v, ok := strings.CutPrefix(tok, "L="); ok {
+					l, err := strconv.ParseFloat(v, 64)
+					if err != nil {
+						return n, fmt.Errorf("catalog: line %d: bad L: %w", c.lineNo, err)
+					}
+					c.box.L = l
+				}
+			}
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 3 && len(fields) != 4 {
+			return n, fmt.Errorf("catalog: line %d: want 3 or 4 fields, got %d", c.lineNo, len(fields))
+		}
+		var vals [4]float64
+		vals[3] = 1
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return n, fmt.Errorf("catalog: line %d field %d: %w", c.lineNo, i, err)
+			}
+			vals[i] = v
+		}
+		buf[n] = Galaxy{Pos: geom.Vec3{X: vals[0], Y: vals[1], Z: vals[2]}, Weight: vals[3]}
+		n++
+	}
+	return n, nil
+}
+
+func (c *csvCursor) Close() error {
+	if c.closer != nil {
+		return c.closer.Close()
+	}
+	return nil
+}
+
+// SpoolSource is a multi-pass Source built from a one-shot io.Reader: the
+// stream is spooled to a temporary file once, and every pass reopens it.
+// Close removes the spool file.
+type SpoolSource struct {
+	file *FileSource
+}
+
+// NewReaderSource spools a one-shot binary-format stream into dir (""
+// selects the default temp directory) and returns a re-openable Source over
+// it. The caller owns the returned source and must Close it to delete the
+// spool file.
+func NewReaderSource(r io.Reader, dir string) (*SpoolSource, error) {
+	f, err := os.CreateTemp(dir, "galactos-spool-*.glxc")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := io.Copy(f, r); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, fmt.Errorf("catalog: spooling stream: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return nil, err
+	}
+	return &SpoolSource{file: &FileSource{Path: f.Name()}}, nil
+}
+
+// Open starts a new pass over the spooled stream.
+func (s *SpoolSource) Open() (Cursor, error) { return s.file.Open() }
+
+// Close deletes the spool file.
+func (s *SpoolSource) Close() error { return os.Remove(s.file.Path) }

@@ -1,0 +1,150 @@
+package catalog
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sourceFixture() *Catalog {
+	return Clustered(1234, 150, DefaultClusterParams(), 11)
+}
+
+func assertSameCatalog(t *testing.T, got, want *Catalog) {
+	t.Helper()
+	if got.Box != want.Box {
+		t.Fatalf("box differs: %+v vs %+v", got.Box, want.Box)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("length differs: %d vs %d", got.Len(), want.Len())
+	}
+	for i := range want.Galaxies {
+		if got.Galaxies[i] != want.Galaxies[i] {
+			t.Fatalf("galaxy %d differs: %+v vs %+v", i, got.Galaxies[i], want.Galaxies[i])
+		}
+	}
+}
+
+// drain reads a source with a deliberately awkward buffer size so chunk
+// boundaries are exercised.
+func drain(t *testing.T, src Source, bufLen int) *Catalog {
+	t.Helper()
+	cur, err := src.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	out := &Catalog{}
+	buf := make([]Galaxy, bufLen)
+	for {
+		n, err := cur.Next(buf)
+		out.Galaxies = append(out.Galaxies, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	out.Box = cur.Box()
+	return out
+}
+
+func TestMemorySourceRoundTrip(t *testing.T) {
+	cat := sourceFixture()
+	got := drain(t, NewMemorySource(cat), 7)
+	assertSameCatalog(t, got, cat)
+}
+
+func TestFileSourceBinaryRoundTrip(t *testing.T) {
+	cat := sourceFixture()
+	path := filepath.Join(t.TempDir(), "cat.glxc")
+	if err := SaveBinary(path, cat); err != nil {
+		t.Fatal(err)
+	}
+	src := NewFileSource(path)
+	// Two passes: the streaming pipeline reopens sources repeatedly.
+	assertSameCatalog(t, drain(t, src, 100), cat)
+	assertSameCatalog(t, drain(t, src, 999), cat)
+}
+
+func TestFileSourceCSVRoundTrip(t *testing.T) {
+	cat := sourceFixture()
+	path := filepath.Join(t.TempDir(), "cat.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(f, cat); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, NewFileSource(path), 63)
+	assertSameCatalog(t, got, cat)
+}
+
+func TestReaderSourceSpoolsAndDeletes(t *testing.T) {
+	cat := sourceFixture()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, cat); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	src, err := NewReaderSource(bytes.NewReader(buf.Bytes()), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCatalog(t, drain(t, src, 11), cat)
+	assertSameCatalog(t, drain(t, src, 512), cat) // re-openable
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, "*"))
+	if len(left) != 0 {
+		t.Fatalf("spool file not deleted: %v", left)
+	}
+}
+
+func TestReadAllMatchesLoad(t *testing.T) {
+	cat := sourceFixture()
+	path := filepath.Join(t.TempDir(), "cat.glxc")
+	if err := SaveBinary(path, cat); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewFileSource(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCatalog(t, got, cat)
+	// The memory fast path must hand back the identical catalog.
+	if mem, err := ReadAll(NewMemorySource(cat)); err != nil || mem != cat {
+		t.Fatalf("memory fast path copied the catalog (err %v)", err)
+	}
+}
+
+func TestBinaryCursorRejectsTruncation(t *testing.T) {
+	cat := sourceFixture()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, cat); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-17]
+	cur, err := OpenBinary(bytes.NewReader(trunc), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := make([]Galaxy, ChunkSize)
+	for {
+		_, err = cur.Next(g)
+		if err != nil {
+			break
+		}
+	}
+	if err == io.EOF {
+		t.Fatal("truncated stream drained without error")
+	}
+}

@@ -151,8 +151,12 @@ func DefaultConfig() Config {
 	}
 }
 
-// normalize fills defaults and validates. It returns the effective config.
-func (c Config) normalize() (Config, error) {
+// Normalize fills defaults and validates. It returns the effective config.
+// It is the single place worker counts (and every other <= 0 tunable) are
+// resolved to positive values: the engine, the sharded pipeline, and the
+// distributed driver all consume an already-normalized Workers instead of
+// re-deriving it from GOMAXPROCS themselves.
+func (c Config) Normalize() (Config, error) {
 	if c.RMax <= 0 || c.RMin < 0 || c.RMax <= c.RMin {
 		return c, fmt.Errorf("core: invalid radial range [%v, %v)", c.RMin, c.RMax)
 	}
@@ -175,4 +179,37 @@ func (c Config) normalize() (Config, error) {
 		c.GridCell = c.RMax / 4
 	}
 	return c, nil
+}
+
+// EffectiveWorkers returns the worker count for a run over n primaries: the
+// normalized Workers clamped to n (never below 1), so tiny runs do not spin
+// up idle goroutines.
+func (c Config) EffectiveWorkers(n int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n > 0 && w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// DivideWorkers returns a copy of the config with the normalized worker
+// budget split across `slots` concurrent engine instances (never below 1 per
+// slot), so running several engines at once does not oversubscribe the host.
+// A config with an explicit Workers value is left untouched: the caller
+// asked for that many workers per engine.
+func (c Config) DivideWorkers(slots int) Config {
+	if slots <= 1 || c.Workers > 0 {
+		return c
+	}
+	c.Workers = runtime.GOMAXPROCS(0) / slots
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	return c
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -29,22 +30,34 @@ func Compute(cat *catalog.Catalog, cfg Config) (*Result, error) {
 	return ComputeSubset(cat, nil, cfg)
 }
 
+// ComputeContext is Compute under a context: cancelling ctx makes the
+// worker loop stop at the next scheduling chunk and return ctx.Err().
+func ComputeContext(ctx context.Context, cat *catalog.Catalog, cfg Config) (*Result, error) {
+	return ComputeSubsetContext(ctx, cat, nil, cfg)
+}
+
 // ComputeSubset runs the computation treating only the galaxies with
 // primary[i] == true as primaries; all galaxies act as secondaries. A nil
 // mask means every galaxy is a primary. This is how the distributed driver
 // excludes halo-exchange copies ("ignoring secondary galaxies that are in
 // the k-d tree because of halo exchange", Sec. 3.3).
 func ComputeSubset(cat *catalog.Catalog, primary []bool, cfg Config) (*Result, error) {
-	return computeSubset(cat, primary, cfg, false)
+	return computeSubset(context.Background(), cat, primary, cfg, false)
 }
 
-// computeSubset is ComputeSubset with the dense-scan reference switch.
-// denseScan makes the per-primary reduction enumerate touched bins by
-// scanning all NBins flags (the pre-touched-list behavior) instead of
+// ComputeSubsetContext is ComputeSubset under a context (see ComputeContext
+// for the cancellation semantics).
+func ComputeSubsetContext(ctx context.Context, cat *catalog.Catalog, primary []bool, cfg Config) (*Result, error) {
+	return computeSubset(ctx, cat, primary, cfg, false)
+}
+
+// computeSubset is ComputeSubsetContext with the dense-scan reference
+// switch. denseScan makes the per-primary reduction enumerate touched bins
+// by scanning all NBins flags (the pre-touched-list behavior) instead of
 // walking the touched list; the two paths must be bitwise identical, which
 // the property tests assert.
-func computeSubset(cat *catalog.Catalog, primary []bool, cfg Config, denseScan bool) (*Result, error) {
-	cfg, err := cfg.normalize()
+func computeSubset(ctx context.Context, cat *catalog.Catalog, primary []bool, cfg Config, denseScan bool) (*Result, error) {
+	cfg, err := cfg.Normalize()
 	if err != nil {
 		return nil, err
 	}
@@ -61,6 +74,7 @@ func computeSubset(cat *catalog.Catalog, primary []bool, cfg Config, denseScan b
 	}
 
 	e := &engine{
+		ctx:       ctx,
 		cfg:       cfg,
 		bins:      bins,
 		box:       cat.Box,
@@ -76,7 +90,10 @@ func computeSubset(cat *catalog.Catalog, primary []bool, cfg Config, denseScan b
 	}
 	treeBuild := time.Since(start)
 
-	res := e.run()
+	res, err := e.run()
+	if err != nil {
+		return nil, err
+	}
 	res.Timings.TreeBuild = treeBuild
 	res.Timings.Total = time.Since(start)
 	res.NGalaxies = cat.Len()
@@ -101,6 +118,7 @@ func primaryIndices(mask []bool, n int) []int32 {
 }
 
 type engine struct {
+	ctx        context.Context
 	cfg        Config
 	bins       hist.Binning
 	box        geom.Periodic
@@ -173,14 +191,11 @@ func (e *engine) buildFinder() error {
 }
 
 // run executes the primary loop across workers and merges their results.
-func (e *engine) run() *Result {
-	nw := e.cfg.Workers
-	if nw > len(e.primaryIdx) && len(e.primaryIdx) > 0 {
-		nw = len(e.primaryIdx)
-	}
-	if nw < 1 {
-		nw = 1
-	}
+// Cancelling the engine context makes every worker stop at its next
+// scheduling chunk; run then discards the partial results and reports
+// ctx.Err().
+func (e *engine) run() (*Result, error) {
+	nw := e.cfg.EffectiveWorkers(len(e.primaryIdx))
 	results := make([]*Result, nw)
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
@@ -191,14 +206,16 @@ func (e *engine) run() *Result {
 		}(w)
 	}
 	wg.Wait()
+	if err := e.ctx.Err(); err != nil {
+		return nil, err
+	}
 	total := results[0]
 	for _, r := range results[1:] {
-		// Same configuration by construction; Add cannot fail.
 		if err := total.Add(r); err != nil {
-			panic(err)
+			return nil, err
 		}
 	}
-	return total
+	return total, nil
 }
 
 // workerState carries one worker's scratch memory.
@@ -265,19 +282,25 @@ func (e *engine) worker(w, nw int) *Result {
 	nbrBuf := make([]int32, 0, 4096)
 	n := int64(len(e.primaryIdx))
 
+	// Cancellation is checked once per scheduling chunk: prompt (a chunk is
+	// a handful of primaries) without putting a context load on the
+	// per-pair hot path.
 	workerStart := time.Now()
+	chunk := int64(e.cfg.ChunkSize)
 	switch e.cfg.Scheduling {
 	case SchedStatic:
 		lo := int64(w) * n / int64(nw)
 		hi := int64(w+1) * n / int64(nw)
 		for i := lo; i < hi; i++ {
+			if i%chunk == 0 && e.ctx.Err() != nil {
+				return s.res
+			}
 			nbrBuf = e.processPrimary(s, e.primaryIdx[i], nbrBuf)
 		}
 	default: // SchedDynamic
-		chunk := int64(e.cfg.ChunkSize)
 		for {
 			lo := e.next.Add(chunk) - chunk
-			if lo >= n {
+			if lo >= n || e.ctx.Err() != nil {
 				break
 			}
 			hi := lo + chunk

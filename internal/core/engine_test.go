@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"galactos/internal/catalog"
 	"galactos/internal/geom"
@@ -365,5 +368,64 @@ func TestFlopsEstimatePositive(t *testing.T) {
 	}
 	if res.Pairs > 0 && res.FlopsEstimate() <= 0 {
 		t.Error("FlopsEstimate not positive")
+	}
+}
+
+func TestConfigEffectiveWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		workers, n, want int
+	}{
+		{4, 100, 4},
+		{4, 2, 2},  // clamp to primary count
+		{4, 0, 4},  // no primaries: keep the configured count
+		{-1, 3, 3}, // default (GOMAXPROCS) still clamps to n
+	} {
+		cfg := Config{Workers: tc.workers}
+		if got := cfg.EffectiveWorkers(tc.n); got != tc.want && tc.workers > 0 {
+			t.Errorf("EffectiveWorkers(%d) with Workers=%d: got %d, want %d",
+				tc.n, tc.workers, got, tc.want)
+		} else if tc.workers <= 0 && got > tc.n {
+			t.Errorf("EffectiveWorkers(%d) with default workers: got %d > n", tc.n, got)
+		}
+	}
+}
+
+func TestNormalizeFillsWorkerDefault(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workers = 0
+	norm, err := cfg.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Workers < 1 {
+		t.Fatalf("Normalize left Workers at %d", norm.Workers)
+	}
+	if div := norm.DivideWorkers(2); div.Workers != norm.Workers {
+		t.Fatalf("DivideWorkers touched an explicit worker count: %d -> %d", norm.Workers, div.Workers)
+	}
+	unset := smallConfig()
+	unset.Workers = 0
+	if div := unset.DivideWorkers(1 << 20); div.Workers != 1 {
+		t.Fatalf("DivideWorkers floor is %d, want 1", div.Workers)
+	}
+}
+
+func TestComputeContextCancelled(t *testing.T) {
+	cat := catalog.Clustered(3000, 200, catalog.DefaultClusterParams(), 7)
+	cfg := smallConfig()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the engine must not run the primary loop
+	res, err := ComputeContext(ctx, cat, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v (res %v)", err, res)
+	}
+	for _, sched := range []SchedKind{SchedDynamic, SchedStatic} {
+		cfg.Scheduling = sched
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		_, err := ComputeContext(ctx, cat, cfg)
+		cancel()
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%v: want nil or DeadlineExceeded, got %v", sched, err)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 	"testing"
@@ -148,11 +149,11 @@ func TestTouchedListMatchesDenseScanBitwise(t *testing.T) {
 			cfg := propConfig()
 			cfg.Scheduling = SchedStatic
 			tc.mutate(&cfg)
-			touchedList, err := computeSubset(cat, nil, cfg, false)
+			touchedList, err := computeSubset(context.Background(), cat, nil, cfg, false)
 			if err != nil {
 				t.Fatal(err)
 			}
-			dense, err := computeSubset(cat, nil, cfg, true)
+			dense, err := computeSubset(context.Background(), cat, nil, cfg, true)
 			if err != nil {
 				t.Fatal(err)
 			}

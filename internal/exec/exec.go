@@ -1,0 +1,325 @@
+// Package exec is the unified execution layer: one backend-agnostic way to
+// run a 3PCF job through any of the three compute paths — the in-memory
+// engine (Local), the bounded-memory out-of-core pipeline (Sharded, with an
+// optional streaming-ingestion mode), and the simulated multi-node pipeline
+// (Distributed). A job is a catalog source plus a core.Config; a Backend
+// turns it into a core.Result and uniform per-unit statistics. Run wraps
+// any backend with the shared wall-clock timing and perfstat collection, so
+// every path feeds the same phase breakdown and pairs/sec report, and every
+// path honors context cancellation with the same semantics: prompt return
+// with ctx.Err(), no leaked goroutines, and (for checkpointed sharded runs)
+// a resumable checkpoint directory. See DESIGN.md, "Execution layer".
+package exec
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"galactos/internal/catalog"
+	"galactos/internal/core"
+	"galactos/internal/mpi"
+	"galactos/internal/partition"
+	"galactos/internal/perfstat"
+	"galactos/internal/shard"
+)
+
+// Job is the shared job descriptor: what to compute, over which catalog,
+// with which run options.
+type Job struct {
+	// Source supplies the catalog. Backends that need it resident
+	// materialize it; the sharded backend consumes non-memory sources
+	// shard-by-shard through the streaming pipeline.
+	Source catalog.Source
+	// Config is the engine configuration (normalized by the backend).
+	Config core.Config
+	// Label names the run in the perfstat report; empty selects the
+	// backend name.
+	Label string
+	// Log, when non-nil, receives progress lines from the backend.
+	Log func(format string, args ...any)
+}
+
+// UnitStats is the uniform per-execution-unit report: a unit is the single
+// engine run of the local backend, one shard of the sharded backend, or one
+// rank of the distributed backend.
+type UnitStats struct {
+	// Unit is the unit index in deterministic backend order.
+	Unit int
+	// NOwned and NHalo count the unit's primaries and halo copies.
+	NOwned, NHalo int
+	// Pairs is the unit's kernel pair count.
+	Pairs uint64
+	// Elapsed is the unit's compute wall clock (0 when resumed).
+	Elapsed time.Duration
+	// Resumed marks sharded units restored from a checkpoint.
+	Resumed bool
+}
+
+// Backend is one execution strategy for a Job.
+type Backend interface {
+	// Name identifies the backend ("local", "sharded", "dist").
+	Name() string
+	// Run executes the job. Cancelling ctx returns ctx.Err() promptly and
+	// leaks no goroutines.
+	Run(ctx context.Context, job *Job) (*core.Result, []UnitStats, error)
+}
+
+// RunResult bundles a backend run's outputs: the merged result, the
+// per-unit statistics, and the uniform performance report.
+type RunResult struct {
+	Result  *core.Result
+	Units   []UnitStats
+	Perf    *perfstat.Report
+	Elapsed time.Duration
+}
+
+// Run executes a job on a backend under the shared telemetry: one wall
+// clock around the whole pipeline and one perfstat collection, identical
+// across backends (this replaces the per-path timing code the three
+// drivers used to carry).
+func Run(ctx context.Context, b Backend, job *Job) (*RunResult, error) {
+	if job.Source == nil {
+		return nil, fmt.Errorf("exec: job has no catalog source")
+	}
+	start := time.Now()
+	res, units, err := b.Run(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	label := job.Label
+	if label == "" {
+		label = b.Name()
+	}
+	perf := perfstat.Collect(label, res, elapsed)
+	perf.Backend = b.Name()
+	return &RunResult{
+		Result:  res,
+		Units:   units,
+		Perf:    perf,
+		Elapsed: elapsed,
+	}, nil
+}
+
+// WithLog returns a backend that supplies logf as the job's progress
+// logger when the job carries none (a backend constructor's way to honor a
+// caller-provided logger).
+func WithLog(b Backend, logf func(format string, args ...any)) Backend {
+	return withLog{Backend: b, logf: logf}
+}
+
+type withLog struct {
+	Backend
+	logf func(string, ...any)
+}
+
+func (w withLog) Run(ctx context.Context, job *Job) (*core.Result, []UnitStats, error) {
+	if job.Log == nil && w.logf != nil {
+		j := *job
+		j.Log = w.logf
+		job = &j
+	}
+	return w.Backend.Run(ctx, job)
+}
+
+// materialize loads the job's source into memory (the fast path unwraps a
+// MemorySource without copying).
+func materialize(job *Job) (*catalog.Catalog, error) {
+	return catalog.ReadAll(job.Source)
+}
+
+// Local runs the single-node in-memory engine.
+type Local struct{}
+
+// Name implements Backend.
+func (Local) Name() string { return "local" }
+
+// Run implements Backend.
+func (Local) Run(ctx context.Context, job *Job) (*core.Result, []UnitStats, error) {
+	cat, err := materialize(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	res, err := core.ComputeContext(ctx, cat, job.Config)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, []UnitStats{{
+		Unit:    0,
+		NOwned:  res.NPrimaries,
+		Pairs:   res.Pairs,
+		Elapsed: time.Since(start),
+	}}, nil
+}
+
+// Sharded runs the bounded-memory out-of-core pipeline: the k-d shard
+// pipeline for in-memory sources, the streaming slab pipeline for
+// everything else (or always, when Stream is set).
+type Sharded struct {
+	// NShards is the number of spatial shards (>= 1).
+	NShards int
+	// MaxConcurrent bounds concurrent shards (in-memory pipeline only).
+	MaxConcurrent int
+	// CheckpointDir/Resume/Keep are the checkpoint options of
+	// shard.Options.
+	CheckpointDir string
+	Resume        bool
+	Keep          bool
+	// Stream forces the streaming slab pipeline even for in-memory
+	// sources (non-memory sources always stream).
+	Stream bool
+}
+
+// Name implements Backend.
+func (Sharded) Name() string { return "sharded" }
+
+// Run implements Backend.
+func (b Sharded) Run(ctx context.Context, job *Job) (*core.Result, []UnitStats, error) {
+	opts := shard.Options{
+		NShards:       b.NShards,
+		MaxConcurrent: b.MaxConcurrent,
+		CheckpointDir: b.CheckpointDir,
+		Resume:        b.Resume,
+		Keep:          b.Keep,
+		Log:           job.Log,
+	}
+	var (
+		res   *core.Result
+		stats []shard.Stats
+		err   error
+	)
+	if mem, ok := job.Source.(*catalog.MemorySource); ok && !b.Stream {
+		res, stats, err = shard.ComputeContext(ctx, mem.Cat, job.Config, opts)
+	} else {
+		res, stats, err = shard.ComputeStream(ctx, job.Source, job.Config, opts)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	units := make([]UnitStats, len(stats))
+	for i, s := range stats {
+		units[i] = UnitStats{
+			Unit:    s.Shard,
+			NOwned:  s.NOwned,
+			NHalo:   s.NHalo,
+			Pairs:   s.Pairs,
+			Elapsed: s.Elapsed,
+			Resumed: s.Resumed,
+		}
+	}
+	return res, units, nil
+}
+
+// Distributed runs the simulated multi-node pipeline over the in-process
+// message-passing runtime.
+type Distributed struct {
+	// Ranks is the number of simulated MPI ranks (>= 1, any value).
+	Ranks int
+}
+
+// Name implements Backend.
+func (Distributed) Name() string { return "dist" }
+
+// Run implements Backend.
+func (b Distributed) Run(ctx context.Context, job *Job) (*core.Result, []UnitStats, error) {
+	if b.Ranks <= 0 {
+		return nil, nil, fmt.Errorf("exec: Ranks %d must be positive", b.Ranks)
+	}
+	cat, err := materialize(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	// All ranks run concurrently as goroutines: split the default worker
+	// budget across them so the host is not oversubscribed Ranks-fold.
+	cfg := job.Config.DivideWorkers(b.Ranks)
+	var (
+		res      *core.Result
+		stats    []partition.RankStats
+		firstErr error
+	)
+	mpi.Run(b.Ranks, func(c *mpi.Comm) {
+		var in *catalog.Catalog
+		if c.Rank() == 0 {
+			in = cat
+		}
+		r, s, err := partition.ComputeDistributed(ctx, c, in, cfg)
+		if c.Rank() == 0 {
+			res, stats, firstErr = r, s, err
+		}
+	})
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	units := make([]UnitStats, len(stats))
+	for i, s := range stats {
+		units[i] = UnitStats{
+			Unit:    s.Rank,
+			NOwned:  s.NOwned,
+			NHalo:   s.NHalo,
+			Pairs:   s.Pairs,
+			Elapsed: s.Elapsed,
+		}
+	}
+	return res, units, nil
+}
+
+// Spec selects and parameterizes a backend from flag-shaped inputs (the
+// cmd/galactos -backend surface).
+type Spec struct {
+	// Name is "local", "sharded", or "dist".
+	Name string
+	// Shards / ShardConcurrency / CheckpointDir / Resume / Keep / Stream
+	// parameterize the sharded backend.
+	Shards           int
+	ShardConcurrency int
+	CheckpointDir    string
+	Resume           bool
+	Keep             bool
+	Stream           bool
+	// Ranks parameterizes the distributed backend.
+	Ranks int
+}
+
+// Backend resolves the spec. A spec that parameterizes a backend it does
+// not select is an error, never a silent drop: a caller who set Shards or
+// CheckpointDir must not get a fully-resident local run.
+func (s Spec) Backend() (Backend, error) {
+	shardedParams := s.Shards > 1 || s.ShardConcurrency > 1 || s.CheckpointDir != "" ||
+		s.Resume || s.Keep || s.Stream
+	switch s.Name {
+	case "local", "":
+		if shardedParams || s.Ranks > 1 {
+			return nil, fmt.Errorf("exec: local backend selected but sharded/distributed parameters set (%+v)", s)
+		}
+		return Local{}, nil
+	case "sharded":
+		if s.Ranks > 1 {
+			return nil, fmt.Errorf("exec: sharded backend selected but Ranks = %d set", s.Ranks)
+		}
+		nshards := s.Shards
+		if nshards <= 0 {
+			nshards = 1
+		}
+		return Sharded{
+			NShards:       nshards,
+			MaxConcurrent: s.ShardConcurrency,
+			CheckpointDir: s.CheckpointDir,
+			Resume:        s.Resume,
+			Keep:          s.Keep,
+			Stream:        s.Stream,
+		}, nil
+	case "dist":
+		if shardedParams {
+			return nil, fmt.Errorf("exec: dist backend selected but sharded parameters set (%+v)", s)
+		}
+		ranks := s.Ranks
+		if ranks <= 0 {
+			ranks = 1
+		}
+		return Distributed{Ranks: ranks}, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown backend %q (want local, sharded, or dist)", s.Name)
+	}
+}

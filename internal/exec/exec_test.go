@@ -1,0 +1,311 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"galactos/internal/catalog"
+	"galactos/internal/core"
+	"galactos/internal/geom"
+)
+
+// testConfig keeps runs deterministic: one worker per engine so every
+// backend accumulates its primaries in a fixed order.
+func testConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.RMax = 45
+	cfg.NBins = 5
+	cfg.LMax = 4
+	cfg.Workers = 1
+	return cfg
+}
+
+// openCatalog is a fixed seeded open-boundary catalog: with no periodic
+// wrap, the degenerate single-unit decompositions preserve galaxy order
+// exactly, which is what makes the cross-backend comparison bitwise.
+func openCatalog(t *testing.T, n int) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.Clustered(n, 220, catalog.DefaultClusterParams(), 137)
+	cat.Box = geom.Periodic{} // open boundaries
+	return cat
+}
+
+func runBackend(t *testing.T, b Backend, cat *catalog.Catalog, cfg core.Config) *core.Result {
+	t.Helper()
+	res, units, err := b.Run(context.Background(), &Job{Source: catalog.NewMemorySource(cat), Config: cfg})
+	if err != nil {
+		t.Fatalf("%s: %v", b.Name(), err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("%s: no unit stats", b.Name())
+	}
+	return res
+}
+
+func assertBitwise(t *testing.T, name string, a, b *core.Result) {
+	t.Helper()
+	if a.NPrimaries != b.NPrimaries || a.NGalaxies != b.NGalaxies ||
+		a.Pairs != b.Pairs || a.SumWeight != b.SumWeight {
+		t.Fatalf("%s: scalar fields differ: primaries %d/%d galaxies %d/%d pairs %d/%d sumw %v/%v",
+			name, a.NPrimaries, b.NPrimaries, a.NGalaxies, b.NGalaxies,
+			a.Pairs, b.Pairs, a.SumWeight, b.SumWeight)
+	}
+	for i := range a.Aniso {
+		x, y := a.Aniso[i], b.Aniso[i]
+		if math.Float64bits(real(x)) != math.Float64bits(real(y)) ||
+			math.Float64bits(imag(x)) != math.Float64bits(imag(y)) {
+			t.Fatalf("%s: Aniso[%d] not bitwise identical: %v vs %v", name, i, x, y)
+		}
+	}
+}
+
+// TestBackendEquivalenceGolden is the backend-equivalence golden test: on a
+// fixed seeded catalog, the Local, Sharded, and Distributed backends
+// produce bitwise-identical Results. Two layers:
+//
+//  1. Degenerate decompositions (1 shard, 1 rank) must match Local exactly
+//     — all three paths reduce to the same primary loop in the same order.
+//  2. Matched multi-unit decompositions (k shards vs k ranks) must match
+//     each other exactly: the sequential k-d split is the twin of the
+//     distributed partitioning, and both reduce partials in unit order.
+//
+// Local vs the multi-unit paths differs only by floating-point summation
+// order; that distance is asserted tiny relative to the signal.
+func TestBackendEquivalenceGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"default", func(*core.Config) {}},
+		{"isotropic-only", func(c *core.Config) { c.IsotropicOnly = true }},
+		{"los-radial", func(c *core.Config) {
+			c.LOS = core.LOSRadial
+			c.Observer = geom.Vec3{X: -250, Y: -300, Z: -350}
+		}},
+	}
+	cat := openCatalog(t, 600)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			tc.mutate(&cfg)
+
+			local := runBackend(t, Local{}, cat, cfg)
+			sharded1 := runBackend(t, Sharded{NShards: 1}, cat, cfg)
+			dist1 := runBackend(t, Distributed{Ranks: 1}, cat, cfg)
+			assertBitwise(t, "local vs sharded(1)", local, sharded1)
+			assertBitwise(t, "local vs dist(1)", local, dist1)
+
+			for _, k := range []int{2, 3} {
+				sharded := runBackend(t, Sharded{NShards: k}, cat, cfg)
+				dist := runBackend(t, Distributed{Ranks: k}, cat, cfg)
+				assertBitwise(t, "sharded(k) vs dist(k)", sharded, dist)
+				if d, m := local.MaxAbsDiff(sharded), local.MaxAbs(); d > 1e-9*m {
+					t.Fatalf("local vs sharded(%d): max |diff| %.3e vs scale %.3e", k, d, m)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamingShardedMatchesLocal pins the streaming-ingestion path: a
+// catalog consumed shard-by-shard from disk must reproduce the in-memory
+// result (identical pair sets; multipoles to rounding).
+func TestStreamingShardedMatchesLocal(t *testing.T) {
+	cat := catalog.Clustered(800, 200, catalog.DefaultClusterParams(), 53)
+	cfg := testConfig()
+
+	path := filepath.Join(t.TempDir(), "cat.glxc")
+	if err := catalog.SaveBinary(path, cat); err != nil {
+		t.Fatal(err)
+	}
+	local := runBackend(t, Local{}, cat, cfg)
+	res, units, err := Sharded{NShards: 3, Stream: true}.Run(context.Background(),
+		&Job{Source: catalog.NewFileSource(path), Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != local.Pairs || res.NPrimaries != local.NPrimaries || res.NGalaxies != local.NGalaxies {
+		t.Fatalf("streaming counters diverge: pairs %d/%d primaries %d/%d galaxies %d/%d",
+			res.Pairs, local.Pairs, res.NPrimaries, local.NPrimaries, res.NGalaxies, local.NGalaxies)
+	}
+	if d, m := res.MaxAbsDiff(local), local.MaxAbs(); d > 1e-9*m {
+		t.Fatalf("streaming multipoles diverge: max |diff| %.3e vs scale %.3e", d, m)
+	}
+	var owned int
+	for _, u := range units {
+		owned += u.NOwned
+	}
+	if owned != cat.Len() {
+		t.Fatalf("slab owned counts sum to %d, want %d", owned, cat.Len())
+	}
+}
+
+// settleGoroutines polls until the goroutine count returns to the baseline
+// (or the deadline passes): cancelled workers need a moment to unwind.
+func settleGoroutines(baseline int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// cancelConfig makes the compute long enough to cancel mid-run.
+func cancelConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.RMax = 90
+	cfg.NBins = 10
+	cfg.LMax = 8
+	return cfg
+}
+
+// TestCancellationPromptAndLeakFree: cancelling mid-run returns
+// context.Canceled promptly and leaks no goroutines, on every backend.
+func TestCancellationPromptAndLeakFree(t *testing.T) {
+	cat := catalog.Clustered(6000, 250, catalog.DefaultClusterParams(), 71)
+	backends := []Backend{Local{}, Sharded{NShards: 4}, Distributed{Ranks: 2}}
+	for _, b := range backends {
+		t.Run(b.Name(), func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(50 * time.Millisecond)
+				cancel()
+			}()
+			start := time.Now()
+			_, _, err := b.Run(ctx, &Job{Source: catalog.NewMemorySource(cat), Config: cancelConfig()})
+			elapsed := time.Since(start)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("want context.Canceled, got %v", err)
+			}
+			if elapsed > 5*time.Second {
+				t.Fatalf("cancellation not prompt: took %v", elapsed)
+			}
+			if n := settleGoroutines(baseline); n > baseline {
+				t.Fatalf("goroutine leak: %d before, %d after", baseline, n)
+			}
+		})
+	}
+}
+
+// TestCancellationLeavesResumableCheckpoints: a cancelled checkpointed
+// sharded run keeps its manifest and completed shard checkpoints, and a
+// resume completes the run with the same result as an uninterrupted one.
+func TestCancellationLeavesResumableCheckpoints(t *testing.T) {
+	cat := catalog.Clustered(2000, 250, catalog.DefaultClusterParams(), 97)
+	cfg := cancelConfig()
+	cfg.LMax = 6
+	cfg.Workers = 1
+	dir := t.TempDir()
+
+	// Cancel as soon as the first shard reports completion.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done atomic.Int32
+	_, _, err := Sharded{NShards: 6, CheckpointDir: dir}.Run(ctx, &Job{
+		Source: catalog.NewMemorySource(cat),
+		Config: cfg,
+		Log: func(format string, args ...any) {
+			if done.Add(1) == 1 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatalf("manifest missing after cancellation: %v", err)
+	}
+	ckpts, _ := filepath.Glob(filepath.Join(dir, "shard-*.gres"))
+	if len(ckpts) == 0 {
+		t.Fatal("no shard checkpoints survived the cancellation")
+	}
+
+	resumed := 0
+	res, units, err := Sharded{NShards: 6, CheckpointDir: dir, Resume: true}.Run(context.Background(), &Job{
+		Source: catalog.NewMemorySource(cat),
+		Config: cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range units {
+		if u.Resumed {
+			resumed++
+		}
+	}
+	if resumed == 0 {
+		t.Fatal("resume recomputed every shard; expected at least one checkpoint reuse")
+	}
+	clean := runBackend(t, Sharded{NShards: 6}, cat, cfg)
+	assertBitwise(t, "resumed vs uninterrupted", res, clean)
+}
+
+// TestSpecBackendSelection pins the -backend flag surface.
+func TestSpecBackendSelection(t *testing.T) {
+	for _, tc := range []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Name: "local"}, "local"},
+		{Spec{Name: ""}, "local"},
+		{Spec{Name: "sharded", Shards: 4}, "sharded"},
+		{Spec{Name: "dist", Ranks: 3}, "dist"},
+	} {
+		b, err := tc.spec.Backend()
+		if err != nil {
+			t.Fatalf("%+v: %v", tc.spec, err)
+		}
+		if b.Name() != tc.want {
+			t.Fatalf("%+v: got backend %q, want %q", tc.spec, b.Name(), tc.want)
+		}
+	}
+	if _, err := (Spec{Name: "mpi"}).Backend(); err == nil {
+		t.Fatal("unknown backend name accepted")
+	}
+	// Contradictions are errors, never silent drops.
+	for _, spec := range []Spec{
+		{Name: "local", Shards: 16},
+		{Name: "local", CheckpointDir: "ckpt"},
+		{Name: "local", Ranks: 8},
+		{Name: "sharded", Shards: 4, Ranks: 8},
+		{Name: "dist", Ranks: 4, Stream: true},
+		{Name: "dist", Ranks: 4, Shards: 16},
+	} {
+		if _, err := spec.Backend(); err == nil {
+			t.Fatalf("contradictory spec silently accepted: %+v", spec)
+		}
+	}
+}
+
+// TestRunCollectsUniformPerf: exec.Run attaches the same perfstat shape to
+// every backend, labeled by backend name by default.
+func TestRunCollectsUniformPerf(t *testing.T) {
+	cat := openCatalog(t, 400)
+	cfg := testConfig()
+	for _, b := range []Backend{Local{}, Sharded{NShards: 2}, Distributed{Ranks: 2}} {
+		run, err := Run(context.Background(), b, &Job{Source: catalog.NewMemorySource(cat), Config: cfg})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if run.Perf == nil || run.Perf.Label != b.Name() {
+			t.Fatalf("%s: missing or mislabeled perf report: %+v", b.Name(), run.Perf)
+		}
+		if run.Perf.Pairs != run.Result.Pairs || run.Perf.PairsPerSec <= 0 {
+			t.Fatalf("%s: perf report inconsistent: %+v", b.Name(), run.Perf)
+		}
+		if run.Perf.PhaseSec["multipole"] <= 0 {
+			t.Fatalf("%s: phase breakdown not populated: %+v", b.Name(), run.Perf.PhaseSec)
+		}
+	}
+}

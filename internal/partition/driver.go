@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,8 +24,11 @@ type RankStats struct {
 // ComputeDistributed runs the full distributed pipeline on every rank:
 // partition + halo exchange, the node-local 3PCF (with halo copies excluded
 // from the primary loop), and the final reduction onto rank 0. The returned
-// Result and stats are non-nil on rank 0 only. Collective.
-func ComputeDistributed(comm *mpi.Comm, cat *catalog.Catalog, cfg core.Config) (*core.Result, []RankStats, error) {
+// Result and stats are non-nil on rank 0 only. Collective. Cancelling ctx
+// makes every rank's engine stop at its next scheduling chunk; the ranks
+// then agree on the failure through a collective error exchange (so no rank
+// is left blocked in the reduction) and all return the error.
+func ComputeDistributed(ctx context.Context, comm *mpi.Comm, cat *catalog.Catalog, cfg core.Config) (*core.Result, []RankStats, error) {
 	const (
 		tagRes   = 300
 		tagStats = 301
@@ -34,11 +38,23 @@ func ComputeDistributed(comm *mpi.Comm, cat *catalog.Catalog, cfg core.Config) (
 		return nil, nil, err
 	}
 	start := time.Now()
-	local, err := core.ComputeSubset(dom.Local, dom.Primary, cfg)
+	local, err := core.ComputeSubsetContext(ctx, dom.Local, dom.Primary, cfg)
+	elapsed := time.Since(start)
+
+	// Collective error agreement: a rank must not abandon the reduction
+	// unilaterally (its peers would block in Recv forever), so every rank
+	// first learns whether any rank failed. The cancellation path lands
+	// here too — ctx is shared, so all ranks see it within one chunk.
+	failed := 0
 	if err != nil {
+		failed = 1
+	}
+	if comm.AllreduceInt(failed) > 0 {
+		if err == nil {
+			err = fmt.Errorf("partition: a peer rank failed")
+		}
 		return nil, nil, err
 	}
-	elapsed := time.Since(start)
 
 	// Reduction: flatten the channels to float64 pairs and sum on rank 0 in
 	// rank order (deterministic).

@@ -51,28 +51,36 @@ func Distribute(comm *mpi.Comm, cat *catalog.Catalog, rmax float64) (*Domain, er
 		tagData = 101
 		tagHalo = 200
 	)
-	// Rank 0 broadcasts the global geometry.
+	// Rank 0 broadcasts the global geometry. Validation errors ride the
+	// same broadcast: rank 0 must never return before its peers' Bcast is
+	// served, or they block forever (every rank must learn of the failure
+	// and bail together).
 	type meta struct {
 		BoxL float64
 		Root geom.Box
 		N    int
+		Err  string
 	}
 	var m meta
 	if comm.Rank() == 0 {
-		if cat == nil {
-			return nil, fmt.Errorf("partition: rank 0 must provide the catalog")
-		}
-		root := cat.Bounds()
-		if cat.Box.L > 0 {
-			root = geom.Box{Min: geom.Vec3{}, Max: geom.Vec3{X: cat.Box.L, Y: cat.Box.L, Z: cat.Box.L}}
-			if rmax >= cat.Box.L/2 {
-				return nil, fmt.Errorf("partition: rmax %v must be below half the periodic box %v", rmax, cat.Box.L)
+		switch {
+		case cat == nil:
+			m.Err = "partition: rank 0 must provide the catalog"
+		case cat.Box.L > 0 && rmax >= cat.Box.L/2:
+			m.Err = fmt.Sprintf("partition: rmax %v must be below half the periodic box %v", rmax, cat.Box.L)
+		default:
+			root := cat.Bounds()
+			if cat.Box.L > 0 {
+				root = geom.Box{Min: geom.Vec3{}, Max: geom.Vec3{X: cat.Box.L, Y: cat.Box.L, Z: cat.Box.L}}
 			}
+			m = meta{BoxL: cat.Box.L, Root: root, N: cat.Len()}
 		}
-		m = meta{BoxL: cat.Box.L, Root: root, N: cat.Len()}
 		comm.Bcast(0, m)
 	} else {
 		m = comm.Bcast(0, nil).(meta)
+	}
+	if m.Err != "" {
+		return nil, fmt.Errorf("%s", m.Err)
 	}
 	periodic := geom.Periodic{L: m.BoxL}
 

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -130,7 +131,7 @@ func TestDistributedMatchesSingleNode(t *testing.T) {
 			if c.Rank() == 0 {
 				in = cat
 			}
-			res, _, err := ComputeDistributed(c, in, cfg)
+			res, _, err := ComputeDistributed(context.Background(), c, in, cfg)
 			if err != nil {
 				t.Error(err)
 				return
@@ -173,7 +174,7 @@ func TestDistributedMatchesSingleNodeNonPowerOfTwo(t *testing.T) {
 			if c.Rank() == 0 {
 				in = cat
 			}
-			res, stats, err := ComputeDistributed(c, in, cfg)
+			res, stats, err := ComputeDistributed(context.Background(), c, in, cfg)
 			if err != nil {
 				t.Error(err)
 				return
@@ -211,7 +212,7 @@ func TestDistributedOpenBoundaries(t *testing.T) {
 		if c.Rank() == 0 {
 			in = cat
 		}
-		res, _, err := ComputeDistributed(c, in, cfg)
+		res, _, err := ComputeDistributed(context.Background(), c, in, cfg)
 		if err != nil {
 			t.Error(err)
 			return

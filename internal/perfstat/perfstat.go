@@ -25,6 +25,11 @@ import (
 type Report struct {
 	// Label names the scenario, e.g. "bench-baseline".
 	Label string `json:"label"`
+	// Backend names the execution path that produced the measurement
+	// ("local", "sharded", "dist"; empty for direct engine calls). Filled
+	// by the execution layer, which collects one report shape for every
+	// backend.
+	Backend string `json:"backend,omitempty"`
 	// Host describes the measuring machine; regression comparisons across
 	// differing hosts are flagged in the Compare summary.
 	Host string `json:"host"`
@@ -127,6 +132,9 @@ func Compare(baseline, fresh *Report, tolerance float64) (string, error) {
 		fresh.PairsPerSec, baseline.PairsPerSec, (ratio-1)*100)
 	if baseline.Host != fresh.Host {
 		summary += fmt.Sprintf("; hosts differ (baseline %q, fresh %q)", baseline.Host, fresh.Host)
+	}
+	if baseline.Backend != fresh.Backend {
+		summary += fmt.Sprintf("; backends differ (baseline %q, fresh %q)", baseline.Backend, fresh.Backend)
 	}
 	if ratio < 1-tolerance {
 		return summary, fmt.Errorf("perfstat: pairs/sec regressed %.1f%% (tolerance %.0f%%): %s",

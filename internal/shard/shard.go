@@ -15,11 +15,11 @@
 package shard
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sync"
 	"time"
 
@@ -88,17 +88,20 @@ type manifest struct {
 	ObserverZ     float64 `json:"observer_z"`
 	SelfCount     bool    `json:"self_count"`
 	IsotropicOnly bool    `json:"isotropic_only"`
+	// Stream marks a streaming-slab run: its shard decomposition differs
+	// from the k-d split, so the two modes' checkpoints never mix.
+	Stream bool `json:"stream"`
 }
 
 const manifestVersion = 1
 
-func newManifest(cat *catalog.Catalog, cfg core.Config, nshards int) manifest {
+func newManifest(ngalaxies int, boxL, sumWeight float64, cfg core.Config, nshards int) manifest {
 	return manifest{
 		Version:       manifestVersion,
 		NShards:       nshards,
-		NGalaxies:     cat.Len(),
-		BoxL:          cat.Box.L,
-		SumWeight:     cat.TotalWeight(),
+		NGalaxies:     ngalaxies,
+		BoxL:          boxL,
+		SumWeight:     sumWeight,
 		RMax:          cfg.RMax,
 		RMin:          cfg.RMin,
 		NBins:         cfg.NBins,
@@ -125,6 +128,16 @@ func ShardedCompute(cat *catalog.Catalog, nshards int, cfg core.Config) (*core.R
 // checkpointing, and the deterministic in-order merge. Stats are returned
 // in shard order.
 func Compute(cat *catalog.Catalog, cfg core.Config, opts Options) (*core.Result, []Stats, error) {
+	return ComputeContext(context.Background(), cat, cfg, opts)
+}
+
+// ComputeContext is Compute under a context. Cancelling ctx stops the
+// pipeline promptly: no new shard starts, in-flight shards abandon their
+// engines at the next scheduling chunk, and ctx.Err() is returned.
+// Checkpoints of shards that completed before the cancellation stay on
+// disk (along with the manifest), so a cancelled checkpointed run is
+// resumable exactly like a killed one.
+func ComputeContext(ctx context.Context, cat *catalog.Catalog, cfg core.Config, opts Options) (*core.Result, []Stats, error) {
 	if cat == nil {
 		return nil, nil, fmt.Errorf("shard: nil catalog")
 	}
@@ -152,13 +165,7 @@ func Compute(cat *catalog.Catalog, cfg core.Config, opts Options) (*core.Result,
 	if concurrent > opts.NShards {
 		concurrent = opts.NShards
 	}
-	shardCfg := cfg
-	if concurrent > 1 && shardCfg.Workers <= 0 {
-		shardCfg.Workers = runtime.GOMAXPROCS(0) / concurrent
-		if shardCfg.Workers < 1 {
-			shardCfg.Workers = 1
-		}
-	}
+	shardCfg := cfg.DivideWorkers(concurrent)
 
 	pipelineStart := time.Now()
 	parts, err := partition.Split(cat, opts.NShards)
@@ -167,7 +174,8 @@ func Compute(cat *catalog.Catalog, cfg core.Config, opts Options) (*core.Result,
 	}
 
 	if opts.CheckpointDir != "" {
-		if err := prepareDir(opts.CheckpointDir, cat, cfg, opts); err != nil {
+		m := newManifest(cat.Len(), cat.Box.L, cat.TotalWeight(), cfg, opts.NShards)
+		if err := prepareDir(opts.CheckpointDir, m, opts); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -183,6 +191,9 @@ func Compute(cat *catalog.Catalog, cfg core.Config, opts Options) (*core.Result,
 		firstErr error
 	)
 	for i := range parts {
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
@@ -190,10 +201,10 @@ func Compute(cat *catalog.Catalog, cfg core.Config, opts Options) (*core.Result,
 			mu.Lock()
 			failed := firstErr != nil
 			mu.Unlock()
-			if failed {
+			if failed || ctx.Err() != nil {
 				return
 			}
-			res, st, err := computeShard(cat, parts, i, shardCfg, opts, logf)
+			res, st, err := computeShard(ctx, cat, parts, i, shardCfg, opts, logf)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -209,6 +220,9 @@ func Compute(cat *catalog.Catalog, cfg core.Config, opts Options) (*core.Result,
 		}(i)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if firstErr != nil {
 		return nil, nil, firstErr
 	}
@@ -236,13 +250,26 @@ func Compute(cat *catalog.Catalog, cfg core.Config, opts Options) (*core.Result,
 	total.NGalaxies = cat.Len()
 	total.Timings.Total = time.Since(pipelineStart)
 
-	if opts.CheckpointDir != "" && !opts.Keep {
-		for i := range parts {
-			os.Remove(checkpointPath(opts.CheckpointDir, i, opts.NShards))
-		}
-		os.Remove(filepath.Join(opts.CheckpointDir, manifestName))
-	}
+	finishCheckpoints(opts)
 	return total, stats, nil
+}
+
+// finishCheckpoints removes run state that must not outlive a successful
+// merge: streaming spill scratch always (a kill can strand it under the
+// checkpoint dir), and the per-shard checkpoints plus manifest unless the
+// caller asked to keep them.
+func finishCheckpoints(opts Options) {
+	if opts.CheckpointDir == "" {
+		return
+	}
+	os.RemoveAll(filepath.Join(opts.CheckpointDir, spillDirName))
+	if opts.Keep {
+		return
+	}
+	for i := 0; i < opts.NShards; i++ {
+		os.Remove(checkpointPath(opts.CheckpointDir, i, opts.NShards))
+	}
+	os.Remove(filepath.Join(opts.CheckpointDir, manifestName))
 }
 
 // removeStaleTemps deletes temporary files left behind by SaveResult calls
@@ -259,7 +286,7 @@ func removeStaleTemps(dir string) {
 // when resuming, otherwise by materializing the halo and running the
 // node-local engine. With a checkpoint dir the partial is persisted and the
 // returned *core.Result is only meaningful for the in-memory path.
-func computeShard(cat *catalog.Catalog, parts []partition.Part, i int, cfg core.Config, opts Options, logf func(string, ...any)) (*core.Result, Stats, error) {
+func computeShard(ctx context.Context, cat *catalog.Catalog, parts []partition.Part, i int, cfg core.Config, opts Options, logf func(string, ...any)) (*core.Result, Stats, error) {
 	owned := parts[i].Index
 	st := Stats{Shard: i, NOwned: len(owned)}
 
@@ -305,7 +332,7 @@ func computeShard(cat *catalog.Catalog, parts []partition.Part, i int, cfg core.
 	for j := range owned {
 		primary[j] = true
 	}
-	res, err := core.ComputeSubset(local, primary, cfg)
+	res, err := core.ComputeSubsetContext(ctx, local, primary, cfg)
 	if err != nil {
 		return nil, st, err
 	}
@@ -350,12 +377,11 @@ const manifestName = "manifest.json"
 // prepareDir creates the checkpoint directory and reconciles its manifest:
 // a resume must find a manifest describing this exact run (or none, for a
 // run killed before the manifest was written); a fresh run overwrites.
-func prepareDir(dir string, cat *catalog.Catalog, cfg core.Config, opts Options) error {
+func prepareDir(dir string, want manifest, opts Options) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	removeStaleTemps(dir)
-	want := newManifest(cat, cfg, opts.NShards)
 	path := filepath.Join(dir, manifestName)
 	if opts.Resume {
 		data, err := os.ReadFile(path)

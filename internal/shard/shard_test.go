@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -310,7 +311,7 @@ func partitionSplitPartials(cat *catalog.Catalog, nshards int, cfg core.Config) 
 		return nil, err
 	}
 	for i := range parts {
-		res, _, err := computeShard(cat, parts, i, cfg, Options{NShards: nshards}, func(string, ...any) {})
+		res, _, err := computeShard(context.Background(), cat, parts, i, cfg, Options{NShards: nshards}, func(string, ...any) {})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,587 @@
+package shard
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"galactos/internal/catalog"
+	"galactos/internal/core"
+	"galactos/internal/geom"
+	"galactos/internal/hist"
+)
+
+// The streaming pipeline: the out-of-core path for catalogs that are never
+// resident in memory. Where ComputeContext k-d-splits an in-memory catalog,
+// ComputeStream makes three sequential passes over a catalog.Source —
+// (1) count / bounds / total weight, (2) an equal-count histogram along the
+// widest axis that fixes nshards slab cuts, (3) a spill pass that scatters
+// every galaxy into per-slab record files (owned, plus halo membership for
+// every slab within RMax along the cut axis, periodic wrap included) — and
+// then computes one slab at a time. Peak memory is one slab's galaxies plus
+// halo plus one engine, independent of the catalog size. Slab catalogs keep
+// the source's periodic box with unshifted coordinates, so the engine's own
+// image handling covers the wrap and every primary sees exactly the
+// neighbor set it sees in a single-shot run (the slab axis bounds the 3-D
+// distance from below). The plan is deterministic, so checkpoint/resume
+// works exactly as in the in-memory pipeline.
+
+// spillDirName is the scratch subdirectory for slab spill files inside a
+// checkpoint directory.
+const spillDirName = "spill"
+
+// histBuckets is the slab-cut histogram resolution: cuts land on bucket
+// edges, so per-slab counts are equal up to the galaxies sharing a bucket.
+const histBuckets = 4096
+
+// slabPlan is the deterministic output of the planning passes.
+type slabPlan struct {
+	box  geom.Periodic
+	axis int
+	lo   float64 // axis extent ([0, L] when periodic)
+	hi   float64
+	cuts []float64 // nshards-1 ascending interior cut coordinates
+	n    int
+	sumW float64
+}
+
+// interval returns slab i's owned axis interval [a, b).
+func (p *slabPlan) interval(i int) (a, b float64) {
+	a, b = p.lo, p.hi
+	if i > 0 {
+		a = p.cuts[i-1]
+	}
+	if i < len(p.cuts) {
+		b = p.cuts[i]
+	}
+	return a, b
+}
+
+// slabOf returns the slab owning axis coordinate c: the smallest i whose
+// upper cut lies strictly above c (coordinates exactly on a cut belong to
+// the right slab, matching the half-open intervals).
+func (p *slabPlan) slabOf(c float64) int {
+	return sort.Search(len(p.cuts), func(i int) bool { return p.cuts[i] > c })
+}
+
+// axisDist returns the distance from coordinate c to the interval [a, b]
+// under the axis wrap (L = 0 means no wrap).
+func axisDist(c, a, b, l float64) float64 {
+	d := intervalDist(c, a, b)
+	if l > 0 {
+		d = math.Min(d, math.Min(intervalDist(c-l, a, b), intervalDist(c+l, a, b)))
+	}
+	return d
+}
+
+func intervalDist(c, a, b float64) float64 {
+	switch {
+	case c < a:
+		return a - c
+	case c > b:
+		return c - b
+	default:
+		return 0
+	}
+}
+
+// streamScan is the product of the first pass: the run identity (count,
+// weight, geometry) plus the per-axis extent.
+type streamScan struct {
+	box    geom.Periodic
+	n      int
+	sumW   float64
+	lo, hi [3]float64
+}
+
+// scanSource runs pass 1: count, bounds, and total weight.
+func scanSource(ctx context.Context, src catalog.Source) (*streamScan, error) {
+	sc := &streamScan{
+		lo: [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)},
+		hi: [3]float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)},
+	}
+	cur, err := src.Open()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]catalog.Galaxy, catalog.ChunkSize)
+	for {
+		if err := ctx.Err(); err != nil {
+			cur.Close()
+			return nil, err
+		}
+		n, err := cur.Next(buf)
+		for _, g := range buf[:n] {
+			for a := 0; a < 3; a++ {
+				c := g.Pos.Component(a)
+				sc.lo[a] = math.Min(sc.lo[a], c)
+				sc.hi[a] = math.Max(sc.hi[a], c)
+			}
+			sc.sumW += g.Weight
+		}
+		sc.n += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			cur.Close()
+			return nil, err
+		}
+	}
+	sc.box = cur.Box()
+	if err := cur.Close(); err != nil {
+		return nil, err
+	}
+	if sc.n == 0 {
+		return nil, fmt.Errorf("shard: empty catalog source")
+	}
+	return sc, nil
+}
+
+// planSlabs runs pass 2: the equal-count slab cuts along the widest axis.
+func planSlabs(ctx context.Context, src catalog.Source, sc *streamScan, nshards int) (*slabPlan, error) {
+	p := &slabPlan{box: sc.box, n: sc.n, sumW: sc.sumW}
+
+	// Cut along the widest axis; a periodic box spans [0, L] on every axis.
+	p.axis = 0
+	if p.box.L > 0 {
+		p.lo, p.hi = 0, p.box.L
+	} else {
+		for a := 1; a < 3; a++ {
+			if sc.hi[a]-sc.lo[a] > sc.hi[p.axis]-sc.lo[p.axis] {
+				p.axis = a
+			}
+		}
+		p.lo, p.hi = sc.lo[p.axis], sc.hi[p.axis]
+	}
+	if !(p.hi > p.lo) {
+		// Degenerate extent (all galaxies at one coordinate): one slab owns
+		// everything.
+		p.cuts = make([]float64, nshards-1)
+		for i := range p.cuts {
+			p.cuts[i] = p.hi
+		}
+		return p, nil
+	}
+
+	// Equal-count quantile cuts from a fixed-resolution histogram.
+	counts := make([]int, histBuckets)
+	width := (p.hi - p.lo) / histBuckets
+	cur, err := src.Open()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]catalog.Galaxy, catalog.ChunkSize)
+	for {
+		if err := ctx.Err(); err != nil {
+			cur.Close()
+			return nil, err
+		}
+		n, err := cur.Next(buf)
+		for _, g := range buf[:n] {
+			b := int((g.Pos.Component(p.axis) - p.lo) / width)
+			if b < 0 {
+				b = 0
+			}
+			if b >= histBuckets {
+				b = histBuckets - 1
+			}
+			counts[b]++
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			cur.Close()
+			return nil, err
+		}
+	}
+	if err := cur.Close(); err != nil {
+		return nil, err
+	}
+	p.cuts = make([]float64, 0, nshards-1)
+	cum, next := 0, 1
+	for b := 0; b < histBuckets && next < nshards; b++ {
+		cum += counts[b]
+		for next < nshards && cum >= next*p.n/nshards {
+			p.cuts = append(p.cuts, p.lo+float64(b+1)*width)
+			next++
+		}
+	}
+	for len(p.cuts) < nshards-1 {
+		p.cuts = append(p.cuts, p.hi)
+	}
+	return p, nil
+}
+
+// spillWriter buffers one slab file's records.
+type spillWriter struct {
+	f   *os.File
+	bw  *bufio.Writer
+	rec [catalog.RecordSize]byte
+}
+
+func newSpillWriter(path string) (*spillWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &spillWriter{f: f, bw: bufio.NewWriterSize(f, 1<<18)}, nil
+}
+
+func (w *spillWriter) add(g catalog.Galaxy) error {
+	catalog.PutRecord(w.rec[:], g)
+	_, err := w.bw.Write(w.rec[:])
+	return err
+}
+
+func (w *spillWriter) close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+func spillPath(dir string, i int, kind string) string {
+	return filepath.Join(dir, fmt.Sprintf("slab-%04d.%s.spill", i, kind))
+}
+
+// spillStream runs the scatter pass: every galaxy lands in its owned slab's
+// file and in the halo file of every other slab within rmax along the cut
+// axis. Returns per-slab owned and halo counts. Slabs with skip[i] set are
+// counted but not written — they already hold a validated checkpoint, so
+// rewriting their records would be wasted IO.
+func spillStream(ctx context.Context, src catalog.Source, p *slabPlan, rmax float64, nshards int, dir string, skip []bool) (owned, halo []int, err error) {
+	owned = make([]int, nshards)
+	halo = make([]int, nshards)
+	own := make([]*spillWriter, nshards)
+	hal := make([]*spillWriter, nshards)
+	closeAll := func() {
+		for _, w := range own {
+			if w != nil {
+				w.close()
+			}
+		}
+		for _, w := range hal {
+			if w != nil {
+				w.close()
+			}
+		}
+	}
+	for i := 0; i < nshards; i++ {
+		if skip != nil && skip[i] {
+			continue
+		}
+		if own[i], err = newSpillWriter(spillPath(dir, i, "own")); err == nil {
+			hal[i], err = newSpillWriter(spillPath(dir, i, "halo"))
+		}
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+	}
+	cur, err := src.Open()
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	defer cur.Close()
+	l := p.box.L
+	buf := make([]catalog.Galaxy, catalog.ChunkSize)
+	for {
+		if err := ctx.Err(); err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		n, nextErr := cur.Next(buf)
+		for _, g := range buf[:n] {
+			c := g.Pos.Component(p.axis)
+			k := p.slabOf(c)
+			owned[k]++
+			if own[k] != nil {
+				if err := own[k].add(g); err != nil {
+					closeAll()
+					return nil, nil, err
+				}
+			}
+			// Slab count is small against the catalog, so a linear halo
+			// scan per galaxy stays cheap; slabs are ordered, so it could
+			// be narrowed to a window if shard counts ever grow.
+			for i := 0; i < nshards; i++ {
+				if i == k {
+					continue
+				}
+				a, b := p.interval(i)
+				if axisDist(c, a, b, l) <= rmax {
+					halo[i]++
+					if hal[i] != nil {
+						if err := hal[i].add(g); err != nil {
+							closeAll()
+							return nil, nil, err
+						}
+					}
+				}
+			}
+		}
+		if nextErr == io.EOF {
+			break
+		}
+		if nextErr != nil {
+			closeAll()
+			return nil, nil, nextErr
+		}
+	}
+	for i := 0; i < nshards; i++ {
+		if own[i] != nil {
+			if err := own[i].close(); err != nil {
+				return nil, nil, err
+			}
+		}
+		if hal[i] != nil {
+			if err := hal[i].close(); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return owned, halo, nil
+}
+
+// readSpill appends the records of one spill file to gals.
+func readSpill(path string, n int, gals []catalog.Galaxy) ([]catalog.Galaxy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<18)
+	var rec [catalog.RecordSize]byte
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("shard: reading spill %s record %d: %w", filepath.Base(path), i, err)
+		}
+		gals = append(gals, catalog.GetRecord(rec[:]))
+	}
+	return gals, nil
+}
+
+// ComputeStream runs the sharded pipeline over a streaming catalog source:
+// plan, spill, then one slab at a time through the node-local engine, with
+// the same checkpoint/resume and merge semantics as ComputeContext. The
+// merged multipoles agree with a single-shot in-memory run to
+// floating-point rounding (identical pair sets, different accumulation
+// order). MaxConcurrent is ignored: the streaming path is the
+// minimum-memory path and computes slabs sequentially.
+func ComputeStream(ctx context.Context, src catalog.Source, cfg core.Config, opts Options) (*core.Result, []Stats, error) {
+	if opts.NShards <= 0 {
+		return nil, nil, fmt.Errorf("shard: NShards %d must be positive", opts.NShards)
+	}
+	if opts.Resume && opts.CheckpointDir == "" {
+		return nil, nil, fmt.Errorf("shard: Resume requires CheckpointDir")
+	}
+	bins, err := hist.NewBinning(cfg.RMin, cfg.RMax, cfg.NBins)
+	if err != nil {
+		return nil, nil, err
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	pipelineStart := time.Now()
+	sc, err := scanSource(ctx, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	boxL := sc.box.L
+	if boxL > 0 && cfg.RMax >= boxL/2 {
+		return nil, nil, fmt.Errorf("shard: RMax %v must be below half the periodic box %v", cfg.RMax, boxL)
+	}
+
+	if opts.CheckpointDir != "" {
+		m := newManifest(sc.n, boxL, sc.sumW, cfg, opts.NShards)
+		m.Stream = true
+		if err := prepareDir(opts.CheckpointDir, m, opts); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Resume: one validation pass over the slab checkpoints. If every slab
+	// has one (the manifest above pinned the run identity, and the slab
+	// plan is deterministic), merge them directly — no histogram pass, no
+	// spill rewrite of the catalog. Otherwise the validity mask feeds the
+	// spill pass below so intact slabs are counted but not rewritten.
+	skip := make([]bool, opts.NShards)
+	if opts.Resume {
+		total, stats, valid, all := scanSlabCheckpoints(sc, bins, cfg, opts)
+		if all {
+			logf("stream: resumed all %d slabs from checkpoints (no re-spill)", opts.NShards)
+			total.NGalaxies = sc.n
+			total.Timings.Total = time.Since(pipelineStart)
+			finishCheckpoints(opts)
+			return total, stats, nil
+		}
+		skip = valid
+	}
+
+	plan, err := planSlabs(ctx, src, sc, opts.NShards)
+	if err != nil {
+		return nil, nil, err
+	}
+	logf("stream: planned %d slabs over axis %d (%d galaxies)", opts.NShards, plan.axis, plan.n)
+
+	// Spill lives next to the checkpoints when there are any (the disk the
+	// operator chose for this run's state — the default temp dir may be a
+	// RAM-backed tmpfs, which would defeat the bounded-memory goal);
+	// otherwise a fresh temp dir. Removed in full on every exit.
+	var spillDir string
+	if opts.CheckpointDir != "" {
+		spillDir = filepath.Join(opts.CheckpointDir, spillDirName)
+		if err := os.MkdirAll(spillDir, 0o755); err != nil {
+			return nil, nil, err
+		}
+	} else if spillDir, err = os.MkdirTemp("", "galactos-spill-*"); err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(spillDir)
+
+	owned, halo, err := spillStream(ctx, src, plan, cfg.RMax, opts.NShards, spillDir, skip)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	total := core.NewResult(cfg.LMax, bins)
+	stats := make([]Stats, opts.NShards)
+	for i := 0; i < opts.NShards; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		partial, st, err := computeSlab(ctx, plan, i, owned[i], halo[i], spillDir, !skip[i], cfg, opts, logf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard %d/%d: %w", i, opts.NShards, err)
+		}
+		stats[i] = st
+		if err := total.Merge(partial); err != nil {
+			return nil, nil, fmt.Errorf("shard: merging shard %d: %w", i, err)
+		}
+	}
+	total.NGalaxies = plan.n
+	total.Timings.Total = time.Since(pipelineStart)
+	finishCheckpoints(opts)
+	return total, stats, nil
+}
+
+// scanSlabCheckpoints makes the single resume pass over the slab
+// checkpoints: valid[i] records which slabs hold a loadable,
+// configuration-matching checkpoint, and when every slab does and the
+// primary counts cover the catalog exactly, the merged total and stats are
+// returned with all=true (the no-re-spill fast path). Otherwise the caller
+// falls back to the plan/spill path, which counts — but does not rewrite —
+// the valid slabs and revalidates each against its owned count.
+func scanSlabCheckpoints(sc *streamScan, bins hist.Binning, cfg core.Config, opts Options) (*core.Result, []Stats, []bool, bool) {
+	total := core.NewResult(cfg.LMax, bins)
+	stats := make([]Stats, opts.NShards)
+	valid := make([]bool, opts.NShards)
+	all := true
+	primaries := 0
+	for i := 0; i < opts.NShards; i++ {
+		res, err := core.LoadResult(checkpointPath(opts.CheckpointDir, i, opts.NShards))
+		if err != nil || res.LMax != cfg.LMax || res.Bins != bins {
+			all = false
+			continue
+		}
+		valid[i] = true
+		primaries += res.NPrimaries
+		stats[i] = Stats{
+			Shard:   i,
+			NOwned:  res.NPrimaries,
+			NHalo:   res.NGalaxies - res.NPrimaries,
+			Pairs:   res.Pairs,
+			Resumed: true,
+		}
+		if all {
+			if err := total.Merge(res); err != nil {
+				all = false
+			}
+		}
+	}
+	if primaries != sc.n {
+		all = false
+	}
+	return total, stats, valid, all
+}
+
+// computeSlab produces slab i's partial result from its spill files (or
+// from a valid checkpoint when resuming; spilled marks slabs whose records
+// were actually written, i.e. not pre-validated for checkpoint reuse).
+func computeSlab(ctx context.Context, plan *slabPlan, i, nOwned, nHalo int, spillDir string, spilled bool, cfg core.Config, opts Options, logf func(string, ...any)) (*core.Result, Stats, error) {
+	st := Stats{Shard: i, NOwned: nOwned, NHalo: nHalo}
+	if opts.Resume {
+		if res, ok := loadCheckpoint(opts.CheckpointDir, i, opts.NShards, cfg, nOwned, logf); ok {
+			st.Pairs = res.Pairs
+			st.Resumed = true
+			logf("shard %d/%d: resumed from checkpoint (%d primaries, %d pairs)",
+				i, opts.NShards, res.NPrimaries, res.Pairs)
+			return res, st, nil
+		}
+		if !spilled {
+			// The pre-validated checkpoint failed the primary-count check:
+			// it was written by a run with a different slab decomposition
+			// (possible only across code versions — the plan is otherwise
+			// deterministic). Its records were never spilled, so recompute
+			// is impossible; make the situation explicit.
+			return nil, st, fmt.Errorf(
+				"checkpoint no longer matches this run's slab decomposition; remove %s and rerun",
+				opts.CheckpointDir)
+		}
+	}
+
+	if nOwned == 0 {
+		bins := hist.Binning{RMin: cfg.RMin, RMax: cfg.RMax, N: cfg.NBins}
+		res := core.NewResult(cfg.LMax, bins)
+		if opts.CheckpointDir != "" {
+			if err := core.SaveResult(checkpointPath(opts.CheckpointDir, i, opts.NShards), res); err != nil {
+				return nil, st, fmt.Errorf("checkpointing: %w", err)
+			}
+		}
+		return res, st, nil
+	}
+
+	start := time.Now()
+	local := &catalog.Catalog{
+		Box:      plan.box, // slab coordinates are unshifted: keep the wrap
+		Galaxies: make([]catalog.Galaxy, 0, nOwned+nHalo),
+	}
+	var err error
+	if local.Galaxies, err = readSpill(spillPath(spillDir, i, "own"), nOwned, local.Galaxies); err != nil {
+		return nil, st, err
+	}
+	if local.Galaxies, err = readSpill(spillPath(spillDir, i, "halo"), nHalo, local.Galaxies); err != nil {
+		return nil, st, err
+	}
+	primary := make([]bool, local.Len())
+	for j := 0; j < nOwned; j++ {
+		primary[j] = true
+	}
+	res, err := core.ComputeSubsetContext(ctx, local, primary, cfg)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Pairs = res.Pairs
+	st.Elapsed = time.Since(start)
+	logf("shard %d/%d: computed %d primaries + %d halo in %v (%d pairs)",
+		i, opts.NShards, nOwned, nHalo, st.Elapsed.Round(time.Millisecond), res.Pairs)
+
+	if opts.CheckpointDir != "" {
+		if err := core.SaveResult(checkpointPath(opts.CheckpointDir, i, opts.NShards), res); err != nil {
+			return nil, st, fmt.Errorf("checkpointing: %w", err)
+		}
+	}
+	return res, st, nil
+}

@@ -1,0 +1,173 @@
+package shard
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"galactos/internal/catalog"
+	"galactos/internal/core"
+	"galactos/internal/geom"
+)
+
+func streamConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.RMax = 40
+	cfg.NBins = 4
+	cfg.LMax = 4
+	cfg.Workers = 2
+	return cfg
+}
+
+// TestStreamMatchesSingleShotOpenBoundaries: slab cuts over an open-
+// boundary (survey-like) catalog reproduce the single-shot result.
+func TestStreamMatchesSingleShotOpenBoundaries(t *testing.T) {
+	cat := catalog.Clustered(900, 180, catalog.DefaultClusterParams(), 19)
+	cat.Box = geom.Periodic{}
+	cfg := streamConfig()
+	single, err := core.Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := ComputeStream(context.Background(), catalog.NewMemorySource(cat), cfg, Options{NShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != single.Pairs || res.NPrimaries != single.NPrimaries {
+		t.Fatalf("counters diverge: pairs %d/%d primaries %d/%d",
+			res.Pairs, single.Pairs, res.NPrimaries, single.NPrimaries)
+	}
+	if d, m := res.MaxAbsDiff(single), single.MaxAbs(); d > 1e-9*m {
+		t.Fatalf("multipoles diverge: max |diff| %.3e vs scale %.3e", d, m)
+	}
+	owned := 0
+	for _, s := range stats {
+		owned += s.NOwned
+	}
+	if owned != cat.Len() {
+		t.Fatalf("slabs own %d galaxies, want %d", owned, cat.Len())
+	}
+}
+
+// TestStreamPeriodicWrapHalo: a primary near the box face must see its
+// wrapped neighbors, which arrive as halo members of the far slab.
+func TestStreamPeriodicWrapHalo(t *testing.T) {
+	// Two tight clusters on opposite faces of a periodic box: nearly every
+	// pair between them crosses the wrap.
+	cat := &catalog.Catalog{Box: geom.Periodic{L: 200}}
+	for i := 0; i < 40; i++ {
+		f := float64(i)
+		cat.Galaxies = append(cat.Galaxies,
+			catalog.Galaxy{Pos: geom.Vec3{X: 2 + f/50, Y: 100, Z: 100}, Weight: 1},
+			catalog.Galaxy{Pos: geom.Vec3{X: 198 - f/50, Y: 100, Z: 100}, Weight: 1},
+		)
+	}
+	cfg := streamConfig()
+	cfg.RMax = 30
+	single, err := core.Compute(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := ComputeStream(context.Background(), catalog.NewMemorySource(cat), cfg, Options{NShards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != single.Pairs {
+		t.Fatalf("wrap pairs lost: %d vs single-shot %d", res.Pairs, single.Pairs)
+	}
+	if d, m := res.MaxAbsDiff(single), single.MaxAbs(); d > 1e-9*m {
+		t.Fatalf("multipoles diverge: max |diff| %.3e vs scale %.3e", d, m)
+	}
+}
+
+// TestStreamCheckpointResume: a full checkpointed streaming run can be
+// resumed entirely from its checkpoints.
+func TestStreamCheckpointResume(t *testing.T) {
+	cat := catalog.Clustered(700, 160, catalog.DefaultClusterParams(), 23)
+	cfg := streamConfig()
+	dir := t.TempDir()
+	src := catalog.NewMemorySource(cat)
+
+	first, _, err := ComputeStream(context.Background(), src, cfg, Options{NShards: 3, CheckpointDir: dir, Keep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A killed run can strand spill scratch under the checkpoint dir; the
+	// resume must clean it up even on the all-checkpoints fast path.
+	if err := os.MkdirAll(filepath.Join(dir, spillDirName), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, spillDirName, "slab-0000.own.spill"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := ComputeStream(context.Background(), src, cfg, Options{NShards: 3, CheckpointDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stats {
+		if !s.Resumed {
+			t.Fatalf("shard %d recomputed despite a valid checkpoint", s.Shard)
+		}
+	}
+	if d := res.MaxAbsDiff(first); d != 0 {
+		t.Fatalf("resumed result differs from original: max |diff| %.3e", d)
+	}
+	if _, err := os.Stat(filepath.Join(dir, spillDirName)); !os.IsNotExist(err) {
+		t.Fatalf("stranded spill scratch not removed on fast-path resume (stat err %v)", err)
+	}
+}
+
+// TestStreamPartialResume: with one checkpoint missing, the all-slabs fast
+// path steps aside and the spill path recomputes exactly the gap.
+func TestStreamPartialResume(t *testing.T) {
+	cat := catalog.Clustered(700, 160, catalog.DefaultClusterParams(), 31)
+	cfg := streamConfig()
+	// One worker keeps the recomputed slab bitwise reproducible: with more,
+	// dynamic chunk scheduling reorders the accumulation at rounding level.
+	cfg.Workers = 1
+	dir := t.TempDir()
+	src := catalog.NewMemorySource(cat)
+
+	first, _, err := ComputeStream(context.Background(), src, cfg, Options{NShards: 3, CheckpointDir: dir, Keep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(checkpointPath(dir, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := ComputeStream(context.Background(), src, cfg, Options{NShards: 3, CheckpointDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recomputed := 0
+	for _, s := range stats {
+		if !s.Resumed {
+			recomputed++
+		}
+	}
+	if recomputed != 1 {
+		t.Fatalf("recomputed %d slabs, want exactly the deleted one", recomputed)
+	}
+	if d := res.MaxAbsDiff(first); d != 0 {
+		t.Fatalf("partially resumed result differs: max |diff| %.3e", d)
+	}
+}
+
+// TestStreamRejectsForeignCheckpointDir: the streaming and in-memory
+// pipelines decompose differently, so a streaming resume must refuse an
+// in-memory run's checkpoint directory instead of merging wrong partials.
+func TestStreamRejectsForeignCheckpointDir(t *testing.T) {
+	cat := catalog.Clustered(500, 160, catalog.DefaultClusterParams(), 29)
+	cfg := streamConfig()
+	dir := t.TempDir()
+	if _, _, err := Compute(cat, cfg, Options{NShards: 3, CheckpointDir: dir, Keep: true}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := ComputeStream(context.Background(), catalog.NewMemorySource(cat), cfg,
+		Options{NShards: 3, CheckpointDir: dir, Resume: true})
+	if err == nil || !strings.Contains(err.Error(), "different run") {
+		t.Fatalf("expected a manifest-mismatch error, got %v", err)
+	}
+}
