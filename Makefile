@@ -44,10 +44,13 @@ bench-baseline:
 	$(GO) run ./cmd/galactos-bench -exp perfstat -perf-json BENCH_baseline.json
 
 # The CI benchmark gate: measure the pinned perfstat scenario fresh and fail
-# on >25% pairs/sec regression against the committed baseline.
+# on >25% pairs/sec regression against the committed baseline. Set
+# BENCHDIFF_SUMMARY to a file path (CI uses $GITHUB_STEP_SUMMARY) to also
+# append benchdiff's markdown comparison table there.
 bench-check:
 	$(GO) run ./cmd/galactos-bench -exp perfstat -perf-json BENCH_fresh.json
-	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -fresh BENCH_fresh.json -threshold 0.25
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -fresh BENCH_fresh.json \
+		-threshold 0.25 $(if $(BENCHDIFF_SUMMARY),-summary "$(BENCHDIFF_SUMMARY)")
 
 # Run every documented example entry point at tiny N: facade refactors
 # cannot silently break them. Each example takes a -n flag for exactly this.

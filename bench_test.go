@@ -7,12 +7,16 @@ package galactos_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"galactos"
 	"galactos/internal/bruteforce"
 	"galactos/internal/catalog"
 	"galactos/internal/core"
+	"galactos/internal/geom"
+	"galactos/internal/grid"
+	"galactos/internal/kdtree"
 	"galactos/internal/sim"
 	"galactos/internal/sphharm"
 )
@@ -72,6 +76,132 @@ func BenchmarkKernelAccumulate(b *testing.B) {
 	flops := float64(b.N) * 128 * float64(sphharm.FlopsPerPair(10))
 	b.ReportMetric(flops/b.Elapsed().Seconds()/1e9, "GFLOP/s")
 	b.ReportMetric(float64(b.N)*128/b.Elapsed().Seconds()/1e6, "Mpairs/s")
+}
+
+// BenchmarkKernelTile measures the tile kernel the engine actually runs:
+// one whole same-bin tile (chunked internally at 128), with the hoisted
+// z-power ladder and the AVX-512 lane primitives where available.
+func BenchmarkKernelTile(b *testing.B) {
+	mono := sphharm.NewMonomialTable(10)
+	k := sphharm.NewKernel(mono, 128)
+	const n = 1024
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	zs := make([]float64, n)
+	ws := make([]float64, n)
+	for i := range xs {
+		xs[i], ys[i], zs[i], ws[i] = 0.5, 0.5, 0.70710678, 1
+	}
+	acc := make([]float64, sphharm.AccumulatorLen(mono))
+	b.SetBytes(n * 3 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.AccumulateTile(xs, ys, zs, ws, acc)
+	}
+	flops := float64(b.N) * n * float64(sphharm.FlopsPerPair(10))
+	b.ReportMetric(flops/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+	b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds()/1e6, "Mpairs/s")
+}
+
+// BenchmarkQueryRadius isolates the neighbor-gathering phase (perfstat's
+// tree_search): the fused multi-image radius query per finder substrate, at
+// the BenchmarkCompute scenario's geometry. The k-d trees sweep all 27
+// periodic images through one QueryRadiusImages call (root-pruned); the
+// grid wraps natively and takes the single zero offset, exactly as the
+// engine drives it.
+func BenchmarkQueryRadius(b *testing.B) {
+	cat := benchCatalog(6000, 5)
+	pts := cat.Positions()
+	const rmax = 15.0
+	images := cat.Box.Images(rmax)
+	zero := []geom.Vec3{{}}
+	finders := []struct {
+		name   string
+		f      core.NeighborFinder
+		images []geom.Vec3
+	}{
+		{"kd32", kdtree.Build[float32](pts, 0), images},
+		{"kd64", kdtree.Build[float64](pts, 0), images},
+		{"grid", grid.Build(pts, rmax/4, cat.Box), zero},
+	}
+	for _, fc := range finders {
+		b.Run(fc.name, func(b *testing.B) {
+			buf := make([]int32, 0, 4096)
+			var neighbors uint64
+			for i := 0; i < b.N; i++ {
+				buf = fc.f.QueryRadiusImages(pts[i%len(pts)], rmax, fc.images, buf[:0])
+				neighbors += uint64(len(buf))
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e3, "kqueries/s")
+			b.ReportMetric(float64(neighbors)/b.Elapsed().Seconds()/1e6, "Mnbrs/s")
+		})
+	}
+}
+
+// BenchmarkAlmZeta isolates the per-primary reduction phase (perfstat's
+// alm_zeta): lane-sum Reduce, monomial -> a_lm conversion, the pair-major
+// transpose, and the per-channel zeta outer products via the interleaved
+// ZetaBlock sweep — the same sequence engine.processPrimary runs after the
+// multipole kernel, at the BenchmarkCompute shape (10 bins, l_max 10, all
+// bins touched).
+func BenchmarkAlmZeta(b *testing.B) {
+	const lmax, nb = 10, 10
+	mono := sphharm.NewMonomialTable(lmax)
+	ytab := sphharm.NewYlmTable(lmax, mono)
+	combos := core.NewComboTable(lmax)
+	pc := sphharm.PairCount(lmax)
+
+	rng := rand.New(rand.NewSource(42))
+	acc := make([][]float64, nb)
+	for bin := range acc {
+		acc[bin] = make([]float64, sphharm.AccumulatorLen(mono))
+		for i := range acc[bin] {
+			acc[bin][i] = rng.NormFloat64()
+		}
+	}
+	msums := make([]float64, mono.Len())
+	reScr := make([]float64, pc)
+	imScr := make([]float64, pc)
+	almRe := make([]float64, pc*nb)
+	almIm := make([]float64, pc*nb)
+	almReW := make([]float64, pc*nb)
+	almImW := make([]float64, pc*nb)
+	u := make([]float64, 2*nb)
+	v := make([]float64, 2*nb)
+	aniso := make([]complex128, combos.Len()*nb*nb)
+	const pw = 1.25
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < nb; t++ {
+			sphharm.Reduce(acc[t], msums)
+			ytab.AlmRI(msums, reScr, imScr)
+			for j, val := range reScr {
+				almRe[j*nb+t] = val
+				almReW[j*nb+t] = pw * val
+			}
+			for j, val := range imScr {
+				almIm[j*nb+t] = val
+				almImW[j*nb+t] = pw * val
+			}
+		}
+		for ci, c := range combos.Combos {
+			i1 := sphharm.PairIndex(c.L1, c.M)
+			i2 := sphharm.PairIndex(c.L2, c.M)
+			a2re := almRe[i2*nb : i2*nb+nb]
+			a2im := almIm[i2*nb : i2*nb+nb]
+			for t2 := 0; t2 < nb; t2++ {
+				u[2*t2] = a2re[t2]
+				u[2*t2+1] = -a2im[t2]
+				v[2*t2] = a2im[t2]
+				v[2*t2+1] = a2re[t2]
+			}
+			base := ci * nb * nb
+			sphharm.ZetaBlock(aniso[base:base+nb*nb], u, v,
+				almReW[i1*nb:i1*nb+nb], almImW[i1*nb:i1*nb+nb])
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e3, "kprimaries/s")
 }
 
 // BenchmarkKernelScalar is the unbucketed baseline for the same work

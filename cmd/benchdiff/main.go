@@ -8,7 +8,10 @@
 //	galactos-bench -exp perfstat -perf-json fresh.json
 //	benchdiff -baseline BENCH_baseline.json -fresh fresh.json -threshold 0.25
 //
-// Improvements always pass; after an intentional speedup, refresh the
+// With -summary, benchdiff also appends a markdown comparison table to the
+// given file — CI points this at $GITHUB_STEP_SUMMARY so a regression is
+// diagnosable (per-phase, per-rate) straight from the Actions page, pass or
+// fail. Improvements always pass; after an intentional speedup, refresh the
 // committed floor with `make bench-baseline`.
 package main
 
@@ -16,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"galactos/internal/perfstat"
 )
@@ -25,6 +29,7 @@ func main() {
 		baseline  = flag.String("baseline", "BENCH_baseline.json", "committed baseline perfstat report")
 		fresh     = flag.String("fresh", "", "freshly measured perfstat report; required")
 		threshold = flag.Float64("threshold", 0.25, "fractional pairs/sec regression that fails the gate")
+		summary   = flag.String("summary", "", "append a markdown comparison table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	)
 	flag.Parse()
 	if *fresh == "" {
@@ -44,11 +49,67 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	summary, err := perfstat.Compare(base, cur, *threshold)
-	if err != nil {
-		fatalf("%v", err)
+	verdict, cmpErr := perfstat.Compare(base, cur, *threshold)
+	if *summary != "" {
+		if err := appendSummary(*summary, base, cur, verdict, cmpErr); err != nil {
+			fatalf("writing summary: %v", err)
+		}
 	}
-	fmt.Printf("benchdiff: PASS — %s\n", summary)
+	if cmpErr != nil {
+		fatalf("%v", cmpErr)
+	}
+	fmt.Printf("benchdiff: PASS — %s\n", verdict)
+}
+
+// appendSummary appends the markdown comparison table (written even when the
+// gate fails, so the Actions page always shows why).
+func appendSummary(path string, base, fresh *perfstat.Report, verdict string, cmpErr error) error {
+	var b strings.Builder
+	status := "PASS ✅"
+	if cmpErr != nil {
+		status = "FAIL ❌"
+	}
+	fmt.Fprintf(&b, "### Benchmark regression gate: %s\n\n", status)
+	if cmpErr != nil {
+		fmt.Fprintf(&b, "`%v`\n\n", cmpErr)
+	} else if verdict != "" {
+		fmt.Fprintf(&b, "%s\n\n", verdict)
+	}
+	fmt.Fprintf(&b, "Scenario: %d galaxies · %d bins · l_max %d · %d pairs · %d workers · %s scheduling\n\n",
+		fresh.NGalaxies, fresh.NBins, fresh.LMax, fresh.Pairs, fresh.Workers, orUnknown(fresh.Scheduling))
+	fmt.Fprintf(&b, "| metric | baseline | fresh | delta |\n|---|---:|---:|---:|\n")
+	row := func(name string, bv, fv float64) {
+		delta := "n/a"
+		if bv != 0 {
+			delta = fmt.Sprintf("%+.1f%%", (fv/bv-1)*100)
+		}
+		fmt.Fprintf(&b, "| %s | %.4g | %.4g | %s |\n", name, bv, fv, delta)
+	}
+	row("pairs/sec", base.PairsPerSec, fresh.PairsPerSec)
+	row("model GF/s", base.ModelGFlopsPerSec, fresh.ModelGFlopsPerSec)
+	row("elapsed s", base.ElapsedSec, fresh.ElapsedSec)
+	for _, phase := range []string{"tree_build", "tree_search", "multipole", "self_count", "alm_zeta", "worker_total"} {
+		row(phase+" s", base.PhaseSec[phase], fresh.PhaseSec[phase])
+	}
+	if base.Host != fresh.Host {
+		fmt.Fprintf(&b, "\nHosts differ: baseline `%s`, fresh `%s`.\n", base.Host, fresh.Host)
+	}
+	b.WriteString("\n")
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString(b.String())
+	return err
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
 }
 
 func fatalf(format string, args ...any) {

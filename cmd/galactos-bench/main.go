@@ -549,6 +549,12 @@ func expPerfstat(s float64) error {
 	cat := densityCatalog(6000, 5)
 	cfg := perfConfig(15)
 	cfg.NBins = 10
+	// The worker budget is part of the pinned scenario: fixing it (instead
+	// of inheriting GOMAXPROCS) keeps the report's scenario fields — which
+	// perfstat.Compare now rejects on — identical across hosts, so a
+	// baseline refreshed on one machine still gates CI runners with a
+	// different core count.
+	cfg.Workers = 4
 	iters := *perfIters
 	if iters < 1 {
 		iters = 1
@@ -560,7 +566,7 @@ func expPerfstat(s float64) error {
 		if err != nil {
 			return err
 		}
-		r := perfstat.Collect("bench-baseline", res, time.Since(start))
+		r := perfstat.Collect("bench-baseline", cfg, res, time.Since(start))
 		fmt.Printf("  run %d/%d: %.3e pairs/s (%.2f model GF/s)\n",
 			it+1, iters, r.PairsPerSec, r.ModelGFlopsPerSec)
 		if best == nil || r.PairsPerSec > best.PairsPerSec {

@@ -268,9 +268,10 @@ func LoadResult(path string) (*Result, error) { return core.LoadResult(path) }
 type PerfReport = perfstat.Report
 
 // CollectPerf builds a PerfReport from any computed Result — single-shot,
-// sharded, or distributed — and the run's wall clock.
-func CollectPerf(label string, res *Result, elapsed time.Duration) *PerfReport {
-	return perfstat.Collect(label, res, elapsed)
+// sharded, or distributed — plus the run's configuration (which contributes
+// the worker/scheduling scenario fields) and wall clock.
+func CollectPerf(label string, cfg Config, res *Result, elapsed time.Duration) *PerfReport {
+	return perfstat.Collect(label, cfg, res, elapsed)
 }
 
 // ComparePerf gates a fresh report against a baseline, failing on more than

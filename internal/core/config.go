@@ -116,7 +116,10 @@ type Config struct {
 	// needed for the isotropic 3PCF: the Slepian–Eisenstein 2015 baseline
 	// mode (Sec. 2.2).
 	IsotropicOnly bool
-	// BucketSize is the pair-bucket capacity (the paper uses 128).
+	// BucketSize is the tile kernel's chunk capacity: bin-sorted pair tiles
+	// are consumed in chunks of this many pairs so the kernel scratch stays
+	// cache-resident (the paper's bucket size, 128). Results are invariant
+	// to it up to floating-point regrouping.
 	BucketSize int
 	// Workers is the number of concurrent workers; <= 0 means GOMAXPROCS.
 	Workers int

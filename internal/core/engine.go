@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,9 +18,14 @@ import (
 )
 
 // NeighborFinder is the substrate abstraction: anything that can return all
-// point indices within a radius. kdtree.Tree and grid.Grid satisfy it.
+// point indices within a radius of any of a set of image centers.
+// kdtree.Tree and grid.Grid satisfy it. The engine gathers through one
+// fused QueryRadiusImages call per primary covering every periodic image,
+// so implementations can prune the image sweep against their own geometry
+// instead of being traversed once per image (both also expose a plain
+// single-center QueryRadius as a concrete method).
 type NeighborFinder interface {
-	QueryRadius(center geom.Vec3, r float64, out []int32) []int32
+	QueryRadiusImages(center geom.Vec3, r float64, images []geom.Vec3, out []int32) []int32
 }
 
 // Compute runs the full anisotropic 3PCF computation over a catalog. All
@@ -77,6 +81,7 @@ func computeSubset(ctx context.Context, cat *catalog.Catalog, primary []bool, cf
 		ctx:       ctx,
 		cfg:       cfg,
 		bins:      bins,
+		invW:      bins.InvWidth(),
 		box:       cat.Box,
 		pts:       cat.Positions(),
 		ws:        cat.Weights(),
@@ -121,6 +126,7 @@ type engine struct {
 	ctx        context.Context
 	cfg        Config
 	bins       hist.Binning
+	invW       float64 // hoisted bins.InvWidth(): bin = (r - RMin) * invW
 	box        geom.Periodic
 	pts        []geom.Vec3
 	ws         []float64
@@ -220,13 +226,20 @@ func (e *engine) run() (*Result, error) {
 
 // workerState carries one worker's scratch memory.
 type workerState struct {
-	kern    *sphharm.Kernel
-	buckets *hist.Buckets
-	acc     [][]float64 // per-bin lane-striped monomial accumulators
-	touched []bool      // bins with data for the current primary
-	tl      []int32     // touched bin indices, appended on first touch
-	tlDense []int32     // dense-scan scratch (reference path only)
-	msums   []float64   // reduced monomial sums scratch
+	kern *sphharm.Kernel
+	acc  [][]float64 // per-bin lane-striped monomial accumulators
+	// Pair-tile gather scratch (stage 1). The unsorted g* columns hold one
+	// primary's admissible neighbors in query order; the counting-sort
+	// scatter regroups them into the bin-sorted t* tiles, bin b occupying
+	// [start[b]-cnt[b], start[b]) after the scatter advances the cursors.
+	gx, gy, gz, gw []float64 // unsorted SoA pair columns (unit vec + weight)
+	tx, ty, tz, tw []float64 // bin-sorted SoA pair tiles
+	bcol           []int32   // unsorted per-pair radial bin ids
+	cnt            []int32   // per-bin pair counts for the current primary
+	start          []int32   // per-bin tile cursors (prefix sums)
+	tl             []int32   // touched bin ids, ascending (from the counts)
+	tlDense        []int32   // dense-scan scratch (reference path only)
+	msums          []float64 // reduced monomial sums scratch
 	// Split a_lm storage for the current primary, pair-major over touched
 	// slots: alm{Re,Im}[i*NBins + t] holds Re/Im a_i of touched slot t, so
 	// every zeta channel's leg is a contiguous run of touched-slot values.
@@ -235,6 +248,7 @@ type workerState struct {
 	almRe, almIm   []float64
 	almReW, almImW []float64
 	reScr, imScr   []float64      // contiguous AlmRI output, scattered per slot
+	uRow, vRow     []float64      // interleaved a2 legs for the ZetaRow sweep
 	selfT          [][]complex128 // per-bin self-pair tensor (SelfCount only)
 	yScr           []float64      // monomial scratch for point evaluation
 	yPt            []complex128   // per-point Y_lm scratch
@@ -248,9 +262,9 @@ func (e *engine) newWorkerState() *workerState {
 	pc := sphharm.PairCount(e.cfg.LMax)
 	s := &workerState{
 		kern:    sphharm.NewKernel(e.mono, e.cfg.BucketSize),
-		buckets: hist.NewBuckets(nb, e.cfg.BucketSize),
 		acc:     make([][]float64, nb),
-		touched: make([]bool, nb),
+		cnt:     make([]int32, nb),
+		start:   make([]int32, nb),
 		tl:      make([]int32, 0, nb),
 		tlDense: make([]int32, 0, nb),
 		msums:   make([]float64, e.mono.Len()),
@@ -260,6 +274,8 @@ func (e *engine) newWorkerState() *workerState {
 		almImW:  make([]float64, pc*nb),
 		reScr:   make([]float64, pc),
 		imScr:   make([]float64, pc),
+		uRow:    make([]float64, 2*nb),
+		vRow:    make([]float64, 2*nb),
 		yScr:    make([]float64, e.mono.Len()),
 		yPt:     make([]complex128, pc),
 		res:     NewResult(e.cfg.LMax, e.bins),
@@ -320,57 +336,37 @@ func (e *engine) worker(w, nw int) *Result {
 	return s.res
 }
 
-// processPrimary runs Algorithm 1's inner loop for one primary galaxy.
+// processPrimary runs Algorithm 1's inner loop for one primary galaxy as a
+// two-stage gather/consume pipeline. Stage 1 (gatherTiles) turns one fused
+// multi-image finder query into bin-sorted SoA pair tiles: a branch-light
+// binning pass, a column-wise line-of-sight rotation, and a counting-sort
+// scatter. Stage 2 hands each whole same-bin tile to the multipole tile
+// kernel. No per-pair flush callback, bucket bookkeeping, or first-touch
+// branching survives on the hot path.
 func (e *engine) processPrimary(s *workerState, pi int32, nbrBuf []int32) []int32 {
 	ppos := e.pts[pi]
 	pw := e.ws[pi]
 
 	t0 := time.Now()
-	nbrBuf = nbrBuf[:0]
-	for _, off := range e.images {
-		nbrBuf = e.finder.QueryRadius(ppos.Add(off), e.cfg.RMax, nbrBuf)
-	}
+	nbrBuf = e.finder.QueryRadiusImages(ppos, e.cfg.RMax, e.images, nbrBuf[:0])
 	s.tSearch += time.Since(t0)
 
-	// Rotation to the line of sight (Fig. 2). For plane-parallel mode the
-	// z axis is already the line of sight.
-	var rot geom.Rotation
-	rotate := e.cfg.LOS == LOSRadial
-	if rotate {
-		rot = geom.ToLineOfSight(ppos.Sub(e.cfg.Observer))
-	}
-
 	t0 = time.Now()
-	flush := e.flushFunc(s)
-	pairs := uint64(0)
-	for _, j := range nbrBuf {
-		if j == pi {
-			continue
+	pairs := e.gatherTiles(s, pi, ppos, nbrBuf)
+	for _, b := range s.tl {
+		end := s.start[b]
+		beg := end - s.cnt[b]
+		xs := s.tx[beg:end]
+		ys := s.ty[beg:end]
+		zs := s.tz[beg:end]
+		ws := s.tw[beg:end]
+		s.kern.AccumulateTile(xs, ys, zs, ws, s.acc[b])
+		if s.selfT != nil {
+			e.accumulateSelfPairs(s, b, xs, ys, zs, ws)
 		}
-		sep := e.box.Separation(ppos, e.pts[j])
-		r2 := sep.Norm2()
-		if r2 == 0 {
-			continue // coincident tracer: no direction, not a triangle side
-		}
-		r := math.Sqrt(r2)
-		bin := e.bins.Index(r)
-		if bin < 0 {
-			continue
-		}
-		if rotate {
-			sep = rot.Apply(sep)
-		}
-		inv := 1 / r
-		if !s.touched[bin] {
-			s.touched[bin] = true
-			s.tl = append(s.tl, int32(bin))
-		}
-		s.buckets.Add(bin, sep.X*inv, sep.Y*inv, sep.Z*inv, e.ws[j], flush)
-		pairs++
 	}
-	s.buckets.FlushAll(flush)
 	s.tMulti += time.Since(t0)
-	s.res.Pairs += pairs
+	s.res.Pairs += uint64(pairs)
 
 	// Convert monomial sums to a_lm per touched bin, then accumulate the
 	// zeta^m_{l1 l2}(b1, b2) outer products weighted by the primary weight.
@@ -378,16 +374,18 @@ func (e *engine) processPrimary(s *workerState, pi int32, nbrBuf []int32) []int3
 	// data and cost nothing (the pre-touched-list engine scanned all NBins
 	// three times per primary).
 	t0 = time.Now()
-	// Ascending bin order makes the Aniso scatter walk forward and decouples
-	// the reduction from first-touch order: a dense flag scan must enumerate
-	// the same bins in the same order, which the dense-scan property test
-	// pins bitwise.
-	slices.Sort(s.tl)
+	// The counting sort hands the touched list over in ascending bin order,
+	// which makes the Aniso scatter walk forward and decouples the reduction
+	// from gather order: the dense-scan reference below must enumerate the
+	// same bins in the same order, which the dense-scan property test pins
+	// bitwise.
 	tl := s.tl
 	if e.denseScan {
+		// Dense-scan reference: enumerate touched bins by sweeping all NBins
+		// counters instead of walking the gathered list.
 		tl = s.tlDense[:0]
-		for b, on := range s.touched {
-			if on {
+		for b, c := range s.cnt {
+			if c > 0 {
 				tl = append(tl, int32(b))
 			}
 		}
@@ -412,20 +410,38 @@ func (e *engine) processPrimary(s *workerState, pi int32, nbrBuf []int32) []int3
 			}
 		}
 		// Cache-blocked outer product: per channel, both legs are dense
-		// length-nt runs, and the inner b2 sweep is a branch-free float64
-		// SoA kernel — w_p * a1 * conj(a2) expanded into real arithmetic.
+		// length-nt runs — w_p * a1 * conj(a2) expanded into real arithmetic.
+		// When the primary touched every bin (the common dense case), the
+		// row target is contiguous and the a2 leg is pre-interleaved once
+		// per channel (u = [re, -im, ...], v = [im, re, ...]) so each t1 row
+		// collapses into two broadcast multiply-adds (sphharm.ZetaRow, with
+		// its AVX-512 dispatch); sparse touch lists keep the scattered SoA
+		// sweep.
+		dense := nt == nb
 		for _, ch := range e.channels {
 			a1re := s.almReW[int(ch.i1)*nb : int(ch.i1)*nb+nt]
 			a1im := s.almImW[int(ch.i1)*nb : int(ch.i1)*nb+nt]
 			a2re := s.almRe[int(ch.i2)*nb : int(ch.i2)*nb+nt]
 			a2im := s.almIm[int(ch.i2)*nb : int(ch.i2)*nb+nt]
-			for t1 := 0; t1 < nt; t1++ {
-				x, y := a1re[t1], a1im[t1]
-				row := res.Aniso[ch.base+int(tl[t1])*nb : ch.base+int(tl[t1])*nb+nb]
-				for t2, b2 := range tl {
-					re := x*a2re[t2] + y*a2im[t2]
-					im := y*a2re[t2] - x*a2im[t2]
-					row[b2] += complex(re, im)
+			if dense {
+				u, v := s.uRow, s.vRow
+				for t2 := 0; t2 < nt; t2++ {
+					re2, im2 := a2re[t2], a2im[t2]
+					u[2*t2] = re2
+					u[2*t2+1] = -im2
+					v[2*t2] = im2
+					v[2*t2+1] = re2
+				}
+				sphharm.ZetaBlock(res.Aniso[ch.base:ch.base+nb*nb], u, v, a1re, a1im)
+			} else {
+				for t1 := 0; t1 < nt; t1++ {
+					x, y := a1re[t1], a1im[t1]
+					row := res.Aniso[ch.base+int(tl[t1])*nb : ch.base+int(tl[t1])*nb+nb]
+					for t2, b2 := range tl {
+						re := x*a2re[t2] + y*a2im[t2]
+						im := y*a2re[t2] - x*a2im[t2]
+						row[b2] += complex(re, im)
+					}
 				}
 			}
 			if s.selfT != nil {
@@ -445,7 +461,7 @@ func (e *engine) processPrimary(s *workerState, pi int32, nbrBuf []int32) []int3
 		if s.selfT != nil {
 			clear(s.selfT[b])
 		}
-		s.touched[b] = false
+		s.cnt[b] = 0
 	}
 	s.tl = s.tl[:0]
 
@@ -454,29 +470,118 @@ func (e *engine) processPrimary(s *workerState, pi int32, nbrBuf []int32) []int3
 	return nbrBuf
 }
 
-// flushFunc returns the bucket-flush closure: kernel accumulation plus,
-// when enabled, the self-pair tensor update.
-func (e *engine) flushFunc(s *workerState) hist.FlushFunc {
-	if !e.cfg.SelfCount {
-		return func(bin int, xs, ys, zs, ws []float64) {
-			s.kern.Accumulate(xs, ys, zs, ws, s.acc[bin])
+// gatherTiles is stage 1 of the pair-tile pipeline: it bins every admissible
+// neighbor of the primary into bin-sorted SoA pair tiles and returns the
+// pair count. One branch-light pass normalizes separations, assigns radial
+// bins (hoisted inverse width — identical binning to hist.Binning.Index),
+// and counts pairs per bin; the line-of-sight rotation is then applied
+// column-wise over the whole gather at once; and a counting-sort scatter
+// groups the unit vectors by bin. The touched-bin list falls out of the
+// counts in ascending order — no per-pair first-touch branch and no sort.
+func (e *engine) gatherTiles(s *workerState, pi int32, ppos geom.Vec3, nbr []int32) int {
+	s.growTiles(len(nbr))
+	rmin, rmax := e.bins.RMin, e.bins.RMax
+	invW := e.invW
+	nb := e.bins.N
+	n := 0
+	for _, j := range nbr {
+		if j == pi {
+			continue
+		}
+		sep := e.box.Separation(ppos, e.pts[j])
+		r2 := sep.Norm2()
+		if r2 == 0 {
+			continue // coincident tracer: no direction, not a triangle side
+		}
+		r := math.Sqrt(r2)
+		if r < rmin || r >= rmax {
+			continue
+		}
+		bin := int((r - rmin) * invW)
+		if bin >= nb { // guard against floating-point edge (as hist.Index)
+			bin = nb - 1
+		}
+		inv := 1 / r
+		s.gx[n] = sep.X * inv
+		s.gy[n] = sep.Y * inv
+		s.gz[n] = sep.Z * inv
+		s.gw[n] = e.ws[j]
+		s.bcol[n] = int32(bin)
+		s.cnt[bin]++
+		n++
+	}
+	// Rotation to the line of sight (Fig. 2), tile-wise over the whole
+	// gather. For plane-parallel mode the z axis is already the line of
+	// sight. Rotating unit vectors after normalization is exact: the
+	// rotation preserves the norm.
+	if e.cfg.LOS == LOSRadial {
+		rot := geom.ToLineOfSight(ppos.Sub(e.cfg.Observer))
+		rot.ApplyColumns(s.gx[:n], s.gy[:n], s.gz[:n])
+	}
+	// Prefix-sum the counts into tile offsets; touched bins come out in
+	// ascending bin order.
+	s.tl = s.tl[:0]
+	off := int32(0)
+	for b, c := range s.cnt {
+		s.start[b] = off
+		off += c
+		if c > 0 {
+			s.tl = append(s.tl, int32(b))
 		}
 	}
-	return func(bin int, xs, ys, zs, ws []float64) {
-		s.kern.Accumulate(xs, ys, zs, ws, s.acc[bin])
-		t0 := time.Now()
-		for j := range xs {
-			e.ytab.EvalPoint(xs[j], ys[j], zs[j], s.yScr, s.yPt)
-			w2 := complex(ws[j]*ws[j], 0)
-			for ci, c := range e.combos.Combos {
-				if e.cfg.IsotropicOnly && c.L1 != c.L2 {
-					continue
-				}
-				y1 := s.yPt[sphharm.PairIndex(c.L1, c.M)]
-				y2 := s.yPt[sphharm.PairIndex(c.L2, c.M)]
-				s.selfT[bin][ci] += w2 * y1 * cmplx.Conj(y2)
-			}
-		}
-		s.tSelf += time.Since(t0)
+	// Scatter into the bin-sorted tiles; each cursor ends at its tile's end.
+	for i := 0; i < n; i++ {
+		b := s.bcol[i]
+		d := s.start[b]
+		s.tx[d] = s.gx[i]
+		s.ty[d] = s.gy[i]
+		s.tz[d] = s.gz[i]
+		s.tw[d] = s.gw[i]
+		s.start[b] = d + 1
 	}
+	return n
+}
+
+// growTiles ensures the gather columns can hold n pairs (amortized: the
+// columns only ever grow, and survive across primaries).
+func (s *workerState) growTiles(n int) {
+	if n <= len(s.gx) {
+		return
+	}
+	c := 2 * len(s.gx)
+	if c < n {
+		c = n
+	}
+	if c < 4096 {
+		c = 4096
+	}
+	s.gx = make([]float64, c)
+	s.gy = make([]float64, c)
+	s.gz = make([]float64, c)
+	s.gw = make([]float64, c)
+	s.tx = make([]float64, c)
+	s.ty = make([]float64, c)
+	s.tz = make([]float64, c)
+	s.tw = make([]float64, c)
+	s.bcol = make([]int32, c)
+}
+
+// accumulateSelfPairs folds one tile's secondaries into the per-bin
+// self-pair tensor (SelfCount only): the w^2 Y_l1m Y*_l2m terms subtracted
+// from diagonal (b, b) channels after the zeta outer products. It runs over
+// the already-rotated tile columns, off the kernel hot loop, walking the
+// prebuilt channel list (mode filtering happened at engine build).
+func (e *engine) accumulateSelfPairs(s *workerState, bin int32, xs, ys, zs, ws []float64) {
+	t0 := time.Now()
+	st := s.selfT[bin]
+	for j := range xs {
+		e.ytab.EvalPoint(xs[j], ys[j], zs[j], s.yScr, s.yPt)
+		w2 := complex(ws[j]*ws[j], 0)
+		for _, ch := range e.channels {
+			y1 := s.yPt[ch.i1]
+			y2 := s.yPt[ch.i2]
+			st[ch.ci] += w2 * y1 * cmplx.Conj(y2)
+		}
+	}
+	s.tSelf += time.Since(t0)
 }

@@ -92,7 +92,7 @@ func Run(ctx context.Context, b Backend, job *Job) (*RunResult, error) {
 	if label == "" {
 		label = b.Name()
 	}
-	perf := perfstat.Collect(label, res, elapsed)
+	perf := perfstat.Collect(label, job.Config, res, elapsed)
 	perf.Backend = b.Name()
 	return &RunResult{
 		Result:  res,

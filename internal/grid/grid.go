@@ -148,6 +148,18 @@ func (g *Grid) QueryRadius(center geom.Vec3, r float64, out []int32) []int32 {
 	return out
 }
 
+// QueryRadiusImages is the fused multi-image form of QueryRadius shared
+// with the k-d trees (core.NeighborFinder). The grid's cell lists wrap
+// periodic boundaries natively, so the engine hands it a single zero offset
+// and the whole neighborhood comes from one cell-list sweep; explicit
+// offsets (open-boundary tilings) fall back to one sweep per image.
+func (g *Grid) QueryRadiusImages(center geom.Vec3, r float64, images []geom.Vec3, out []int32) []int32 {
+	for _, off := range images {
+		out = g.QueryRadius(center.Add(off), r, out)
+	}
+	return out
+}
+
 // axisCells returns the distinct cell indices along one axis covered by a
 // window of +/- reach around c, wrapping when periodic and never visiting a
 // cell twice (the window saturates to the full axis when it would wrap onto

@@ -69,6 +69,36 @@ func TestPeriodicMatchesScan(t *testing.T) {
 	}
 }
 
+func TestQueryRadiusImagesMatchesScan(t *testing.T) {
+	// With the engine's single zero offset the fused query is one native
+	// periodic sweep; with explicit offsets it must union the per-image
+	// neighborhoods.
+	rng := rand.New(rand.NewSource(9))
+	pb := geom.Periodic{L: 100}
+	pts := randPoints(rng, 1500, 100)
+	g := Build(pts, 10, pb)
+	for trial := 0; trial < 30; trial++ {
+		c := pts[rng.Intn(len(pts))]
+		r := rng.Float64() * 30
+		got := g.QueryRadiusImages(c, r, []geom.Vec3{{}}, nil)
+		want := linearScan(pts, pb, c, r)
+		sameIDs(t, got, want, "fused-zero-offset")
+	}
+
+	open := Build(pts, 10, geom.Periodic{})
+	offs := []geom.Vec3{{}, {X: 100}, {Y: -100}}
+	for trial := 0; trial < 10; trial++ {
+		c := pts[rng.Intn(len(pts))]
+		r := rng.Float64() * 20
+		got := open.QueryRadiusImages(c, r, offs, nil)
+		var want []int32
+		for _, off := range offs {
+			want = open.QueryRadius(c.Add(off), r, want)
+		}
+		sameIDs(t, got, want, "fused-multi-offset")
+	}
+}
+
 func TestPeriodicCoarseGridNoDuplicates(t *testing.T) {
 	// Few cells + large radius: the axis window saturates; every point must
 	// appear exactly once.

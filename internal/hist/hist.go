@@ -1,9 +1,8 @@
-// Package hist provides the radial binning and the pair "bucket" machinery
-// of Sec. 3.3.1 (pre-binning/post-binning): pairs of one primary with its
-// secondaries are collected per radial bin into fixed-size buckets, and a
-// bucket is handed to the multipole kernel only when full (or at the final
-// sweep), so vector operations always touch the multipole arrays of a single
-// radial bin.
+// Package hist provides the radial binning of Sec. 3.3.1: pairs of one
+// primary with its secondaries are grouped per radial shell so vector
+// operations always touch the multipole arrays of a single radial bin. The
+// grouping itself is done by the engine's bin-sorted pair tiles
+// (internal/core); this package owns the shell geometry.
 package hist
 
 import (
@@ -32,13 +31,18 @@ func NewBinning(rmin, rmax float64, n int) (Binning, error) {
 // Width returns the shell width.
 func (b Binning) Width() float64 { return (b.RMax - b.RMin) / float64(b.N) }
 
+// InvWidth returns shells per unit radius. Hot loops hoist it so binning a
+// pair costs one multiply instead of a division; Index uses the identical
+// product, so a hoisted caller bins every radius exactly like Index does.
+func (b Binning) InvWidth() float64 { return float64(b.N) / (b.RMax - b.RMin) }
+
 // Index returns the shell index for radius r, or -1 if r lies outside
 // [RMin, RMax).
 func (b Binning) Index(r float64) int {
 	if r < b.RMin || r >= b.RMax {
 		return -1
 	}
-	i := int((r - b.RMin) / b.Width())
+	i := int((r - b.RMin) * b.InvWidth())
 	if i >= b.N { // guard against floating-point edge
 		i = b.N - 1
 	}
@@ -64,88 +68,4 @@ func (b Binning) ShellVolume(i int) float64 {
 	lo := b.RMin + float64(i)*b.Width()
 	hi := lo + b.Width()
 	return 4.0 / 3.0 * math.Pi * (hi*hi*hi - lo*lo*lo)
-}
-
-// FlushFunc consumes a full or final bucket for one radial bin. The slices
-// are only valid for the duration of the call.
-type FlushFunc func(bin int, xs, ys, zs, ws []float64)
-
-// Buckets collects scaled pair separations per radial bin. Not safe for
-// concurrent use: each worker owns one.
-type Buckets struct {
-	size int
-	n    []int
-	xs   [][]float64
-	ys   [][]float64
-	zs   [][]float64
-	ws   [][]float64
-}
-
-// NewBuckets creates per-bin buckets of the given capacity (the paper uses
-// 128 pairs, chosen "to fully exploit a given machine's vector registers").
-func NewBuckets(bins, size int) *Buckets {
-	if bins <= 0 || size <= 0 {
-		panic("hist: bins and size must be positive")
-	}
-	b := &Buckets{
-		size: size,
-		n:    make([]int, bins),
-		xs:   make([][]float64, bins),
-		ys:   make([][]float64, bins),
-		zs:   make([][]float64, bins),
-		ws:   make([][]float64, bins),
-	}
-	// One backing allocation per component keeps buckets cache-compact.
-	bx := make([]float64, bins*size)
-	by := make([]float64, bins*size)
-	bz := make([]float64, bins*size)
-	bw := make([]float64, bins*size)
-	for i := 0; i < bins; i++ {
-		b.xs[i] = bx[i*size : (i+1)*size]
-		b.ys[i] = by[i*size : (i+1)*size]
-		b.zs[i] = bz[i*size : (i+1)*size]
-		b.ws[i] = bw[i*size : (i+1)*size]
-	}
-	return b
-}
-
-// Size returns the bucket capacity.
-func (b *Buckets) Size() int { return b.size }
-
-// Bins returns the number of radial bins.
-func (b *Buckets) Bins() int { return len(b.n) }
-
-// Add appends one scaled pair to bin's bucket, invoking flush when the
-// bucket fills ("when a bucket fills, then Galactos computes the multipole
-// contributions of all galaxies in that bucket").
-func (b *Buckets) Add(bin int, x, y, z, w float64, flush FlushFunc) {
-	i := b.n[bin]
-	b.xs[bin][i] = x
-	b.ys[bin][i] = y
-	b.zs[bin][i] = z
-	b.ws[bin][i] = w
-	i++
-	if i == b.size {
-		flush(bin, b.xs[bin], b.ys[bin], b.zs[bin], b.ws[bin])
-		i = 0
-	}
-	b.n[bin] = i
-}
-
-// FlushAll sweeps the partially filled buckets ("at the end of the loop over
-// secondary galaxies, the buckets are swept once more").
-func (b *Buckets) FlushAll(flush FlushFunc) {
-	for bin, n := range b.n {
-		if n > 0 {
-			flush(bin, b.xs[bin][:n], b.ys[bin][:n], b.zs[bin][:n], b.ws[bin][:n])
-			b.n[bin] = 0
-		}
-	}
-}
-
-// Reset discards buffered pairs without flushing.
-func (b *Buckets) Reset() {
-	for i := range b.n {
-		b.n[i] = 0
-	}
 }

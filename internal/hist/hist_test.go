@@ -101,97 +101,37 @@ func TestShellVolumesSumToSphere(t *testing.T) {
 	}
 }
 
-func TestBucketsFlushOnFull(t *testing.T) {
-	b := NewBuckets(3, 4)
-	var flushed [][]float64
-	flush := func(bin int, xs, ys, zs, ws []float64) {
-		cp := make([]float64, len(xs))
-		copy(cp, xs)
-		flushed = append(flushed, cp)
-		if bin != 1 {
-			t.Errorf("flush for bin %d, want 1", bin)
-		}
-	}
-	for i := 0; i < 9; i++ {
-		b.Add(1, float64(i), 0, 0, 1, flush)
-	}
-	if len(flushed) != 2 {
-		t.Fatalf("%d flushes, want 2 (two full buckets)", len(flushed))
-	}
-	if flushed[0][0] != 0 || flushed[1][0] != 4 {
-		t.Errorf("flush contents wrong: %v", flushed)
-	}
-	b.FlushAll(flush)
-	if len(flushed) != 3 || len(flushed[2]) != 1 || flushed[2][0] != 8 {
-		t.Errorf("final sweep wrong: %v", flushed)
-	}
-	// Second FlushAll is a no-op.
-	b.FlushAll(flush)
-	if len(flushed) != 3 {
-		t.Error("FlushAll flushed empty buckets")
-	}
-}
-
-func TestBucketsConservePairs(t *testing.T) {
-	// Property: every added pair is flushed exactly once, into its own bin,
-	// regardless of bucket size.
-	f := func(seed int64, size uint8) bool {
-		sz := int(size%31) + 1
+func TestInvWidthMatchesIndex(t *testing.T) {
+	// Property: a hot loop that hoists InvWidth and computes
+	// int((r-RMin)*invW) must land every in-range radius in exactly the bin
+	// Index reports — the contract the engine's gather pass relies on.
+	f := func(seed int64, rminRaw, spanRaw uint16, nRaw uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
-		b := NewBuckets(5, sz)
-		counts := make([]int, 5)
-		sums := make([]float64, 5)
-		flush := func(bin int, xs, ys, zs, ws []float64) {
-			counts[bin] += len(xs)
-			for _, x := range xs {
-				sums[bin] += x
+		rmin := float64(rminRaw) / 100
+		span := float64(spanRaw)/100 + 0.5
+		n := int(nRaw%64) + 1
+		b, err := NewBinning(rmin, rmin+span, n)
+		if err != nil {
+			return true
+		}
+		invW := b.InvWidth()
+		for i := 0; i < 200; i++ {
+			r := rmin + (rng.Float64()*1.2-0.1)*span
+			want := b.Index(r)
+			got := -1
+			if r >= b.RMin && r < b.RMax {
+				got = int((r - b.RMin) * invW)
+				if got >= b.N {
+					got = b.N - 1
+				}
 			}
-		}
-		wantCounts := make([]int, 5)
-		wantSums := make([]float64, 5)
-		n := rng.Intn(500)
-		for i := 0; i < n; i++ {
-			bin := rng.Intn(5)
-			x := rng.Float64()
-			wantCounts[bin]++
-			wantSums[bin] += x
-			b.Add(bin, x, 0, 0, 1, flush)
-		}
-		b.FlushAll(flush)
-		for i := range counts {
-			if counts[i] != wantCounts[i] || math.Abs(sums[i]-wantSums[i]) > 1e-9 {
+			if got != want {
 				return false
 			}
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
 	}
-}
-
-func TestBucketsReset(t *testing.T) {
-	b := NewBuckets(2, 8)
-	flush := func(bin int, xs, ys, zs, ws []float64) {
-		t.Error("unexpected flush after reset")
-	}
-	b.Add(0, 1, 2, 3, 1, flush)
-	b.Reset()
-	b.FlushAll(flush)
-}
-
-func TestBucketsAccessors(t *testing.T) {
-	b := NewBuckets(7, 128)
-	if b.Bins() != 7 || b.Size() != 128 {
-		t.Errorf("Bins=%d Size=%d", b.Bins(), b.Size())
-	}
-}
-
-func TestNewBucketsPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	NewBuckets(0, 10)
 }

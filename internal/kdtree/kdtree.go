@@ -218,18 +218,56 @@ func (t *Tree[T]) QueryRadius(center geom.Vec3, r float64, out []int32) []int32 
 	if len(t.nodes) == 0 {
 		return out
 	}
-	cx, cy, cz, rr := T(center.X), T(center.Y), T(center.Z), T(r)
+	rr := T(r)
+	return t.query(T(center.X), T(center.Y), T(center.Z), rr*rr, out)
+}
+
+// QueryRadiusImages appends to out the indices of all points within distance
+// r of any image center+images[k], fusing a periodic image sweep into one
+// call: image offsets whose shifted center cannot reach the tree's root
+// bounding box are rejected with a single box test, so an interior primary's
+// 27-image query costs one real traversal while an edge primary descends
+// only for the handful of images that actually overlap the volume. Image
+// centers are assumed at least 2r apart (the engine guarantees RMax < L/2),
+// so no point can match twice and the output carries no duplicates.
+func (t *Tree[T]) QueryRadiusImages(center geom.Vec3, r float64, images []geom.Vec3, out []int32) []int32 {
+	if len(t.nodes) == 0 {
+		return out
+	}
+	rr := T(r)
 	r2 := rr * rr
-	var rec func(ni int32)
-	rec = func(ni int32) {
+	root := &t.nodes[0]
+	for _, off := range images {
+		cx := T(center.X + off.X)
+		cy := T(center.Y + off.Y)
+		cz := T(center.Z + off.Z)
+		d2 := axisDist2(cx, root.minX, root.maxX) +
+			axisDist2(cy, root.minY, root.maxY) +
+			axisDist2(cz, root.minZ, root.maxZ)
+		if d2 > r2 {
+			continue
+		}
+		out = t.query(cx, cy, cz, r2, out)
+	}
+	return out
+}
+
+// query runs one radius traversal with an explicit stack (no per-call
+// closure allocation; left subtrees are visited first, matching the old
+// recursive order). The stack capacity covers any median-balanced tree.
+func (t *Tree[T]) query(cx, cy, cz, r2 T, out []int32) []int32 {
+	stack := make([]int32, 1, 64)
+	stack[0] = 0
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		nd := &t.nodes[ni]
 		// Distance from center to the node's bounding box.
-		var d2 T
-		d2 += axisDist2(cx, nd.minX, nd.maxX)
-		d2 += axisDist2(cy, nd.minY, nd.maxY)
-		d2 += axisDist2(cz, nd.minZ, nd.maxZ)
+		d2 := axisDist2(cx, nd.minX, nd.maxX) +
+			axisDist2(cy, nd.minY, nd.maxY) +
+			axisDist2(cz, nd.minZ, nd.maxZ)
 		if d2 > r2 {
-			return
+			continue
 		}
 		if nd.left < 0 {
 			for i := nd.start; i < nd.end; i++ {
@@ -241,12 +279,10 @@ func (t *Tree[T]) QueryRadius(center geom.Vec3, r float64, out []int32) []int32 
 					out = append(out, p.id)
 				}
 			}
-			return
+			continue
 		}
-		rec(nd.left)
-		rec(nd.right)
+		stack = append(stack, nd.right, nd.left)
 	}
-	rec(0)
 	return out
 }
 

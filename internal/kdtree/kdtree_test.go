@@ -87,6 +87,67 @@ func TestQueryRadiusMatchesLinearScan32(t *testing.T) {
 	}
 }
 
+func TestQueryRadiusImagesMatchesPerImageQueries(t *testing.T) {
+	// The fused multi-image query must return exactly what the per-image
+	// QueryRadius loop returned (the engine's pre-fusion behavior), for
+	// both open boundaries and a periodic 27-image sweep.
+	rng := rand.New(rand.NewSource(7))
+	box := geom.Periodic{L: 80}
+	pts := randPoints(rng, 1500, 80)
+	tree := Build[float64](pts, 0)
+	for _, tc := range []struct {
+		name   string
+		images []geom.Vec3
+	}{
+		{"open", []geom.Vec3{{}}},
+		{"periodic-27", box.Images(20)},
+	} {
+		for trial := 0; trial < 30; trial++ {
+			c := pts[rng.Intn(len(pts))]
+			r := 2 + rng.Float64()*18
+			got := tree.QueryRadiusImages(c, r, tc.images, nil)
+			var want []int32
+			for _, off := range tc.images {
+				want = tree.QueryRadius(c.Add(off), r, want)
+			}
+			sortIDs(got)
+			sortIDs(want)
+			if !sameIDs(got, want) {
+				t.Fatalf("%s trial %d: fused %d ids, per-image %d", tc.name, trial, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestQueryRadiusImagesNoDuplicates(t *testing.T) {
+	// Edge primaries match through exactly one image: the fused sweep must
+	// never report an index twice (image centers are >= 2r apart).
+	rng := rand.New(rand.NewSource(8))
+	box := geom.Periodic{L: 60}
+	pts := randPoints(rng, 1000, 60)
+	tree := Build[float32](pts, 0)
+	images := box.Images(25)
+	for trial := 0; trial < 30; trial++ {
+		// Bias centers toward the box corner so wrapping is exercised.
+		c := geom.Vec3{X: rng.Float64() * 5, Y: rng.Float64() * 5, Z: rng.Float64() * 5}
+		ids := tree.QueryRadiusImages(c, 25, images, nil)
+		seen := make(map[int32]bool, len(ids))
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("trial %d: duplicate id %d", trial, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestQueryRadiusImagesEmptyTree(t *testing.T) {
+	tree := Build[float64](nil, 0)
+	if got := tree.QueryRadiusImages(geom.Vec3{}, 5, []geom.Vec3{{}}, nil); len(got) != 0 {
+		t.Fatalf("empty tree returned %d ids", len(got))
+	}
+}
+
 func TestQueryIncludesCenterPoint(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	pts := randPoints(rng, 500, 10)

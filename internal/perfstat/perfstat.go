@@ -42,6 +42,14 @@ type Report struct {
 	LMax       int    `json:"l_max"`
 	Pairs      uint64 `json:"pairs"`
 
+	// Workers is the run's normalized worker budget and Scheduling its
+	// primary-distribution policy ("dynamic"/"static"). Both change
+	// pairs/sec without changing the computation, so Compare refuses to
+	// gate across a mismatch. Zero/empty means a legacy report written
+	// before these fields existed; such reports compare as before.
+	Workers    int    `json:"workers,omitempty"`
+	Scheduling string `json:"scheduling,omitempty"`
+
 	ElapsedSec        float64 `json:"elapsed_sec"`
 	PairsPerSec       float64 `json:"pairs_per_sec"`
 	FlopsPerPair      int     `json:"flops_per_pair"`
@@ -53,8 +61,11 @@ type Report struct {
 	PhaseSec map[string]float64 `json:"phase_sec"`
 }
 
-// Collect builds a report from a computed result and the run's wall clock.
-func Collect(label string, res *core.Result, elapsed time.Duration) *Report {
+// Collect builds a report from the run's configuration, its computed result,
+// and its wall clock. The configuration contributes the scheduling-relevant
+// scenario fields (worker budget, scheduling policy); an unnormalizable
+// config leaves them at their legacy zero values.
+func Collect(label string, cfg core.Config, res *core.Result, elapsed time.Duration) *Report {
 	sec := elapsed.Seconds()
 	r := &Report{
 		Label:        label,
@@ -79,6 +90,10 @@ func Collect(label string, res *core.Result, elapsed time.Duration) *Report {
 	if sec > 0 {
 		r.PairsPerSec = float64(res.Pairs) / sec
 		r.ModelGFlopsPerSec = res.FlopsEstimate() / sec / 1e9
+	}
+	if ncfg, err := cfg.Normalize(); err == nil {
+		r.Workers = ncfg.Workers
+		r.Scheduling = ncfg.Scheduling.String()
 	}
 	return r
 }
@@ -123,6 +138,20 @@ func Compare(baseline, fresh *Report, tolerance float64) (string, error) {
 		return "", fmt.Errorf(
 			"perfstat: pair counts differ (baseline %d, fresh %d) — the measured computation changed; refresh the baseline",
 			baseline.Pairs, fresh.Pairs)
+	}
+	// Worker budget and scheduling policy scale pairs/sec without changing
+	// the computation: gating across a mismatch would compare parallelism,
+	// not code. Legacy reports (zero/empty fields) are exempt so committed
+	// baselines keep working until refreshed.
+	if baseline.Workers != 0 && fresh.Workers != 0 && baseline.Workers != fresh.Workers {
+		return "", fmt.Errorf(
+			"perfstat: worker budgets differ (baseline %d, fresh %d) — rates are not comparable; refresh the baseline",
+			baseline.Workers, fresh.Workers)
+	}
+	if baseline.Scheduling != "" && fresh.Scheduling != "" && baseline.Scheduling != fresh.Scheduling {
+		return "", fmt.Errorf(
+			"perfstat: scheduling policies differ (baseline %q, fresh %q) — rates are not comparable; refresh the baseline",
+			baseline.Scheduling, fresh.Scheduling)
 	}
 	if baseline.PairsPerSec <= 0 {
 		return "", fmt.Errorf("perfstat: baseline has no pairs/sec rate")

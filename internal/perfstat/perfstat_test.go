@@ -23,7 +23,7 @@ func sampleReport(t *testing.T) *Report {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Collect("test", res, time.Since(start))
+	return Collect("test", cfg, res, time.Since(start))
 }
 
 func TestCollectPopulatesRates(t *testing.T) {
@@ -116,6 +116,54 @@ func TestCompareRejectsScenarioMismatch(t *testing.T) {
 	other.PairsPerSec = 0
 	if _, err := Compare(&other, base, 0.25); err == nil {
 		t.Error("zero-rate baseline accepted")
+	}
+}
+
+func TestCollectPopulatesWorkersAndScheduling(t *testing.T) {
+	r := sampleReport(t)
+	if r.Workers < 1 {
+		t.Errorf("Workers = %d, want the normalized budget", r.Workers)
+	}
+	if r.Scheduling != "dynamic" {
+		t.Errorf("Scheduling = %q, want the default dynamic policy", r.Scheduling)
+	}
+}
+
+func TestCompareRejectsWorkerMismatch(t *testing.T) {
+	base := sampleReport(t)
+	fresh := *base
+	fresh.Workers = base.Workers + 3
+	if _, err := Compare(base, &fresh, 0.25); err == nil {
+		t.Error("different worker budgets compared")
+	} else if !strings.Contains(err.Error(), "worker budgets differ") {
+		t.Errorf("unhelpful rejection: %v", err)
+	}
+}
+
+func TestCompareRejectsSchedulingMismatch(t *testing.T) {
+	base := sampleReport(t)
+	fresh := *base
+	fresh.Scheduling = "static"
+	if _, err := Compare(base, &fresh, 0.25); err == nil {
+		t.Error("different scheduling policies compared")
+	} else if !strings.Contains(err.Error(), "scheduling policies differ") {
+		t.Errorf("unhelpful rejection: %v", err)
+	}
+}
+
+func TestCompareToleratesLegacyReports(t *testing.T) {
+	// Reports written before the workers/scheduling fields existed carry
+	// zero values; they must keep comparing so a committed baseline does
+	// not brick the gate the moment the fresh side gains the fields.
+	modern := sampleReport(t)
+	legacy := *modern
+	legacy.Workers = 0
+	legacy.Scheduling = ""
+	if _, err := Compare(&legacy, modern, 0.25); err != nil {
+		t.Errorf("legacy baseline rejected: %v", err)
+	}
+	if _, err := Compare(modern, &legacy, 0.25); err != nil {
+		t.Errorf("legacy fresh report rejected: %v", err)
 	}
 }
 

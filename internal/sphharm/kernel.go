@@ -39,10 +39,12 @@ type Kernel struct {
 	xk    []float64 // running w * x^k per pair
 	xy    []float64 // running w * x^k * y^p per pair
 	cur   []float64 // running w * x^k * y^p * z^q per pair
+	zpow  []float64 // hoisted z-power columns: zpow[(q-1)*cap:...] holds z^q
 }
 
 // NewKernel returns a kernel for monomial table t handling buckets of at
-// most bucketCap pairs.
+// most bucketCap pairs; AccumulateTile consumes tiles of any length in
+// chunks of that capacity.
 func NewKernel(t *MonomialTable, bucketCap int) *Kernel {
 	if bucketCap <= 0 {
 		panic("sphharm: bucket capacity must be positive")
@@ -53,6 +55,7 @@ func NewKernel(t *MonomialTable, bucketCap int) *Kernel {
 		xk:    make([]float64, bucketCap),
 		xy:    make([]float64, bucketCap),
 		cur:   make([]float64, bucketCap),
+		zpow:  make([]float64, t.L*bucketCap),
 	}
 }
 
@@ -107,19 +110,111 @@ func (k *Kernel) Accumulate(xs, ys, zs, ws []float64, acc []float64) {
 	}
 }
 
-// mulInto multiplies dst elementwise by src (the x^k / y^p running-product
-// updates).
-func mulInto(dst, src []float64) {
+// AccumulateTile adds the weighted power combinations of one whole same-bin
+// pair tile into the lane-striped accumulator acc. This is the engine's hot
+// path: the bin-sorted gather hands it every pair of one radial bin at once
+// (any length), and the tile is consumed in chunks of the kernel capacity so
+// the running-product scratch stays cache-resident. Each chunk runs a
+// degree-major monomial ladder: the pair weights are prescaled into the
+// degree-0 row, the z-power columns z^q are hoisted and computed once per
+// chunk, and every monomial with q >= 1 folds x^k y^p * z^q into its lane
+// group in a single fused multiply-accumulate sweep — unlike the bucketed
+// reference kernel, no running z product is stored back per monomial.
+func (k *Kernel) AccumulateTile(xs, ys, zs, ws []float64, acc []float64) {
+	n := len(xs)
+	if len(ys) != n || len(zs) != n || len(ws) != n {
+		panic("sphharm: tile slice length mismatch")
+	}
+	if len(acc) != AccumulatorLen(k.Table) {
+		panic("sphharm: accumulator length mismatch")
+	}
+	for lo := 0; lo < n; lo += k.cap {
+		hi := lo + k.cap
+		if hi > n {
+			hi = n
+		}
+		k.accumulateChunk(xs[lo:hi], ys[lo:hi], zs[lo:hi], ws[lo:hi], acc)
+	}
+}
+
+// accumulateChunk is AccumulateTile's per-chunk ladder (chunk length <= the
+// kernel capacity).
+func (k *Kernel) accumulateChunk(xs, ys, zs, ws []float64, acc []float64) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	l := k.Table.L
+	xk := k.xk[:n]
+	xy := k.xy[:n]
+	copy(xk, ws) // weight prescale fused into the degree-0 row
+	// Hoist the z-power columns: zpow[q-1] holds z^q for the whole chunk,
+	// computed once and reused by every (k, p) row of the ladder.
+	for q := 1; q <= l; q++ {
+		zq := k.zpow[(q-1)*k.cap : (q-1)*k.cap+n]
+		if q == 1 {
+			copy(zq, zs)
+		} else {
+			mulCols(zq, k.zpow[(q-2)*k.cap:(q-2)*k.cap+n], zs)
+		}
+	}
+	i := 0
+	for kk := 0; kk <= l; kk++ {
+		if kk > 0 {
+			mulInto(xk, xs)
+		}
+		copy(xy, xk)
+		for p := 0; p <= l-kk; p++ {
+			if p > 0 {
+				mulInto(xy, ys)
+			}
+			addLanes(acc[i*Lanes:i*Lanes+Lanes], xy)
+			i++
+			for q := 1; q <= l-kk-p; q++ {
+				fmaLanes(acc[i*Lanes:i*Lanes+Lanes], xy, k.zpow[(q-1)*k.cap:(q-1)*k.cap+n])
+				i++
+			}
+		}
+	}
+}
+
+// The lane primitives are package function variables so the amd64 init can
+// swap in the AVX-512 bodies (kernel_lanes_amd64.go) with zero per-call
+// dispatch overhead; everywhere else they stay bound to the generic bodies.
+// All callers pass matched column lengths — the vector bodies trust the
+// driving slice's length the same way the generic bodies do.
+var (
+	addLanes  = addLanesGeneric
+	fmaLanes  = fmaLanesGeneric
+	mulInto   = mulIntoGeneric
+	mulCols   = mulColsGeneric
+	zetaBlock = zetaBlockGeneric
+)
+
+// mulIntoGeneric multiplies dst elementwise by src (the x^k / y^p
+// running-product updates).
+func mulIntoGeneric(dst, src []float64) {
 	for j, v := range src[:len(dst)] {
 		dst[j] *= v
 	}
 }
 
-// addLanes folds src into one monomial's Lanes-striped accumulator group a,
-// pair j landing in lane j & (Lanes-1). The lane sums are carried in
-// registers across the whole bucket, so the accumulator group is loaded and
-// stored once instead of once per pair.
-func addLanes(a, src []float64) {
+// mulColsGeneric writes a .* b into dst (the hoisted z-power column
+// recurrence z^q = z^(q-1) * z).
+func mulColsGeneric(dst, a, b []float64) {
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	for j := range dst {
+		dst[j] = a[j] * b[j]
+	}
+}
+
+// addLanesGeneric folds src into one monomial's Lanes-striped accumulator
+// group a, pair j landing in lane j & (Lanes-1). The lane sums are carried
+// in registers across the whole bucket, so the accumulator group is loaded
+// and stored once instead of once per pair. addLanes dispatches here when
+// no vector implementation is available (see kernel_lanes_amd64.go).
+func addLanesGeneric(a, src []float64) {
 	a = a[:Lanes:Lanes]
 	a0, a1, a2, a3, a4, a5, a6, a7 := a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7]
 	j := 0
@@ -213,6 +308,51 @@ func mulAddLanes(a, dst, src, zs []float64) {
 	a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7] = a0, a1, a2, a3, a4, a5, a6, a7
 }
 
+// fmaLanesGeneric folds src .* zq into one monomial's lane group a without
+// storing the products anywhere: the degree-major ladder reads the hoisted
+// z-power column instead of carrying a running z product through memory, so
+// each q >= 1 monomial costs two loads and zero stores per pair. The lane
+// map matches addLanes/mulAddLanes (pair j lands in lane j & (Lanes-1)).
+func fmaLanesGeneric(a, src, zq []float64) {
+	a = a[:Lanes:Lanes]
+	a0, a1, a2, a3, a4, a5, a6, a7 := a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7]
+	j := 0
+	for ; j+Lanes <= len(src); j += Lanes {
+		s := src[j : j+Lanes : j+Lanes]
+		z := zq[j : j+Lanes : j+Lanes]
+		a0 += s[0] * z[0]
+		a1 += s[1] * z[1]
+		a2 += s[2] * z[2]
+		a3 += s[3] * z[3]
+		a4 += s[4] * z[4]
+		a5 += s[5] * z[5]
+		a6 += s[6] * z[6]
+		a7 += s[7] * z[7]
+	}
+	for ; j < len(src); j++ {
+		c := src[j] * zq[j]
+		switch j & (Lanes - 1) {
+		case 0:
+			a0 += c
+		case 1:
+			a1 += c
+		case 2:
+			a2 += c
+		case 3:
+			a3 += c
+		case 4:
+			a4 += c
+		case 5:
+			a5 += c
+		case 6:
+			a6 += c
+		default:
+			a7 += c
+		}
+	}
+	a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7] = a0, a1, a2, a3, a4, a5, a6, a7
+}
+
 // AccumulateScalar is the straightforward per-pair reference implementation
 // (no bucketing, no lane striping). It writes plain monomial sums into m
 // (length Table.Len()). Used to validate Accumulate and in the
@@ -240,6 +380,43 @@ func (k *Kernel) AccumulateScalar(xs, ys, zs, ws []float64, m []float64) {
 				xy *= y
 			}
 			xk *= x
+		}
+	}
+}
+
+// ZetaBlock folds one channel's whole zeta outer-product block of the
+// engine's per-primary reduction, for the dense case where the primary
+// touched every radial bin: dst is the channel's nb x nb complex matrix
+// (row-major over (b1, b2)), and row t gains (xs[t], ys[t]) ⊗ (u, v):
+//
+//	dst[t*nb+i] += complex(xs[t]*u[2i] + ys[t]*v[2i],
+//	                       xs[t]*u[2i+1] + ys[t]*v[2i+1])
+//
+// The caller interleaves the second a_lm leg as u = [re0, -im0, re1, ...]
+// (conjugate-interleaved) and v = [im0, re0, im1, ...] (swapped), and passes
+// the weighted first leg as (xs, ys), so each row is w_p a1(b1) conj(a2)
+// computed as two broadcast multiply-adds over the packed float64 view —
+// the shape the vector dispatch exploits. nb is len(xs) (= len(ys)); dst
+// must hold nb*nb values and u, v at least 2*nb each.
+func ZetaBlock(dst []complex128, u, v, xs, ys []float64) {
+	nb := len(xs)
+	if nb == 0 {
+		return
+	}
+	if len(ys) != nb || len(dst) != nb*nb || len(u) < 2*nb || len(v) < 2*nb {
+		panic("sphharm: ZetaBlock shape mismatch")
+	}
+	zetaBlock(dst, u, v, xs, ys)
+}
+
+// zetaBlockGeneric is the pure-Go body of ZetaBlock.
+func zetaBlockGeneric(dst []complex128, u, v, xs, ys []float64) {
+	nb := len(xs)
+	for t := 0; t < nb; t++ {
+		row := dst[t*nb : (t+1)*nb]
+		x, y := xs[t], ys[t]
+		for i := range row {
+			row[i] += complex(x*u[2*i]+y*v[2*i], x*u[2*i+1]+y*v[2*i+1])
 		}
 	}
 }

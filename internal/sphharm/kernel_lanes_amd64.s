@@ -1,0 +1,306 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX-512 lane primitives (see kernel_lanes_amd64.go). All operate on the
+// Lanes = 8 float64 accumulator group as one ZMM register and walk the pair
+// columns in 512-bit steps; tails shorter than 8 pairs use an opmask so pair
+// j still lands in lane j&7 (masked EVEX memory operands suppress faults on
+// the masked-out lanes, so partial blocks never over-read). Only Z16-Z23 are
+// used: the high registers have no legacy-SSE upper state, so no VZEROUPPER
+// is needed on return.
+
+// func cpuidAsm(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func addLanesAsm(a, src []float64)
+// a[0:8] gains the lane-striped sums of src: four independent accumulator
+// chains over 32-pair blocks, folded into a at the end.
+TEXT ·addLanesAsm(SB), NOSPLIT, $0-48
+	MOVQ a_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ src_len+32(FP), CX
+	VMOVUPD (DI), Z16
+	VPXORQ  Z17, Z17, Z17
+	VPXORQ  Z18, Z18, Z18
+	VPXORQ  Z19, Z19, Z19
+	MOVQ    CX, DX
+	SHRQ    $5, DX
+	JZ      addblocks
+
+addquad:
+	VADDPD (SI), Z16, Z16
+	VADDPD 64(SI), Z17, Z17
+	VADDPD 128(SI), Z18, Z18
+	VADDPD 192(SI), Z19, Z19
+	ADDQ   $256, SI
+	DECQ   DX
+	JNZ    addquad
+
+addblocks:
+	MOVQ CX, DX
+	ANDQ $31, DX
+	SHRQ $3, DX
+	JZ   addtail
+
+addblock:
+	VADDPD (SI), Z16, Z16
+	ADDQ   $64, SI
+	DECQ   DX
+	JNZ    addblock
+
+addtail:
+	ANDQ $7, CX
+	JZ   addfold
+	MOVL $1, AX
+	SHLL CX, AX
+	DECL AX
+	KMOVW AX, K1
+	VADDPD (SI), Z16, K1, Z16
+
+addfold:
+	VADDPD  Z17, Z16, Z16
+	VADDPD  Z19, Z18, Z18
+	VADDPD  Z18, Z16, Z16
+	VMOVUPD Z16, (DI)
+	RET
+
+// func fmaLanesAsm(a, src, zq []float64)
+// a[0:8] gains the lane-striped sums of src[j]*zq[j]: fused multiply-adds
+// over four independent chains, folded into a at the end.
+TEXT ·fmaLanesAsm(SB), NOSPLIT, $0-72
+	MOVQ a_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ src_len+32(FP), CX
+	MOVQ zq_base+48(FP), BX
+	VMOVUPD (DI), Z16
+	VPXORQ  Z17, Z17, Z17
+	VPXORQ  Z18, Z18, Z18
+	VPXORQ  Z19, Z19, Z19
+	MOVQ    CX, DX
+	SHRQ    $5, DX
+	JZ      fmablocks
+
+fmaquad:
+	VMOVUPD (SI), Z20
+	VMOVUPD 64(SI), Z21
+	VMOVUPD 128(SI), Z22
+	VMOVUPD 192(SI), Z23
+	VFMADD231PD (BX), Z20, Z16
+	VFMADD231PD 64(BX), Z21, Z17
+	VFMADD231PD 128(BX), Z22, Z18
+	VFMADD231PD 192(BX), Z23, Z19
+	ADDQ $256, SI
+	ADDQ $256, BX
+	DECQ DX
+	JNZ  fmaquad
+
+fmablocks:
+	MOVQ CX, DX
+	ANDQ $31, DX
+	SHRQ $3, DX
+	JZ   fmatail
+
+fmablock:
+	VMOVUPD (SI), Z20
+	VFMADD231PD (BX), Z20, Z16
+	ADDQ $64, SI
+	ADDQ $64, BX
+	DECQ DX
+	JNZ  fmablock
+
+fmatail:
+	ANDQ $7, CX
+	JZ   fmafold
+	MOVL $1, AX
+	SHLL CX, AX
+	DECL AX
+	KMOVW AX, K1
+	VMOVUPD.Z (SI), K1, Z20
+	VFMADD231PD (BX), Z20, K1, Z16
+
+fmafold:
+	VADDPD  Z17, Z16, Z16
+	VADDPD  Z19, Z18, Z18
+	VADDPD  Z18, Z16, Z16
+	VMOVUPD Z16, (DI)
+	RET
+
+// func mulColsAsm(dst, a, b []float64)
+// dst = a .* b elementwise (the hoisted z-power column recurrence).
+TEXT ·mulColsAsm(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), BX
+	MOVQ CX, DX
+	SHRQ $4, DX
+	JZ   mcblocks
+
+mcpair:
+	VMOVUPD (SI), Z16
+	VMOVUPD 64(SI), Z17
+	VMULPD  (BX), Z16, Z16
+	VMULPD  64(BX), Z17, Z17
+	VMOVUPD Z16, (DI)
+	VMOVUPD Z17, 64(DI)
+	ADDQ    $128, SI
+	ADDQ    $128, BX
+	ADDQ    $128, DI
+	DECQ    DX
+	JNZ     mcpair
+
+mcblocks:
+	MOVQ CX, DX
+	ANDQ $15, DX
+	SHRQ $3, DX
+	JZ   mctail
+
+	VMOVUPD (SI), Z16
+	VMULPD  (BX), Z16, Z16
+	VMOVUPD Z16, (DI)
+	ADDQ    $64, SI
+	ADDQ    $64, BX
+	ADDQ    $64, DI
+
+mctail:
+	ANDQ $7, CX
+	JZ   mcdone
+	MOVL $1, AX
+	SHLL CX, AX
+	DECL AX
+	KMOVW AX, K1
+	VMOVUPD.Z (SI), K1, Z16
+	VMULPD.Z  (BX), Z16, K1, Z16
+	VMOVUPD   Z16, K1, (DI)
+
+mcdone:
+	RET
+
+// func zetaBlockAsm(dst []complex128, u, v, xs, ys []float64)
+// One channel's nb x nb zeta block (nb = len(xs)): the packed float64 view
+// of row t (length 2*nb) gains xs[t]*u + ys[t]*v — two broadcast fused
+// multiply-adds per 8-lane step, rows walked back to back in one call.
+TEXT ·zetaBlockAsm(SB), NOSPLIT, $0-120
+	MOVQ dst_base+0(FP), DI
+	MOVQ u_base+24(FP), SI
+	MOVQ v_base+48(FP), BX
+	MOVQ xs_base+72(FP), R8
+	MOVQ xs_len+80(FP), R10
+	MOVQ ys_base+96(FP), R9
+
+	// Per-row geometry: 2*nb packed floats = R12 full 8-blocks + CX tail.
+	MOVQ R10, R11
+	SHLQ $1, R11
+	MOVQ R11, R12
+	SHRQ $3, R12
+	MOVQ R11, CX
+	ANDQ $7, CX
+	MOVL $1, AX
+	SHLL CX, AX
+	DECL AX
+	KMOVW AX, K1
+
+	MOVQ R10, R13 // remaining rows
+
+zbrow:
+	VBROADCASTSD (R8), Z20
+	VBROADCASTSD (R9), Z21
+	ADDQ $8, R8
+	ADDQ $8, R9
+	MOVQ SI, R14 // u cursor
+	MOVQ BX, R15 // v cursor
+	MOVQ R12, DX
+	TESTQ DX, DX
+	JZ   zbtail
+
+zbloop:
+	VMOVUPD (DI), Z16
+	VFMADD231PD (R14), Z20, Z16
+	VFMADD231PD (R15), Z21, Z16
+	VMOVUPD Z16, (DI)
+	ADDQ    $64, R14
+	ADDQ    $64, R15
+	ADDQ    $64, DI
+	DECQ    DX
+	JNZ     zbloop
+
+zbtail:
+	TESTQ CX, CX
+	JZ    zbnext
+	VMOVUPD.Z (DI), K1, Z16
+	VMOVUPD.Z (R14), K1, Z17
+	VMOVUPD.Z (R15), K1, Z18
+	VFMADD231PD Z17, Z20, K1, Z16
+	VFMADD231PD Z18, Z21, K1, Z16
+	VMOVUPD Z16, K1, (DI)
+	LEAQ (DI)(CX*8), DI
+
+zbnext:
+	DECQ R13
+	JNZ  zbrow
+	RET
+
+// func mulIntoAsm(dst, src []float64)
+// dst *= src elementwise (the x^k / y^p running-product updates).
+TEXT ·mulIntoAsm(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ src_base+24(FP), SI
+	MOVQ CX, DX
+	SHRQ $4, DX
+	JZ   mulblocks
+
+mulpair:
+	VMOVUPD (DI), Z16
+	VMOVUPD 64(DI), Z17
+	VMULPD  (SI), Z16, Z16
+	VMULPD  64(SI), Z17, Z17
+	VMOVUPD Z16, (DI)
+	VMOVUPD Z17, 64(DI)
+	ADDQ    $128, SI
+	ADDQ    $128, DI
+	DECQ    DX
+	JNZ     mulpair
+
+mulblocks:
+	MOVQ CX, DX
+	ANDQ $15, DX
+	SHRQ $3, DX
+	JZ   multail
+
+	VMOVUPD (DI), Z16
+	VMULPD  (SI), Z16, Z16
+	VMOVUPD Z16, (DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+
+multail:
+	ANDQ $7, CX
+	JZ   muldone
+	MOVL $1, AX
+	SHLL CX, AX
+	DECL AX
+	KMOVW AX, K1
+	VMOVUPD.Z (DI), K1, Z16
+	VMULPD.Z  (SI), Z16, K1, Z16
+	VMOVUPD   Z16, K1, (DI)
+
+muldone:
+	RET

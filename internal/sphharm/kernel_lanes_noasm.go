@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package sphharm
+
+// Non-amd64 hosts run the pure-Go lane primitives (the package function
+// variables keep their generic bindings from kernel.go).
+
+// HasAVX512 reports whether the lane primitives run on the AVX-512 path.
+func HasAVX512() bool { return false }

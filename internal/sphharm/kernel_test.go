@@ -157,6 +157,150 @@ func TestKernelAccumulateIsAdditive(t *testing.T) {
 	}
 }
 
+func TestKernelTileMatchesDirect(t *testing.T) {
+	// The tile kernel must agree with the O(n * len) oracle for tiles well
+	// past the chunk capacity (internal chunking exercised at 128).
+	const L = 10
+	tab := NewMonomialTable(L)
+	k := NewKernel(tab, 128)
+	rng := rand.New(rand.NewSource(19))
+	for _, n := range []int{1, 7, 8, 127, 128, 129, 300, 1000} {
+		xs, ys, zs, ws := randBucket(rng, n)
+		acc := make([]float64, AccumulatorLen(tab))
+		k.AccumulateTile(xs, ys, zs, ws, acc)
+		got := make([]float64, tab.Len())
+		Reduce(acc, got)
+		want := directSums(tab, xs, ys, zs, ws)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d monomial %d: %v vs %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestKernelTileMatchesBucketed(t *testing.T) {
+	// Tile and bucketed kernels share the lane map and ladder order, so the
+	// only difference is z-power association: (xy*z)*z... vs xy*(z*z...).
+	const L = 9
+	tab := NewMonomialTable(L)
+	k := NewKernel(tab, 64)
+	rng := rand.New(rand.NewSource(23))
+	xs, ys, zs, ws := randBucket(rng, 64)
+
+	tileAcc := make([]float64, AccumulatorLen(tab))
+	k.AccumulateTile(xs, ys, zs, ws, tileAcc)
+	tile := make([]float64, tab.Len())
+	Reduce(tileAcc, tile)
+
+	bucketAcc := make([]float64, AccumulatorLen(tab))
+	k.Accumulate(xs, ys, zs, ws, bucketAcc)
+	bucketed := make([]float64, tab.Len())
+	Reduce(bucketAcc, bucketed)
+
+	for i := range tile {
+		if math.Abs(tile[i]-bucketed[i]) > 1e-10*(1+math.Abs(bucketed[i])) {
+			t.Fatalf("monomial %d: tile %v vs bucketed %v", i, tile[i], bucketed[i])
+		}
+	}
+}
+
+func TestKernelTileChunkingInvariance(t *testing.T) {
+	// Consuming one tile with different chunk capacities only regroups the
+	// lane sums; the reduced monomial sums must agree to rounding.
+	const L = 8
+	tab := NewMonomialTable(L)
+	rng := rand.New(rand.NewSource(29))
+	xs, ys, zs, ws := randBucket(rng, 333)
+	ref := make([]float64, tab.Len())
+	{
+		acc := make([]float64, AccumulatorLen(tab))
+		NewKernel(tab, 333).AccumulateTile(xs, ys, zs, ws, acc)
+		Reduce(acc, ref)
+	}
+	for _, cap := range []int{1, 8, 13, 128, 1024} {
+		acc := make([]float64, AccumulatorLen(tab))
+		NewKernel(tab, cap).AccumulateTile(xs, ys, zs, ws, acc)
+		got := make([]float64, tab.Len())
+		Reduce(acc, got)
+		for i := range got {
+			if math.Abs(got[i]-ref[i]) > 1e-9*(1+math.Abs(ref[i])) {
+				t.Fatalf("cap=%d monomial %d: %v vs %v", cap, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestKernelTilePanicsOnMismatch(t *testing.T) {
+	tab := NewMonomialTable(4)
+	k := NewKernel(tab, 16)
+	acc := make([]float64, AccumulatorLen(tab))
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("length mismatch", func() {
+		k.AccumulateTile(make([]float64, 3), make([]float64, 2), make([]float64, 3), make([]float64, 3), acc)
+	})
+	mustPanic("bad accumulator", func() {
+		k.AccumulateTile(make([]float64, 3), make([]float64, 3), make([]float64, 3), make([]float64, 3), acc[:5])
+	})
+}
+
+func TestLanePrimitivesMatchGeneric(t *testing.T) {
+	// The dispatched lane primitives (AVX-512 on capable amd64 hosts) must
+	// agree with the pure-Go bodies for every tail length; the vector path
+	// regroups each lane's additions, so agreement is to rounding, not bits.
+	if !HasAVX512() {
+		t.Skip("no vector path on this host; dispatch is the generic code")
+	}
+	rng := rand.New(rand.NewSource(37))
+	for _, n := range []int{1, 2, 7, 8, 9, 15, 16, 31, 32, 33, 63, 64, 100, 128, 257} {
+		src := make([]float64, n)
+		zq := make([]float64, n)
+		for j := range src {
+			src[j] = rng.NormFloat64()
+			zq[j] = rng.NormFloat64()
+		}
+		check := func(name string, got, want []float64) {
+			t.Helper()
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+					t.Fatalf("%s n=%d lane/elem %d: %v vs %v", name, n, i, got[i], want[i])
+				}
+			}
+		}
+
+		a1 := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+		a2 := append([]float64(nil), a1...)
+		addLanes(a1, src)
+		addLanesGeneric(a2, src)
+		check("addLanes", a1, a2)
+
+		a1 = []float64{1, 2, 3, 4, 5, 6, 7, 8}
+		a2 = append([]float64(nil), a1...)
+		fmaLanes(a1, src, zq)
+		fmaLanesGeneric(a2, src, zq)
+		check("fmaLanes", a1, a2)
+
+		d1 := append([]float64(nil), src...)
+		d2 := append([]float64(nil), src...)
+		mulInto(d1, zq)
+		mulIntoGeneric(d2, zq)
+		check("mulInto", d1, d2)
+
+		c1 := make([]float64, n)
+		c2 := make([]float64, n)
+		mulCols(c1, src, zq)
+		mulColsGeneric(c2, src, zq)
+		check("mulCols", c1, c2)
+	}
+}
+
 func TestKernelEmptyBucketNoop(t *testing.T) {
 	tab := NewMonomialTable(4)
 	k := NewKernel(tab, 16)
