@@ -17,6 +17,7 @@ import (
 	"galactos/internal/geom"
 	"galactos/internal/grid"
 	"galactos/internal/kdtree"
+	"galactos/internal/nbr"
 	"galactos/internal/sim"
 	"galactos/internal/sphharm"
 )
@@ -138,14 +139,14 @@ func BenchmarkQueryRadius(b *testing.B) {
 	}
 }
 
-// BenchmarkAlmZeta isolates the per-primary reduction phase (perfstat's
-// alm_zeta): lane-sum Reduce, monomial -> a_lm conversion, the pair-major
-// transpose, and the per-channel zeta outer products via the interleaved
-// ZetaBlock sweep — the same sequence engine.processPrimary runs after the
-// multipole kernel, at the BenchmarkCompute shape (10 bins, l_max 10, all
-// bins touched).
+// BenchmarkAlmZeta isolates the reduction phase (perfstat's alm_zeta) at
+// block granularity, the way engine.processBlock runs it: per primary the
+// lane-sum Reduce, monomial -> a_lm conversion, and the packed slab fill,
+// then the channel-major zeta stage folding the whole block into each
+// channel's tile through one fused ZetaBatch call (BenchmarkCompute shape:
+// 10 bins, l_max 10, all bins touched, 32-primary blocks).
 func BenchmarkAlmZeta(b *testing.B) {
-	const lmax, nb = 10, 10
+	const lmax, nb, K = 10, 10, 32
 	mono := sphharm.NewMonomialTable(lmax)
 	ytab := sphharm.NewYlmTable(lmax, mono)
 	combos := core.NewComboTable(lmax)
@@ -162,46 +163,94 @@ func BenchmarkAlmZeta(b *testing.B) {
 	msums := make([]float64, mono.Len())
 	reScr := make([]float64, pc)
 	imScr := make([]float64, pc)
-	almRe := make([]float64, pc*nb)
-	almIm := make([]float64, pc*nb)
-	almReW := make([]float64, pc*nb)
-	almImW := make([]float64, pc*nb)
-	u := make([]float64, 2*nb)
-	v := make([]float64, 2*nb)
+	stride2 := K * 2 * nb
+	aSlab := make([]float64, pc*stride2)
+	wXY := make([]float64, pc*stride2)
 	aniso := make([]complex128, combos.Len()*nb*nb)
 	const pw = 1.25
 
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for t := 0; t < nb; t++ {
-			sphharm.Reduce(acc[t], msums)
-			ytab.AlmRI(msums, reScr, imScr)
-			for j, val := range reScr {
-				almRe[j*nb+t] = val
-				almReW[j*nb+t] = pw * val
-			}
-			for j, val := range imScr {
-				almIm[j*nb+t] = val
-				almImW[j*nb+t] = pw * val
+		for a := 0; a < K; a++ {
+			for t := 0; t < nb; t++ {
+				sphharm.Reduce(acc[t], msums)
+				ytab.AlmRI(msums, reScr, imScr)
+				o := a*2*nb + 2*t
+				for j := 0; j < pc; j++ {
+					re, im := reScr[j], imScr[j]
+					wXY[o] = pw * re
+					wXY[o+1] = pw * im
+					aSlab[o] = re
+					aSlab[o+1] = im
+					o += stride2
+				}
 			}
 		}
 		for ci, c := range combos.Combos {
-			i1 := sphharm.PairIndex(c.L1, c.M)
-			i2 := sphharm.PairIndex(c.L2, c.M)
-			a2re := almRe[i2*nb : i2*nb+nb]
-			a2im := almIm[i2*nb : i2*nb+nb]
-			for t2 := 0; t2 < nb; t2++ {
-				u[2*t2] = a2re[t2]
-				u[2*t2+1] = -a2im[t2]
-				v[2*t2] = a2im[t2]
-				v[2*t2+1] = a2re[t2]
-			}
+			i1 := sphharm.PairIndex(c.L1, c.M) * stride2
+			i2 := sphharm.PairIndex(c.L2, c.M) * stride2
 			base := ci * nb * nb
-			sphharm.ZetaBlock(aniso[base:base+nb*nb], u, v,
-				almReW[i1*nb:i1*nb+nb], almImW[i1*nb:i1*nb+nb])
+			sphharm.ZetaBatch(aniso[base:base+nb*nb],
+				aSlab[i2:i2+stride2], wXY[i1:i1+stride2], nb, K)
 		}
 	}
-	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e3, "kprimaries/s")
+	b.ReportMetric(float64(b.N)*K/b.Elapsed().Seconds()/1e3, "kprimaries/s")
+}
+
+// BenchmarkCellGather attributes the gather phase: the block-granular
+// QueryRadiusImagesBlock (one shared traversal per cell block of primaries)
+// against the same primaries issuing per-primary QueryRadiusImages calls —
+// the two traversals the engine's blocked/reference paths run, whose
+// per-center results are bitwise identical. The block path's advantage
+// (shared node descent, leaf bulk accept/reject) is what the perfstat
+// `gather` phase row in benchdiff's summary tracks.
+func BenchmarkCellGather(b *testing.B) {
+	cat := benchCatalog(6000, 5)
+	pts := cat.Positions()
+	const rmax = 15.0
+	images := cat.Box.Images(rmax)
+	tree := kdtree.Build[float32](pts, 0)
+	// One cell block's worth of primaries (the engine's unit): the members
+	// of pts[0]'s RMax/2 grid cell, spatially colocated like a real block.
+	const K = 32
+	cell := rmax / 2
+	cellOf := func(p geom.Vec3) [3]int {
+		return [3]int{int(p.X / cell), int(p.Y / cell), int(p.Z / cell)}
+	}
+	home := cellOf(pts[0])
+	var centers []geom.Vec3
+	for _, p := range pts {
+		if cellOf(p) == home {
+			centers = append(centers, p)
+			if len(centers) == K {
+				break
+			}
+		}
+	}
+
+	b.Run("block", func(b *testing.B) {
+		var blk nbr.Block
+		var neighbors uint64
+		for i := 0; i < b.N; i++ {
+			tree.QueryRadiusImagesBlock(centers, rmax, images, &blk)
+			neighbors += uint64(len(blk.IDs))
+		}
+		b.ReportMetric(float64(b.N)*float64(len(centers))/b.Elapsed().Seconds()/1e3, "kqueries/s")
+		b.ReportMetric(float64(neighbors)/b.Elapsed().Seconds()/1e6, "Mnbrs/s")
+	})
+	b.Run("per-primary", func(b *testing.B) {
+		buf := make([]int32, 0, 1<<16)
+		var neighbors uint64
+		for i := 0; i < b.N; i++ {
+			buf = buf[:0]
+			for _, c := range centers {
+				buf = tree.QueryRadiusImages(c, rmax, images, buf)
+			}
+			neighbors += uint64(len(buf))
+		}
+		b.ReportMetric(float64(b.N)*float64(len(centers))/b.Elapsed().Seconds()/1e3, "kqueries/s")
+		b.ReportMetric(float64(neighbors)/b.Elapsed().Seconds()/1e6, "Mnbrs/s")
+	})
 }
 
 // BenchmarkKernelScalar is the unbucketed baseline for the same work

@@ -88,7 +88,7 @@ func appendSummary(path string, base, fresh *perfstat.Report, verdict string, cm
 	row("pairs/sec", base.PairsPerSec, fresh.PairsPerSec)
 	row("model GF/s", base.ModelGFlopsPerSec, fresh.ModelGFlopsPerSec)
 	row("elapsed s", base.ElapsedSec, fresh.ElapsedSec)
-	for _, phase := range []string{"tree_build", "tree_search", "multipole", "self_count", "alm_zeta", "worker_total"} {
+	for _, phase := range []string{"tree_build", "gather", "consume", "self_count", "alm_zeta", "worker_total"} {
 		row(phase+" s", base.PhaseSec[phase], fresh.PhaseSec[phase])
 	}
 	if base.Host != fresh.Host {

@@ -252,7 +252,7 @@ func expSingleNode(s float64) error {
 	fmt.Printf("  pair rate:        %.3e pairs/s\n", rate)
 	fmt.Printf("  model FLOP rate:  %.2f GF/s (609 flops/pair model)\n", gf)
 	fmt.Printf("  kernel fraction:  %.0f%% of worker time (paper: 55%%)\n",
-		100*float64(res.Timings.Multipole)/float64(res.Timings.WorkerTotal))
+		100*float64(res.Timings.Consume)/float64(res.Timings.WorkerTotal))
 	return nil
 }
 
@@ -573,9 +573,9 @@ func expPerfstat(s float64) error {
 			best = r
 		}
 	}
-	fmt.Printf("best: %.3e pairs/s over %d pairs; phases: search %.2fs multipole %.2fs alm+zeta %.2fs\n",
-		best.PairsPerSec, best.Pairs, best.PhaseSec["tree_search"],
-		best.PhaseSec["multipole"], best.PhaseSec["alm_zeta"])
+	fmt.Printf("best: %.3e pairs/s over %d pairs; phases: gather %.2fs consume %.2fs alm+zeta %.2fs\n",
+		best.PairsPerSec, best.Pairs, best.PhaseSec["gather"],
+		best.PhaseSec["consume"], best.PhaseSec["alm_zeta"])
 	if *perfJSON != "" {
 		if err := best.WriteJSON(*perfJSON); err != nil {
 			return err

@@ -195,9 +195,9 @@ func main() {
 	fmt.Printf("model flops:   %.3e (%.2f GF/s sustained)\n",
 		res.FlopsEstimate(), perfmodel.GF(res.FlopsEstimate()/run.Elapsed.Seconds()))
 	bd := res.Timings
-	fmt.Printf("breakdown:     build %v | search %v | multipole %v | self %v | alm+zeta %v\n",
-		bd.TreeBuild.Round(time.Millisecond), bd.TreeSearch.Round(time.Millisecond),
-		bd.Multipole.Round(time.Millisecond), bd.SelfCount.Round(time.Millisecond),
+	fmt.Printf("breakdown:     build %v | gather %v | consume %v | self %v | alm+zeta %v\n",
+		bd.TreeBuild.Round(time.Millisecond), bd.Gather.Round(time.Millisecond),
+		bd.Consume.Round(time.Millisecond), bd.SelfCount.Round(time.Millisecond),
 		bd.AlmZeta.Round(time.Millisecond))
 
 	if *perfJSON != "" {

@@ -65,15 +65,18 @@ func (f FinderKind) String() string {
 	}
 }
 
-// SchedKind selects how primaries are distributed over workers.
+// SchedKind selects how cell blocks are distributed over workers. Both
+// policies commit block contributions in ascending block order (dynamic via
+// group-ordered commits), so results are bitwise identical across policies
+// at a fixed worker count.
 type SchedKind int
 
 const (
-	// SchedDynamic hands out chunks of primaries from a shared counter
-	// ("OpenMP dynamic scheduling ... gives a significant performance boost
-	// over using a static schedule", Sec. 3.3).
+	// SchedDynamic hands out cell blocks from a shared counter ("OpenMP
+	// dynamic scheduling ... gives a significant performance boost over
+	// using a static schedule", Sec. 3.3).
 	SchedDynamic SchedKind = iota
-	// SchedStatic assigns each worker one contiguous range up front.
+	// SchedStatic assigns each worker one contiguous block range up front.
 	SchedStatic
 )
 
@@ -131,8 +134,18 @@ type Config struct {
 	GridCell float64
 	// Scheduling selects dynamic or static primary distribution.
 	Scheduling SchedKind
-	// ChunkSize is the dynamic-scheduling chunk (<= 0 selects 8).
+	// ChunkSize caps the number of primaries in one cell block — the
+	// scheduling and gather unit of the blocked traversal. Primaries are
+	// sorted into BlockCell-sized grid cells (Morton order); each cell's
+	// run is split into blocks of at most ChunkSize primaries, and the
+	// scheduler (dynamic or static) hands out whole blocks. <= 0 selects
+	// 64. Before the blocked traversal this field was the dynamic-
+	// scheduling primary chunk; it is now the block capacity.
 	ChunkSize int
+	// BlockCell is the side length of the cells primaries are sorted into
+	// for the blocked traversal (<= 0 selects RMax/2). Smaller cells mean
+	// tighter shared gathers but less traversal amortization.
+	BlockCell float64
 }
 
 // DefaultConfig returns the paper's configuration: Rmax = 200 Mpc/h, 20
@@ -176,10 +189,13 @@ func (c Config) Normalize() (Config, error) {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.ChunkSize <= 0 {
-		c.ChunkSize = 8
+		c.ChunkSize = 64
 	}
 	if c.GridCell <= 0 {
 		c.GridCell = c.RMax / 4
+	}
+	if c.BlockCell <= 0 {
+		c.BlockCell = c.RMax / 2
 	}
 	return c, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,18 +15,22 @@ import (
 	"galactos/internal/grid"
 	"galactos/internal/hist"
 	"galactos/internal/kdtree"
+	"galactos/internal/nbr"
 	"galactos/internal/sphharm"
 )
 
 // NeighborFinder is the substrate abstraction: anything that can return all
 // point indices within a radius of any of a set of image centers.
 // kdtree.Tree and grid.Grid satisfy it. The engine gathers through one
-// fused QueryRadiusImages call per primary covering every periodic image,
-// so implementations can prune the image sweep against their own geometry
-// instead of being traversed once per image (both also expose a plain
-// single-center QueryRadius as a concrete method).
+// block-granular QueryRadiusImagesBlock call per cell block, which must
+// return, for every center, a neighbor list bitwise-identical in content
+// and order to the center's own QueryRadiusImages call — the blocked and
+// per-primary traversals are interchangeable, and the engine's property
+// tests pin that. QueryRadiusImages remains the single-center form (the
+// reference path and external tools use it).
 type NeighborFinder interface {
 	QueryRadiusImages(center geom.Vec3, r float64, images []geom.Vec3, out []int32) []int32
+	QueryRadiusImagesBlock(centers []geom.Vec3, r float64, images []geom.Vec3, blk *nbr.Block)
 }
 
 // Compute runs the full anisotropic 3PCF computation over a catalog. All
@@ -35,7 +40,7 @@ func Compute(cat *catalog.Catalog, cfg Config) (*Result, error) {
 }
 
 // ComputeContext is Compute under a context: cancelling ctx makes the
-// worker loop stop at the next scheduling chunk and return ctx.Err().
+// worker loop stop at the next cell block and return ctx.Err().
 func ComputeContext(ctx context.Context, cat *catalog.Catalog, cfg Config) (*Result, error) {
 	return ComputeSubsetContext(ctx, cat, nil, cfg)
 }
@@ -46,21 +51,34 @@ func ComputeContext(ctx context.Context, cat *catalog.Catalog, cfg Config) (*Res
 // excludes halo-exchange copies ("ignoring secondary galaxies that are in
 // the k-d tree because of halo exchange", Sec. 3.3).
 func ComputeSubset(cat *catalog.Catalog, primary []bool, cfg Config) (*Result, error) {
-	return computeSubset(context.Background(), cat, primary, cfg, false)
+	return computeSubset(context.Background(), cat, primary, cfg, engineModes{})
 }
 
 // ComputeSubsetContext is ComputeSubset under a context (see ComputeContext
 // for the cancellation semantics).
 func ComputeSubsetContext(ctx context.Context, cat *catalog.Catalog, primary []bool, cfg Config) (*Result, error) {
-	return computeSubset(ctx, cat, primary, cfg, false)
+	return computeSubset(ctx, cat, primary, cfg, engineModes{})
 }
 
-// computeSubset is ComputeSubsetContext with the dense-scan reference
-// switch. denseScan makes the per-primary reduction enumerate touched bins
-// by scanning all NBins flags (the pre-touched-list behavior) instead of
-// walking the touched list; the two paths must be bitwise identical, which
-// the property tests assert.
-func computeSubset(ctx context.Context, cat *catalog.Catalog, primary []bool, cfg Config, denseScan bool) (*Result, error) {
+// engineModes selects the test-only reference paths. The production engine
+// runs with the zero value; each switch must leave the result bitwise
+// unchanged, which the property tests assert.
+type engineModes struct {
+	// denseScan makes the per-primary reduction enumerate touched bins by
+	// scanning all NBins counters (the pre-touched-list behavior) instead
+	// of walking the touched list.
+	denseScan bool
+	// refGather replaces the blocked traversal's two amortizations — the
+	// shared block-granular finder query and the pair-symmetric intra-block
+	// scatter — with one QueryRadiusImages call and a full recompute per
+	// primary. Scheduling, block order, and the downstream reduction are
+	// untouched, so refGather isolates exactly the mechanisms the blocked
+	// traversal introduced.
+	refGather bool
+}
+
+// computeSubset is ComputeSubsetContext with the reference-path switches.
+func computeSubset(ctx context.Context, cat *catalog.Catalog, primary []bool, cfg Config, modes engineModes) (*Result, error) {
 	cfg, err := cfg.Normalize()
 	if err != nil {
 		return nil, err
@@ -78,14 +96,14 @@ func computeSubset(ctx context.Context, cat *catalog.Catalog, primary []bool, cf
 	}
 
 	e := &engine{
-		ctx:       ctx,
-		cfg:       cfg,
-		bins:      bins,
-		invW:      bins.InvWidth(),
-		box:       cat.Box,
-		pts:       cat.Positions(),
-		ws:        cat.Weights(),
-		denseScan: denseScan,
+		ctx:   ctx,
+		cfg:   cfg,
+		bins:  bins,
+		invW:  bins.InvWidth(),
+		box:   cat.Box,
+		pts:   cat.Positions(),
+		ws:    cat.Weights(),
+		modes: modes,
 	}
 	e.primaryIdx = primaryIndices(primary, cat.Len())
 
@@ -93,6 +111,7 @@ func computeSubset(ctx context.Context, cat *catalog.Catalog, primary []bool, cf
 	if err := e.buildFinder(); err != nil {
 		return nil, err
 	}
+	e.buildBlocks()
 	treeBuild := time.Since(start)
 
 	res, err := e.run()
@@ -122,15 +141,25 @@ func primaryIndices(mask []bool, n int) []int32 {
 	return idx
 }
 
+// blockRange is one scheduling unit of the blocked traversal: a run of
+// cell-sorted primaries from a single grid cell, capped at ChunkSize
+// primaries. Blocks are gathered through one shared finder traversal, and
+// within a block the plane-parallel path enumerates each intra-block pair
+// once.
+type blockRange struct{ lo, hi int32 }
+
 type engine struct {
-	ctx        context.Context
-	cfg        Config
-	bins       hist.Binning
-	invW       float64 // hoisted bins.InvWidth(): bin = (r - RMin) * invW
-	box        geom.Periodic
-	pts        []geom.Vec3
-	ws         []float64
+	ctx  context.Context
+	cfg  Config
+	bins hist.Binning
+	invW float64 // hoisted bins.InvWidth(): bin = (r - RMin) * invW
+	box  geom.Periodic
+	pts  []geom.Vec3
+	ws   []float64
+	// primaryIdx holds the primaries in cell-sorted (Morton) order; blocks
+	// index contiguous runs of it.
 	primaryIdx []int32
+	blocks     []blockRange
 
 	finder NeighborFinder
 	// images holds periodic image offsets when the finder is not
@@ -141,14 +170,14 @@ type engine struct {
 	ytab     *sphharm.YlmTable
 	combos   *ComboTable
 	channels []zetaChannel
+	pc       int // sphharm.PairCount(LMax)
 
-	// denseScan selects the dense-scan reference reduction (test hook).
-	denseScan bool
+	modes engineModes
 
-	next atomic.Int64
+	next atomic.Int64 // dynamic scheduling: next block to hand out
 }
 
-// zetaChannel caches one canonical channel's constants for the per-primary
+// zetaChannel caches one canonical channel's constants for the block-level
 // outer-product sweep: the flattened Aniso base offset, the (m >= 0) pair
 // indices of the two a_lm legs, and the channel index into the self-pair
 // tensor. Channels excluded by IsotropicOnly are filtered out at build time
@@ -181,6 +210,7 @@ func (e *engine) buildFinder() error {
 	e.mono = sphharm.NewMonomialTable(e.cfg.LMax)
 	e.ytab = sphharm.NewYlmTable(e.cfg.LMax, e.mono)
 	e.combos = NewComboTable(e.cfg.LMax)
+	e.pc = sphharm.PairCount(e.cfg.LMax)
 	nb := e.bins.N
 	for ci, c := range e.combos.Combos {
 		if e.cfg.IsotropicOnly && c.L1 != c.L2 {
@@ -196,384 +226,758 @@ func (e *engine) buildFinder() error {
 	return nil
 }
 
-// run executes the primary loop across workers and merges their results.
-// Cancelling the engine context makes every worker stop at its next
-// scheduling chunk; run then discards the partial results and reports
-// ctx.Err().
+// buildBlocks sorts the primaries into BlockCell-sized grid cells, orders
+// the cells along a Morton curve (so consecutive blocks are spatial
+// neighbors and the finder's nodes stay cache-warm across blocks), and cuts
+// each cell's run into blocks of at most ChunkSize primaries. The sort key
+// carries the original index as tiebreak, so the order — and therefore the
+// floating-point accumulation order of every downstream sum — is fully
+// deterministic.
+func (e *engine) buildBlocks() {
+	n := len(e.primaryIdx)
+	if n == 0 {
+		return
+	}
+	inv := 1 / e.cfg.BlockCell
+	var org geom.Vec3 // periodic boxes anchor at the corner; open data at the min
+	if e.box.L <= 0 {
+		org = e.pts[e.primaryIdx[0]]
+		for _, pi := range e.primaryIdx[1:] {
+			p := e.pts[pi]
+			org.X = math.Min(org.X, p.X)
+			org.Y = math.Min(org.Y, p.Y)
+			org.Z = math.Min(org.Z, p.Z)
+		}
+	}
+	type keyed struct {
+		key uint64
+		pi  int32
+	}
+	ks := make([]keyed, n)
+	for i, pi := range e.primaryIdx {
+		p := e.pts[pi]
+		ks[i] = keyed{
+			key: morton3(cellCoord((p.X-org.X)*inv), cellCoord((p.Y-org.Y)*inv), cellCoord((p.Z-org.Z)*inv)),
+			pi:  pi,
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].key != ks[j].key {
+			return ks[i].key < ks[j].key
+		}
+		return ks[i].pi < ks[j].pi
+	})
+	for i, k := range ks {
+		e.primaryIdx[i] = k.pi
+	}
+	cap32 := int32(e.cfg.ChunkSize)
+	lo := int32(0)
+	for i := 1; i <= n; i++ {
+		if i == n || ks[i].key != ks[lo].key || int32(i)-lo == cap32 {
+			e.blocks = append(e.blocks, blockRange{lo: lo, hi: int32(i)})
+			lo = int32(i)
+		}
+	}
+}
+
+// cellCoord clamps a scaled coordinate into the 21-bit Morton range.
+func cellCoord(v float64) uint32 {
+	if v <= 0 {
+		return 0
+	}
+	c := uint32(v)
+	if c > 1<<21-1 {
+		c = 1<<21 - 1
+	}
+	return c
+}
+
+// spread21 spaces the low 21 bits of v three apart.
+func spread21(v uint32) uint64 {
+	x := uint64(v) & 0x1fffff
+	x = (x | x<<32) & 0x1f00000000ffff
+	x = (x | x<<16) & 0x1f0000ff0000ff
+	x = (x | x<<8) & 0x100f00f00f00f00f
+	x = (x | x<<4) & 0x10c30c30c30c30c3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+func morton3(x, y, z uint32) uint64 {
+	return spread21(x) | spread21(y)<<1 | spread21(z)<<2
+}
+
+// commitClock orders dynamic-scheduling commits within each worker group:
+// blocks land in their group's partial result in ascending block order, the
+// exact order a static schedule produces, so the two policies are bitwise
+// interchangeable (see run).
+type commitClock struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	next []int32 // per group: next block index allowed to commit
+}
+
+func newCommitClock(nw, nB int) *commitClock {
+	c := &commitClock{next: make([]int32, nw)}
+	c.cond.L = &c.mu
+	for g := range c.next {
+		c.next[g] = int32(g * nB / nw)
+	}
+	return c
+}
+
+// acquire blocks until block b is the next committer of group g. The caller
+// then owns partial[g] until it calls release.
+func (c *commitClock) acquire(g int, b int32) {
+	c.mu.Lock()
+	for c.next[g] != b {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// release marks block b committed (or abandoned, on cancellation) and wakes
+// the group's successor.
+func (c *commitClock) release(g int, b int32) {
+	c.mu.Lock()
+	c.next[g] = b + 1
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// run executes the block loop across workers and merges their results.
+//
+// Determinism contract: the blocks are partitioned into nw contiguous
+// groups (the static schedule's ranges). Static workers own one group each
+// and commit their blocks in ascending order as they go; dynamic workers
+// grab blocks from the shared counter for load balance but commit each
+// block into its group's partial result in ascending block order, gated by
+// the commitClock. Either way every Aniso element receives its per-block
+// contributions in ascending block order and the group partials merge in
+// group order — so results are bitwise identical across scheduling policies
+// and across any dynamic interleaving, at a fixed worker count.
+//
+// Cancelling the engine context makes every worker stop at its next block;
+// run then discards the partial results and reports ctx.Err().
 func (e *engine) run() (*Result, error) {
+	nB := len(e.blocks)
+	if nB == 0 {
+		if err := e.ctx.Err(); err != nil {
+			return nil, err
+		}
+		return NewResult(e.cfg.LMax, e.bins), nil
+	}
 	nw := e.cfg.EffectiveWorkers(len(e.primaryIdx))
-	results := make([]*Result, nw)
+	if nw > nB {
+		nw = nB
+	}
+	partials := make([]*Result, nw)
+	for g := range partials {
+		partials[g] = NewResult(e.cfg.LMax, e.bins)
+	}
+	var gFor []int32
+	var clock *commitClock
+	if e.cfg.Scheduling != SchedStatic {
+		gFor = make([]int32, nB)
+		for w := 0; w < nw; w++ {
+			for b := w * nB / nw; b < (w+1)*nB/nw; b++ {
+				gFor[b] = int32(w)
+			}
+		}
+		clock = newCommitClock(nw, nB)
+	}
+	states := make([]*workerState, nw)
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = e.worker(w, nw)
+			states[w] = e.worker(w, nw, partials, gFor, clock)
 		}(w)
 	}
 	wg.Wait()
 	if err := e.ctx.Err(); err != nil {
 		return nil, err
 	}
-	total := results[0]
-	for _, r := range results[1:] {
+	total := partials[0]
+	for _, r := range partials[1:] {
 		if err := total.Add(r); err != nil {
 			return nil, err
 		}
 	}
+	for _, s := range states {
+		total.Timings.Gather += s.tGather
+		total.Timings.Consume += s.tConsume - s.tSelf // self-count timed inside the consume
+		total.Timings.SelfCount += s.tSelf
+		total.Timings.AlmZeta += s.tAlmZeta
+		total.Timings.WorkerTotal += s.tWorker
+	}
 	return total, nil
 }
 
-// workerState carries one worker's scratch memory.
+// worker processes cell blocks according to the scheduling policy.
+// Cancellation is checked once per block: prompt (a block is at most
+// ChunkSize primaries) without putting a context load on the pair loop.
+func (e *engine) worker(w, nw int, partials []*Result, gFor []int32, clock *commitClock) *workerState {
+	s := e.newWorkerState()
+	start := time.Now()
+	nB := len(e.blocks)
+	if e.cfg.Scheduling == SchedStatic {
+		for b := w * nB / nw; b < (w+1)*nB/nw; b++ {
+			if e.ctx.Err() != nil {
+				break
+			}
+			e.processBlock(s, b)
+			e.commitInto(partials[w], s)
+		}
+	} else {
+		for {
+			b := e.next.Add(1) - 1
+			if b >= int64(nB) {
+				break
+			}
+			g := int(gFor[b])
+			if e.ctx.Err() != nil {
+				// The grabbed slot must still advance the group clock, or
+				// the group's later committers would wait forever.
+				clock.acquire(g, int32(b))
+				clock.release(g, int32(b))
+				break
+			}
+			e.processBlock(s, int(b))
+			clock.acquire(g, int32(b))
+			e.commitInto(partials[g], s)
+			clock.release(g, int32(b))
+		}
+	}
+	s.tWorker = time.Since(start)
+	return s
+}
+
+// commitInto folds the worker's block accumulators into a partial result.
+// Only active channels are touched (IsotropicOnly leaves the rest zero).
+func (e *engine) commitInto(dst *Result, s *workerState) {
+	nb2 := e.bins.N * e.bins.N
+	for _, ch := range e.channels {
+		dstc := dst.Aniso[ch.base : ch.base+nb2]
+		for i, v := range s.blockAniso[ch.base : ch.base+nb2] {
+			dstc[i] += v
+		}
+	}
+	dst.Pairs += s.blockPairs
+	dst.NPrimaries += s.blockNP
+	dst.SumWeight += s.blockSumW
+}
+
+// workerState carries one worker's scratch memory: the per-primary tile
+// pipeline of the pair-tile engine plus the block-level arenas (gathered
+// neighbor lists, the intra-block pair cache, per-primary a_lm slabs, and
+// the block's Aniso accumulator). Everything is allocated once per worker
+// and reused across blocks — the steady-state block loop performs no
+// allocations (pinned by TestProcessBlockAllocFree).
 type workerState struct {
 	kern *sphharm.Kernel
 	acc  [][]float64 // per-bin lane-striped monomial accumulators
-	// Pair-tile gather scratch (stage 1). The unsorted g* columns hold one
-	// primary's admissible neighbors in query order; the counting-sort
-	// scatter regroups them into the bin-sorted t* tiles, bin b occupying
-	// [start[b]-cnt[b], start[b]) after the scatter advances the cursors.
-	gx, gy, gz, gw []float64 // unsorted SoA pair columns (unit vec + weight)
-	tx, ty, tz, tw []float64 // bin-sorted SoA pair tiles
-	bcol           []int32   // unsorted per-pair radial bin ids
+
+	// Block gather: query centers and the shared-traversal result.
+	centers []geom.Vec3
+	nbr     nbr.Block
+
+	// Intra-block pair cache (plane-parallel pair-symmetric path). Block
+	// members are located through a small open-addressed hash over the
+	// block's primary ids (L1-resident, a few Lanes of entries — not a
+	// catalog-sized lookup table, whose random accesses would miss cache
+	// on large catalogs and whose footprint would scale with N x workers).
+	// For an intra-block pair the walker with the lower local index caches
+	// the pair's unit vector and radial bin at slot lo*K + hi; the
+	// higher-local walker fetches it with the exact parity fold (component
+	// negation) instead of recomputing separation, sqrt, and bin. cbin
+	// encodes 0 = not walked, 1 = walked but outside the radial range,
+	// bin+2 otherwise.
+	symKeys       []int32 // hash keys: galaxy id, -1 empty
+	symVals       []int32 // hash values: block-local index
+	symMask       uint32  // table size - 1 (power of two)
+	cbin          []int32
+	cpx, cpy, cpz []float64
+
+	// Pair-tile scratch (per primary). The t* columns hold the bin-sorted
+	// SoA pair tiles as nb fixed-stride segments (bin b's pairs at
+	// [b*tileCap, b*tileCap+cnt[b]), in gather order): pairs scatter into
+	// their bin's segment directly as they are admitted, so one pass
+	// replaces the old gather-then-counting-sort pipeline.
+	tileCap        int
+	tx, ty, tz, tw []float64
 	cnt            []int32   // per-bin pair counts for the current primary
-	start          []int32   // per-bin tile cursors (prefix sums)
 	tl             []int32   // touched bin ids, ascending (from the counts)
 	tlDense        []int32   // dense-scan scratch (reference path only)
 	msums          []float64 // reduced monomial sums scratch
-	// Split a_lm storage for the current primary, pair-major over touched
-	// slots: alm{Re,Im}[i*NBins + t] holds Re/Im a_i of touched slot t, so
-	// every zeta channel's leg is a contiguous run of touched-slot values.
-	// alm{Re,Im}W hold the same values pre-scaled by the primary weight (the
-	// b1 leg of the outer product).
-	almRe, almIm   []float64
-	almReW, almImW []float64
-	reScr, imScr   []float64      // contiguous AlmRI output, scattered per slot
-	uRow, vRow     []float64      // interleaved a2 legs for the ZetaRow sweep
-	selfT          [][]complex128 // per-bin self-pair tensor (SelfCount only)
-	yScr           []float64      // monomial scratch for point evaluation
-	yPt            []complex128   // per-point Y_lm scratch
-	res            *Result
-	// timing
-	tSearch, tMulti, tSelf, tAlmZeta time.Duration
+	reScr, imScr   []float64 // contiguous AlmRI output per (primary, bin)
+
+	// Block-level a_lm slabs, packed (re, im) pairs laid out [(l,m) slot i]
+	// [local primary a][touched slot t] (slot-major, per-primary stride
+	// 2*nb): wXY holds the primary-weight-scaled coefficients (the b1 leg
+	// of the zeta outer product) and aSlab the unweighted ones (the a2
+	// leg). The slabs persist across the whole block so the zeta stage can
+	// run channel-major — each channel reads its two legs as contiguous
+	// streams over the block's primaries and folds them into one cache-hot
+	// nb x nb tile via sphharm.ZetaBatch, which derives the conjugate
+	// interleave in-register.
+	wXY, aSlab []float64
+	blockTl    []int32 // concatenated touched-bin lists of the block's primaries
+	blockTlOff []int32 // per-primary offsets into blockTl
+	blockPw    []float64
+	blockAniso []complex128 // per-block zeta accumulator (committed per block)
+	selfT      []complex128 // [a][bin][channel] self-pair tensor (SelfCount only)
+
+	yScr []float64    // monomial scratch for point evaluation
+	yPt  []complex128 // per-point Y_lm scratch
+
+	blockPairs uint64
+	blockNP    int
+	blockSumW  float64
+
+	tGather, tConsume, tSelf, tAlmZeta, tWorker time.Duration
 }
 
 func (e *engine) newWorkerState() *workerState {
 	nb := e.bins.N
-	pc := sphharm.PairCount(e.cfg.LMax)
+	pc := e.pc
+	K := e.cfg.ChunkSize
 	s := &workerState{
-		kern:    sphharm.NewKernel(e.mono, e.cfg.BucketSize),
-		acc:     make([][]float64, nb),
-		cnt:     make([]int32, nb),
-		start:   make([]int32, nb),
-		tl:      make([]int32, 0, nb),
-		tlDense: make([]int32, 0, nb),
-		msums:   make([]float64, e.mono.Len()),
-		almRe:   make([]float64, pc*nb),
-		almIm:   make([]float64, pc*nb),
-		almReW:  make([]float64, pc*nb),
-		almImW:  make([]float64, pc*nb),
-		reScr:   make([]float64, pc),
-		imScr:   make([]float64, pc),
-		uRow:    make([]float64, 2*nb),
-		vRow:    make([]float64, 2*nb),
-		yScr:    make([]float64, e.mono.Len()),
-		yPt:     make([]complex128, pc),
-		res:     NewResult(e.cfg.LMax, e.bins),
+		kern:       sphharm.NewKernel(e.mono, e.cfg.BucketSize),
+		acc:        make([][]float64, nb),
+		centers:    make([]geom.Vec3, K),
+		cnt:        make([]int32, nb),
+		tl:         make([]int32, 0, nb),
+		tlDense:    make([]int32, 0, nb),
+		msums:      make([]float64, e.mono.Len()),
+		reScr:      make([]float64, pc),
+		imScr:      make([]float64, pc),
+		wXY:        make([]float64, K*pc*2*nb),
+		aSlab:      make([]float64, K*pc*2*nb),
+		blockTl:    make([]int32, K*nb),
+		blockTlOff: make([]int32, K+1),
+		blockPw:    make([]float64, K),
+		blockAniso: make([]complex128, e.combos.Len()*nb*nb),
+		yScr:       make([]float64, e.mono.Len()),
+		yPt:        make([]complex128, pc),
 	}
 	for b := 0; b < nb; b++ {
 		s.acc[b] = make([]float64, sphharm.AccumulatorLen(e.mono))
 	}
-	if e.cfg.SelfCount {
-		s.selfT = make([][]complex128, nb)
-		for b := 0; b < nb; b++ {
-			s.selfT[b] = make([]complex128, e.combos.Len())
+	if e.cfg.LOS == LOSPlaneParallel && !e.modes.refGather {
+		m := 4
+		for m < 4*K {
+			m *= 2
 		}
+		s.symKeys = make([]int32, m)
+		s.symVals = make([]int32, m)
+		s.symMask = uint32(m - 1)
+		s.cbin = make([]int32, K*K)
+		s.cpx = make([]float64, K*K)
+		s.cpy = make([]float64, K*K)
+		s.cpz = make([]float64, K*K)
+	}
+	if e.cfg.SelfCount {
+		s.selfT = make([]complex128, K*nb*e.combos.Len())
 	}
 	return s
 }
 
-// worker processes primaries according to the scheduling policy.
-func (e *engine) worker(w, nw int) *Result {
-	s := e.newWorkerState()
-	nbrBuf := make([]int32, 0, 4096)
-	n := int64(len(e.primaryIdx))
-
-	// Cancellation is checked once per scheduling chunk: prompt (a chunk is
-	// a handful of primaries) without putting a context load on the
-	// per-pair hot path.
-	workerStart := time.Now()
-	chunk := int64(e.cfg.ChunkSize)
-	switch e.cfg.Scheduling {
-	case SchedStatic:
-		lo := int64(w) * n / int64(nw)
-		hi := int64(w+1) * n / int64(nw)
-		for i := lo; i < hi; i++ {
-			if i%chunk == 0 && e.ctx.Err() != nil {
-				return s.res
-			}
-			nbrBuf = e.processPrimary(s, e.primaryIdx[i], nbrBuf)
-		}
-	default: // SchedDynamic
-		for {
-			lo := e.next.Add(chunk) - chunk
-			if lo >= n || e.ctx.Err() != nil {
-				break
-			}
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			for i := lo; i < hi; i++ {
-				nbrBuf = e.processPrimary(s, e.primaryIdx[i], nbrBuf)
-			}
-		}
-	}
-	s.res.Timings.TreeSearch = s.tSearch
-	s.res.Timings.Multipole = s.tMulti - s.tSelf // self-count timed inside the flush
-	s.res.Timings.SelfCount = s.tSelf
-	s.res.Timings.AlmZeta = s.tAlmZeta
-	s.res.Timings.WorkerTotal = time.Since(workerStart)
-	return s.res
-}
-
-// processPrimary runs Algorithm 1's inner loop for one primary galaxy as a
-// two-stage gather/consume pipeline. Stage 1 (gatherTiles) turns one fused
-// multi-image finder query into bin-sorted SoA pair tiles: a branch-light
-// binning pass, a column-wise line-of-sight rotation, and a counting-sort
-// scatter. Stage 2 hands each whole same-bin tile to the multipole tile
-// kernel. No per-pair flush callback, bucket bookkeeping, or first-touch
-// branching survives on the hot path.
-func (e *engine) processPrimary(s *workerState, pi int32, nbrBuf []int32) []int32 {
-	ppos := e.pts[pi]
-	pw := e.ws[pi]
-
-	t0 := time.Now()
-	nbrBuf = e.finder.QueryRadiusImages(ppos, e.cfg.RMax, e.images, nbrBuf[:0])
-	s.tSearch += time.Since(t0)
-
-	t0 = time.Now()
-	pairs := e.gatherTiles(s, pi, ppos, nbrBuf)
-	for _, b := range s.tl {
-		end := s.start[b]
-		beg := end - s.cnt[b]
-		xs := s.tx[beg:end]
-		ys := s.ty[beg:end]
-		zs := s.tz[beg:end]
-		ws := s.tw[beg:end]
-		s.kern.AccumulateTile(xs, ys, zs, ws, s.acc[b])
-		if s.selfT != nil {
-			e.accumulateSelfPairs(s, b, xs, ys, zs, ws)
-		}
-	}
-	s.tMulti += time.Since(t0)
-	s.res.Pairs += uint64(pairs)
-
-	// Convert monomial sums to a_lm per touched bin, then accumulate the
-	// zeta^m_{l1 l2}(b1, b2) outer products weighted by the primary weight.
-	// Everything below walks the touched list only: untouched bins hold no
-	// data and cost nothing (the pre-touched-list engine scanned all NBins
-	// three times per primary).
-	t0 = time.Now()
-	// The counting sort hands the touched list over in ascending bin order,
-	// which makes the Aniso scatter walk forward and decouples the reduction
-	// from gather order: the dense-scan reference below must enumerate the
-	// same bins in the same order, which the dense-scan property test pins
-	// bitwise.
-	tl := s.tl
-	if e.denseScan {
-		// Dense-scan reference: enumerate touched bins by sweeping all NBins
-		// counters instead of walking the gathered list.
-		tl = s.tlDense[:0]
-		for b, c := range s.cnt {
-			if c > 0 {
-				tl = append(tl, int32(b))
-			}
-		}
-	}
+// processBlock runs Algorithm 1's inner loop for one cell block of
+// primaries. Stage 1 gathers every primary's neighbor list through one
+// shared finder traversal. Stage 2 walks the block's primaries in order:
+// each primary's neighbors are assembled into bin-sorted SoA tiles (with
+// intra-block pairs fetched from the pair cache instead of recomputed, on
+// the plane-parallel path), consumed whole-tile by the multipole kernel,
+// and reduced into the block's a_lm slabs. Stage 3 accumulates the zeta
+// outer products channel-major over the whole block, so each channel's
+// nb x nb tile is loaded once per block instead of once per primary. The
+// result lands in s.blockAniso for the caller to commit.
+func (e *engine) processBlock(s *workerState, b int) {
+	blk := e.blocks[b]
+	prim := e.primaryIdx[blk.lo:blk.hi]
+	K := len(prim)
 	nb := e.bins.N
-	res := s.res
-	pwc := complex(pw, 0)
-	if nt := len(tl); nt > 0 {
-		// Per touched slot t: reduce the lane accumulators, convert to
-		// split a_lm, and transpose into the pair-major slot arrays (plus
-		// the weight-scaled copies for the b1 leg).
-		for t, b := range tl {
-			sphharm.Reduce(s.acc[b], s.msums)
-			e.ytab.AlmRI(s.msums, s.reScr, s.imScr)
-			for i, v := range s.reScr {
-				s.almRe[i*nb+t] = v
-				s.almReW[i*nb+t] = pw * v
+	pc := e.pc
+
+	for _, ch := range e.channels {
+		clear(s.blockAniso[ch.base : ch.base+nb*nb])
+	}
+	s.blockPairs, s.blockNP, s.blockSumW = 0, 0, 0
+
+	// Stage 1: gather all neighbor lists for the block.
+	t0 := time.Now()
+	if e.modes.refGather {
+		s.nbr.Reset(K)
+		for _, pi := range prim {
+			s.nbr.IDs = e.finder.QueryRadiusImages(e.pts[pi], e.cfg.RMax, e.images, s.nbr.IDs)
+			s.nbr.Seal()
+		}
+	} else {
+		centers := s.centers[:K]
+		for i, pi := range prim {
+			centers[i] = e.pts[pi]
+		}
+		e.finder.QueryRadiusImagesBlock(centers, e.cfg.RMax, e.images, &s.nbr)
+	}
+	s.tGather += time.Since(t0)
+
+	useSym := e.cfg.LOS == LOSPlaneParallel && !e.modes.refGather && K > 1
+	if useSym {
+		clear(s.cbin[:K*K])
+		for i := range s.symKeys {
+			s.symKeys[i] = -1
+		}
+		for a, pi := range prim {
+			h := symHash(pi) & s.symMask
+			for s.symKeys[h] >= 0 {
+				h = (h + 1) & s.symMask
 			}
-			for i, v := range s.imScr {
-				s.almIm[i*nb+t] = v
-				s.almImW[i*nb+t] = pw * v
+			s.symKeys[h] = pi
+			s.symVals[h] = int32(a)
+		}
+	}
+
+	// Stage 2: per primary, assemble + consume tiles and reduce into the
+	// block's a_lm slabs.
+	s.blockTlOff[0] = 0
+	for a := 0; a < K; a++ {
+		pi := prim[a]
+		pw := e.ws[pi]
+		nbrs := s.nbr.List(a)
+
+		t0 = time.Now()
+		n := e.assembleTiles(s, a, prim, pi, nbrs, useSym)
+		for _, bb := range s.tl {
+			beg := int(bb) * s.tileCap
+			end := beg + int(s.cnt[bb])
+			xs := s.tx[beg:end]
+			ys := s.ty[beg:end]
+			zs := s.tz[beg:end]
+			ws := s.tw[beg:end]
+			s.kern.AccumulateTile(xs, ys, zs, ws, s.acc[bb])
+			if s.selfT != nil {
+				e.accumulateSelfPairs(s, a, bb, xs, ys, zs, ws)
 			}
 		}
-		// Cache-blocked outer product: per channel, both legs are dense
-		// length-nt runs — w_p * a1 * conj(a2) expanded into real arithmetic.
-		// When the primary touched every bin (the common dense case), the
-		// row target is contiguous and the a2 leg is pre-interleaved once
-		// per channel (u = [re, -im, ...], v = [im, re, ...]) so each t1 row
-		// collapses into two broadcast multiply-adds (sphharm.ZetaRow, with
-		// its AVX-512 dispatch); sparse touch lists keep the scattered SoA
-		// sweep.
-		dense := nt == nb
-		for _, ch := range e.channels {
-			a1re := s.almReW[int(ch.i1)*nb : int(ch.i1)*nb+nt]
-			a1im := s.almImW[int(ch.i1)*nb : int(ch.i1)*nb+nt]
-			a2re := s.almRe[int(ch.i2)*nb : int(ch.i2)*nb+nt]
-			a2im := s.almIm[int(ch.i2)*nb : int(ch.i2)*nb+nt]
-			if dense {
-				u, v := s.uRow, s.vRow
-				for t2 := 0; t2 < nt; t2++ {
-					re2, im2 := a2re[t2], a2im[t2]
-					u[2*t2] = re2
-					u[2*t2+1] = -im2
-					v[2*t2] = im2
-					v[2*t2+1] = re2
+		s.tConsume += time.Since(t0)
+		s.blockPairs += uint64(n)
+
+		// Reduce the lane accumulators, convert to a_lm, and transpose into
+		// the block slabs. The counting sort hands the touched list over in
+		// ascending bin order; the dense-scan reference must enumerate the
+		// same bins in the same order (pinned bitwise by the property test).
+		t0 = time.Now()
+		tl := s.tl
+		if e.modes.denseScan {
+			tl = s.tlDense[:0]
+			for bb, c := range s.cnt {
+				if c > 0 {
+					tl = append(tl, int32(bb))
 				}
-				sphharm.ZetaBlock(res.Aniso[ch.base:ch.base+nb*nb], u, v, a1re, a1im)
-			} else {
+			}
+		}
+		off := int(s.blockTlOff[a])
+		copy(s.blockTl[off:], tl)
+		s.blockTlOff[a+1] = int32(off + len(tl))
+		// Slab layout is [slot][local primary][touched slot] (slot-major,
+		// per-primary stride 2*nb, packed to this block's K so the scatter
+		// stays as compact as the block), so the zeta stage reads each leg
+		// as one contiguous stream per channel.
+		stride2 := K * 2 * nb
+		wXY, aS := s.wXY, s.aSlab
+		reScr, imScr := s.reScr, s.imScr
+		for t, bb := range tl {
+			sphharm.Reduce(s.acc[bb], s.msums)
+			e.ytab.AlmRI(s.msums, reScr, imScr)
+			o := a*2*nb + 2*t
+			for i := 0; i < pc; i++ {
+				re, im := reScr[i], imScr[i]
+				wXY[o] = pw * re
+				wXY[o+1] = pw * im
+				aS[o] = re
+				aS[o+1] = im
+				o += stride2
+			}
+		}
+		// Reset per-primary state (touched bins only, so sparse primaries
+		// stay cheap and untouched bins are never written).
+		for _, bb := range s.tl {
+			sphharm.Zero(s.acc[bb])
+			s.cnt[bb] = 0
+		}
+		s.tl = s.tl[:0]
+		s.blockPw[a] = pw
+		s.blockSumW += pw
+		s.tAlmZeta += time.Since(t0)
+	}
+	s.blockNP = K
+
+	// Stage 3: zeta outer products, channel-major over the block. Per Aniso
+	// element the additions run in ascending local-primary order — exactly
+	// the order the per-primary engine produced — so regrouping the loops
+	// around the channel changes nothing bitwise while keeping the
+	// channel's nb x nb tile and the Aniso write target cache-hot across
+	// all K primaries.
+	t0 = time.Now()
+	nchan := e.combos.Len()
+	stride2 := K * 2 * nb
+	allDense := int(s.blockTlOff[K]) == K*nb
+	for _, ch := range e.channels {
+		dst := s.blockAniso[ch.base : ch.base+nb*nb]
+		base1 := int(ch.i1) * stride2
+		base2 := int(ch.i2) * stride2
+		if allDense {
+			// Every primary touched every bin (the common dense case): the
+			// whole block folds into the channel tile in one fused call.
+			sphharm.ZetaBatch(dst, s.aSlab[base2:base2+K*2*nb], s.wXY[base1:base1+K*2*nb], nb, K)
+		} else {
+			for a := 0; a < K; a++ {
+				tlo, thi := int(s.blockTlOff[a]), int(s.blockTlOff[a+1])
+				nt := thi - tlo
+				if nt == 0 {
+					continue
+				}
+				o1 := base1 + a*2*nb
+				o2 := base2 + a*2*nb
+				if nt == nb {
+					sphharm.ZetaBatch(dst, s.aSlab[o2:o2+2*nb], s.wXY[o1:o1+2*nb], nb, 1)
+					continue
+				}
+				tl := s.blockTl[tlo:thi]
 				for t1 := 0; t1 < nt; t1++ {
-					x, y := a1re[t1], a1im[t1]
-					row := res.Aniso[ch.base+int(tl[t1])*nb : ch.base+int(tl[t1])*nb+nb]
+					x := s.wXY[o1+2*t1]
+					y := s.wXY[o1+2*t1+1]
+					row := dst[int(tl[t1])*nb : int(tl[t1])*nb+nb]
 					for t2, b2 := range tl {
-						re := x*a2re[t2] + y*a2im[t2]
-						im := y*a2re[t2] - x*a2im[t2]
-						row[b2] += complex(re, im)
+						re2 := s.aSlab[o2+2*t2]
+						im2 := s.aSlab[o2+2*t2+1]
+						row[b2] += complex(x*re2+y*im2, y*re2-x*im2)
 					}
 				}
 			}
-			if s.selfT != nil {
-				// Diagonal self-pair subtraction, off the hot loop.
-				for _, b := range tl {
-					res.Aniso[ch.base+int(b)*nb+int(b)] -= pwc * s.selfT[b][ch.ci]
+		}
+		if s.selfT != nil {
+			// Diagonal self-pair subtraction, off the hot loop.
+			for a := 0; a < K; a++ {
+				pwc := complex(s.blockPw[a], 0)
+				st := s.selfT[a*nb*nchan:]
+				for _, bb := range s.blockTl[s.blockTlOff[a]:s.blockTlOff[a+1]] {
+					dst[int(bb)*nb+int(bb)] -= pwc * st[int(bb)*nchan+int(ch.ci)]
 				}
+			}
+		}
+	}
+	if s.selfT != nil {
+		for a := 0; a < K; a++ {
+			for _, bb := range s.blockTl[s.blockTlOff[a]:s.blockTlOff[a+1]] {
+				o := (a*nb + int(bb)) * nchan
+				clear(s.selfT[o : o+nchan])
 			}
 		}
 	}
 	s.tAlmZeta += time.Since(t0)
-
-	// Reset per-primary state (touched bins only, so sparse primaries stay
-	// cheap and untouched bins are never written).
-	for _, b := range s.tl {
-		sphharm.Zero(s.acc[b])
-		if s.selfT != nil {
-			clear(s.selfT[b])
-		}
-		s.cnt[b] = 0
-	}
-	s.tl = s.tl[:0]
-
-	res.NPrimaries++
-	res.SumWeight += pw
-	return nbrBuf
 }
 
-// gatherTiles is stage 1 of the pair-tile pipeline: it bins every admissible
-// neighbor of the primary into bin-sorted SoA pair tiles and returns the
-// pair count. One branch-light pass normalizes separations, assigns radial
-// bins (hoisted inverse width — identical binning to hist.Binning.Index),
-// and counts pairs per bin; the line-of-sight rotation is then applied
-// column-wise over the whole gather at once; and a counting-sort scatter
-// groups the unit vectors by bin. The touched-bin list falls out of the
-// counts in ascending order — no per-pair first-touch branch and no sort.
-func (e *engine) gatherTiles(s *workerState, pi int32, ppos geom.Vec3, nbr []int32) int {
-	s.growTiles(len(nbr))
+// assembleTiles builds one primary's bin-sorted SoA pair tiles from its
+// gathered neighbor list and returns the pair count. One branch-light pass
+// normalizes separations, assigns radial bins (hoisted inverse width —
+// identical binning to hist.Binning.Index), and counts pairs per bin; the
+// line-of-sight rotation is then applied column-wise over the whole gather
+// at once; and a counting-sort scatter groups the unit vectors by bin. The
+// touched-bin list falls out of the counts in ascending order.
+//
+// On the plane-parallel pair-symmetric path (useSym), each intra-block pair
+// is enumerated once: the endpoint with the lower block-local index
+// computes separation, norm, and bin, scatters the pair into its own tile,
+// and caches the unit vector; the higher endpoint fetches the cached entry
+// and applies the (-1)^ell parity fold of Y_lm(-rhat) = (-1)^ell
+// Y_lm(rhat) by negating the cached components — IEEE negation is exact,
+// and minimal-image separations are antisymmetric bitwise, so the fetched
+// entry is bit-for-bit the value the reference per-primary path computes
+// (the 0-x form keeps even the sign of zero components identical). The
+// multipole ladder then consumes the folded components unchanged. A cache
+// miss (the finder admitted the pair in one direction only, possible at
+// the float32 radius boundary) falls back to the full computation.
+func (e *engine) assembleTiles(s *workerState, a int, prim []int32, pi int32, nbrs []int32, useSym bool) int {
+	if s.tileCap == 0 {
+		e.growTiles(s, 4096)
+	}
+	for {
+		n, ok := e.tryAssembleTiles(s, a, prim, pi, nbrs, useSym)
+		if ok {
+			return n
+		}
+		// A bin overflowed its tile segment: double the capacity and redo
+		// the primary (rare — capacity only ever grows, and the partial
+		// pair-cache writes are idempotent under the retry).
+		e.growTiles(s, 2*s.tileCap)
+	}
+}
+
+// tryAssembleTiles is one assembly attempt at the current tile capacity; it
+// reports false when a bin's segment would overflow.
+func (e *engine) tryAssembleTiles(s *workerState, a int, prim []int32, pi int32, nbrs []int32, useSym bool) (int, bool) {
+	K := len(prim)
+	ppos := e.pts[pi]
 	rmin, rmax := e.bins.RMin, e.bins.RMax
 	invW := e.invW
 	nb := e.bins.N
+	cap32 := int32(s.tileCap)
+	tx, ty, tz, tw := s.tx, s.ty, s.tz, s.tw
+	cnt := s.cnt
+	pts, ws := e.pts, e.ws
+	symKeys, symVals, symMask := s.symKeys, s.symVals, s.symMask
 	n := 0
-	for _, j := range nbr {
+	for _, j := range nbrs {
 		if j == pi {
 			continue
 		}
-		sep := e.box.Separation(ppos, e.pts[j])
+		cacheSlot := int32(-1)
+		if useSym {
+			if bl := blockLocal(symKeys, symVals, symMask, j); bl >= 0 {
+				if int(bl) < a {
+					c := int(bl)*K + a
+					if enc := s.cbin[c]; enc != 0 {
+						if enc == 1 {
+							continue // walked, outside the radial range
+						}
+						bin := enc - 2
+						if cnt[bin] == cap32 {
+							clear(cnt)
+							return 0, false
+						}
+						d := bin*cap32 + cnt[bin]
+						tx[d] = 0 - s.cpx[c]
+						ty[d] = 0 - s.cpy[c]
+						tz[d] = 0 - s.cpz[c]
+						tw[d] = ws[j]
+						cnt[bin]++
+						n++
+						continue
+					}
+					// Not walked by the partner (asymmetric finder
+					// membership): compute without caching.
+				} else {
+					cacheSlot = int32(a*K + int(bl))
+				}
+			}
+		}
+		sep := e.box.Separation(ppos, pts[j])
 		r2 := sep.Norm2()
 		if r2 == 0 {
+			if cacheSlot >= 0 {
+				s.cbin[cacheSlot] = 1
+			}
 			continue // coincident tracer: no direction, not a triangle side
 		}
 		r := math.Sqrt(r2)
 		if r < rmin || r >= rmax {
+			if cacheSlot >= 0 {
+				s.cbin[cacheSlot] = 1
+			}
 			continue
 		}
-		bin := int((r - rmin) * invW)
-		if bin >= nb { // guard against floating-point edge (as hist.Index)
-			bin = nb - 1
+		bin := int32((r - rmin) * invW)
+		if bin >= int32(nb) { // guard against floating-point edge (as hist.Index)
+			bin = int32(nb) - 1
 		}
 		inv := 1 / r
-		s.gx[n] = sep.X * inv
-		s.gy[n] = sep.Y * inv
-		s.gz[n] = sep.Z * inv
-		s.gw[n] = e.ws[j]
-		s.bcol[n] = int32(bin)
-		s.cnt[bin]++
+		ux := sep.X * inv
+		uy := sep.Y * inv
+		uz := sep.Z * inv
+		if cnt[bin] == cap32 {
+			clear(cnt)
+			return 0, false
+		}
+		d := bin*cap32 + cnt[bin]
+		tx[d] = ux
+		ty[d] = uy
+		tz[d] = uz
+		tw[d] = ws[j]
+		cnt[bin]++
 		n++
+		if cacheSlot >= 0 {
+			s.cpx[cacheSlot] = ux
+			s.cpy[cacheSlot] = uy
+			s.cpz[cacheSlot] = uz
+			s.cbin[cacheSlot] = bin + 2
+		}
 	}
-	// Rotation to the line of sight (Fig. 2), tile-wise over the whole
-	// gather. For plane-parallel mode the z axis is already the line of
-	// sight. Rotating unit vectors after normalization is exact: the
-	// rotation preserves the norm.
-	if e.cfg.LOS == LOSRadial {
-		rot := geom.ToLineOfSight(ppos.Sub(e.cfg.Observer))
-		rot.ApplyColumns(s.gx[:n], s.gy[:n], s.gz[:n])
-	}
-	// Prefix-sum the counts into tile offsets; touched bins come out in
-	// ascending bin order.
+	// Touched bins in ascending order, straight off the counts.
 	s.tl = s.tl[:0]
-	off := int32(0)
-	for b, c := range s.cnt {
-		s.start[b] = off
-		off += c
+	for b, c := range cnt {
 		if c > 0 {
 			s.tl = append(s.tl, int32(b))
 		}
 	}
-	// Scatter into the bin-sorted tiles; each cursor ends at its tile's end.
-	for i := 0; i < n; i++ {
-		b := s.bcol[i]
-		d := s.start[b]
-		s.tx[d] = s.gx[i]
-		s.ty[d] = s.gy[i]
-		s.tz[d] = s.gz[i]
-		s.tw[d] = s.gw[i]
-		s.start[b] = d + 1
+	// Rotation to the line of sight (Fig. 2), column-wise per tile segment.
+	// For plane-parallel mode the z axis is already the line of sight
+	// (which is what makes the shared-frame parity fold valid). Rotating
+	// unit vectors after normalization is exact: the rotation preserves
+	// the norm.
+	if e.cfg.LOS == LOSRadial {
+		rot := geom.ToLineOfSight(ppos.Sub(e.cfg.Observer))
+		for _, bb := range s.tl {
+			beg := int(bb) * s.tileCap
+			end := beg + int(cnt[bb])
+			rot.ApplyColumns(tx[beg:end], ty[beg:end], tz[beg:end])
+		}
 	}
-	return n
+	return n, true
 }
 
-// growTiles ensures the gather columns can hold n pairs (amortized: the
-// columns only ever grow, and survive across primaries).
-func (s *workerState) growTiles(n int) {
-	if n <= len(s.gx) {
+// symHash spreads galaxy ids over the block-membership hash (Fibonacci
+// multiplicative hashing; the caller masks to the table size).
+func symHash(j int32) uint32 {
+	return uint32(j) * 2654435761
+}
+
+// blockLocal returns j's block-local primary index from the membership
+// hash, or -1 when j is not a primary of the current block. The table is
+// at most 25% loaded, so misses (the overwhelmingly common case) resolve
+// in ~one probe of an L1-resident table.
+func blockLocal(keys, vals []int32, mask uint32, j int32) int32 {
+	h := symHash(j) & mask
+	for {
+		k := keys[h]
+		if k == j {
+			return vals[h]
+		}
+		if k < 0 {
+			return -1
+		}
+		h = (h + 1) & mask
+	}
+}
+
+// growTiles raises the per-bin tile segment capacity to at least n
+// (amortized: the tiles only ever grow, and survive across primaries and
+// blocks; overall size is NBins * the largest single-bin pair count seen,
+// not NBins * total neighbors).
+func (e *engine) growTiles(s *workerState, n int) {
+	if n <= s.tileCap {
 		return
 	}
-	c := 2 * len(s.gx)
-	if c < n {
-		c = n
-	}
-	if c < 4096 {
-		c = 4096
-	}
-	s.gx = make([]float64, c)
-	s.gy = make([]float64, c)
-	s.gz = make([]float64, c)
-	s.gw = make([]float64, c)
-	s.tx = make([]float64, c)
-	s.ty = make([]float64, c)
-	s.tz = make([]float64, c)
-	s.tw = make([]float64, c)
-	s.bcol = make([]int32, c)
+	s.tileCap = n
+	nb := e.bins.N
+	s.tx = make([]float64, nb*n)
+	s.ty = make([]float64, nb*n)
+	s.tz = make([]float64, nb*n)
+	s.tw = make([]float64, nb*n)
 }
 
-// accumulateSelfPairs folds one tile's secondaries into the per-bin
-// self-pair tensor (SelfCount only): the w^2 Y_l1m Y*_l2m terms subtracted
-// from diagonal (b, b) channels after the zeta outer products. It runs over
-// the already-rotated tile columns, off the kernel hot loop, walking the
-// prebuilt channel list (mode filtering happened at engine build).
-func (e *engine) accumulateSelfPairs(s *workerState, bin int32, xs, ys, zs, ws []float64) {
+// accumulateSelfPairs folds one tile's secondaries into the primary's
+// per-bin self-pair tensor (SelfCount only): the w^2 Y_l1m Y*_l2m terms
+// subtracted from diagonal (b, b) channels after the zeta outer products.
+// It runs over the already-rotated tile columns, off the kernel hot loop,
+// walking the prebuilt channel list (mode filtering happened at engine
+// build).
+func (e *engine) accumulateSelfPairs(s *workerState, a int, bin int32, xs, ys, zs, ws []float64) {
 	t0 := time.Now()
-	st := s.selfT[bin]
+	nchan := e.combos.Len()
+	st := s.selfT[(a*e.bins.N+int(bin))*nchan:]
 	for j := range xs {
 		e.ytab.EvalPoint(xs[j], ys[j], zs[j], s.yScr, s.yPt)
 		w2 := complex(ws[j]*ws[j], 0)

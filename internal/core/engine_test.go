@@ -307,8 +307,8 @@ func TestTimingsPopulated(t *testing.T) {
 	if res.Timings.Total <= 0 || res.Timings.WorkerTotal <= 0 {
 		t.Error("timings not populated")
 	}
-	if res.Timings.Multipole < 0 {
-		t.Error("negative multipole time")
+	if res.Timings.Consume < 0 {
+		t.Error("negative consume time")
 	}
 }
 

@@ -149,11 +149,11 @@ func TestTouchedListMatchesDenseScanBitwise(t *testing.T) {
 			cfg := propConfig()
 			cfg.Scheduling = SchedStatic
 			tc.mutate(&cfg)
-			touchedList, err := computeSubset(context.Background(), cat, nil, cfg, false)
+			touchedList, err := computeSubset(context.Background(), cat, nil, cfg, engineModes{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			dense, err := computeSubset(context.Background(), cat, nil, cfg, true)
+			dense, err := computeSubset(context.Background(), cat, nil, cfg, engineModes{denseScan: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -163,6 +163,71 @@ func TestTouchedListMatchesDenseScanBitwise(t *testing.T) {
 			}
 			for i := range touchedList.Aniso {
 				a, b := touchedList.Aniso[i], dense.Aniso[i]
+				if math.Float64bits(real(a)) != math.Float64bits(real(b)) ||
+					math.Float64bits(imag(a)) != math.Float64bits(imag(b)) {
+					t.Fatalf("Aniso[%d] not bitwise identical: %v vs %v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestBlockedMatchesPerPrimaryBitwise(t *testing.T) {
+	// The blocked traversal's two amortizations — the shared block-granular
+	// finder query and the pair-symmetric intra-block scatter with its
+	// parity fold — must be invisible to the numerics: against the
+	// per-primary reference path (one QueryRadiusImages call and a full
+	// separation/bin recompute per primary, same block order) every Aniso
+	// channel must be bitwise identical, not merely close, across both LOS
+	// modes, IsotropicOnly, SelfCount, all finder substrates, and sparse
+	// touch lists.
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"plane-parallel", func(*Config) {}},
+		{"plane-parallel-no-selfcount", func(c *Config) { c.SelfCount = false }},
+		{"plane-parallel-isotropic", func(c *Config) { c.IsotropicOnly = true }},
+		{"los-radial", func(c *Config) {
+			c.LOS = LOSRadial
+			c.Observer = geom.Vec3{X: -300, Y: -250, Z: -400}
+		}},
+		{"los-radial-isotropic", func(c *Config) {
+			c.LOS = LOSRadial
+			c.IsotropicOnly = true
+		}},
+		{"kd64", func(c *Config) { c.Finder = FinderKD64 }},
+		{"grid", func(c *Config) { c.Finder = FinderGrid }},
+		{"sparse-bins", func(c *Config) {
+			c.RMin = 25
+			c.NBins = 12
+		}},
+		{"small-blocks", func(c *Config) { c.ChunkSize = 3; c.BlockCell = 9 }},
+		{"dynamic-sched", func(c *Config) { c.Scheduling = SchedDynamic }},
+	}
+	cat := catalog.Clustered(350, 180, catalog.DefaultClusterParams(), 71)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := propConfig()
+			cfg.Scheduling = SchedStatic
+			tc.mutate(&cfg)
+			blocked, err := computeSubset(context.Background(), cat, nil, cfg, engineModes{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := computeSubset(context.Background(), cat, nil, cfg, engineModes{refGather: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if blocked.Pairs != ref.Pairs || blocked.NPrimaries != ref.NPrimaries {
+				t.Fatalf("pair/primary counts differ: %d/%d vs %d/%d",
+					blocked.Pairs, blocked.NPrimaries, ref.Pairs, ref.NPrimaries)
+			}
+			if math.Float64bits(blocked.SumWeight) != math.Float64bits(ref.SumWeight) {
+				t.Fatalf("SumWeight not bitwise identical: %v vs %v", blocked.SumWeight, ref.SumWeight)
+			}
+			for i := range blocked.Aniso {
+				a, b := blocked.Aniso[i], ref.Aniso[i]
 				if math.Float64bits(real(a)) != math.Float64bits(real(b)) ||
 					math.Float64bits(imag(a)) != math.Float64bits(imag(b)) {
 					t.Fatalf("Aniso[%d] not bitwise identical: %v vs %v", i, a, b)

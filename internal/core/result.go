@@ -52,24 +52,30 @@ func (t *ComboTable) Index(l1, l2, m int) (int, bool) {
 }
 
 // Breakdown records where the wall-clock time went (Fig. 4). Worker-level
-// sections are summed across workers; build phases are measured once.
+// sections are summed across workers; build phases are measured once. The
+// old tree_search phase is split into its blocked-traversal successors:
+// Gather is the block-granular neighbor query and Consume the tile assembly
+// plus multipole kernel, so a win in either is attributable on its own.
 type Breakdown struct {
-	IO          time.Duration // catalog generation / loading (filled by callers)
-	TreeBuild   time.Duration // neighbor index construction
-	TreeSearch  time.Duration // per-primary neighbor queries
-	Multipole   time.Duration // bucket fill + kernel accumulation
-	SelfCount   time.Duration // self-pair correction evaluation
-	AlmZeta     time.Duration // a_lm conversion + zeta outer products
-	Total       time.Duration // end-to-end wall clock
-	WorkerTotal time.Duration // sum of per-worker busy time
+	IO        time.Duration // catalog generation / loading (filled by callers)
+	TreeBuild time.Duration // neighbor index construction
+	Gather    time.Duration // block-granular neighbor queries (was TreeSearch)
+	Consume   time.Duration // tile assembly + kernel accumulation (was Multipole)
+	SelfCount time.Duration // self-pair correction evaluation
+	AlmZeta   time.Duration // a_lm conversion + zeta outer products
+	Total     time.Duration // end-to-end wall clock
+	// WorkerTotal is the summed per-worker wall clock, including scheduler
+	// and commit-clock waits that belong to no compute phase — so the
+	// phase fields can sum to well below it on oversubscribed hosts.
+	WorkerTotal time.Duration
 }
 
 // Add accumulates another breakdown (used by the distributed reduction).
 func (b *Breakdown) Add(o Breakdown) {
 	b.IO += o.IO
 	b.TreeBuild += o.TreeBuild
-	b.TreeSearch += o.TreeSearch
-	b.Multipole += o.Multipole
+	b.Gather += o.Gather
+	b.Consume += o.Consume
 	b.SelfCount += o.SelfCount
 	b.AlmZeta += o.AlmZeta
 	if o.Total > b.Total {

@@ -68,7 +68,7 @@ func WriteResult(w io.Writer, r *Result) error {
 	le.PutUint64(buf[56:64], math.Float64bits(r.SumWeight))
 	t := r.Timings
 	for i, d := range []int64{
-		int64(t.IO), int64(t.TreeBuild), int64(t.TreeSearch), int64(t.Multipole),
+		int64(t.IO), int64(t.TreeBuild), int64(t.Gather), int64(t.Consume),
 		int64(t.SelfCount), int64(t.AlmZeta), int64(t.Total), int64(t.WorkerTotal),
 	} {
 		le.PutUint64(buf[64+8*i:72+8*i], uint64(d))
@@ -173,8 +173,8 @@ func breakdownFromNanos(d [8]int64) Breakdown {
 	return Breakdown{
 		IO:          time.Duration(d[0]),
 		TreeBuild:   time.Duration(d[1]),
-		TreeSearch:  time.Duration(d[2]),
-		Multipole:   time.Duration(d[3]),
+		Gather:      time.Duration(d[2]),
+		Consume:     time.Duration(d[3]),
 		SelfCount:   time.Duration(d[4]),
 		AlmZeta:     time.Duration(d[5]),
 		Total:       time.Duration(d[6]),

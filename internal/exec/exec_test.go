@@ -304,7 +304,7 @@ func TestRunCollectsUniformPerf(t *testing.T) {
 		if run.Perf.Pairs != run.Result.Pairs || run.Perf.PairsPerSec <= 0 {
 			t.Fatalf("%s: perf report inconsistent: %+v", b.Name(), run.Perf)
 		}
-		if run.Perf.PhaseSec["multipole"] <= 0 {
+		if run.Perf.PhaseSec["consume"] <= 0 {
 			t.Fatalf("%s: phase breakdown not populated: %+v", b.Name(), run.Perf.PhaseSec)
 		}
 	}

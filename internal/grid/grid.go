@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"galactos/internal/geom"
+	"galactos/internal/nbr"
 )
 
 // Grid is an immutable cell-list index over a fixed point set. Queries are
@@ -158,6 +159,24 @@ func (g *Grid) QueryRadiusImages(center geom.Vec3, r float64, images []geom.Vec3
 		out = g.QueryRadius(center.Add(off), r, out)
 	}
 	return out
+}
+
+// QueryRadiusImagesBlock is the block-granular form of QueryRadiusImages
+// (core.NeighborFinder): one call answers a whole block of centers, each
+// center's id run bitwise-identical in content and order to its individual
+// query. The grid's CSR cell lists are already a shared structure — nearby
+// centers sweep overlapping cell windows, so the block's point and cell
+// data stay cache-resident across the per-center sweeps; the sweep itself
+// stays per center because each center's wrap-ordered cell window defines
+// its query order.
+func (g *Grid) QueryRadiusImagesBlock(centers []geom.Vec3, r float64, images []geom.Vec3, blk *nbr.Block) {
+	blk.Reset(len(centers))
+	for _, c := range centers {
+		for _, off := range images {
+			blk.IDs = g.QueryRadius(c.Add(off), r, blk.IDs)
+		}
+		blk.Seal()
+	}
 }
 
 // axisCells returns the distinct cell indices along one axis covered by a

@@ -1,7 +1,7 @@
 // Package perfstat turns one 3PCF run's counters and phase timings into a
 // machine-readable performance report: pairs/sec, the model FLOP rate from
 // sphharm.FlopsPerPair, and the per-phase wall-clock breakdown the engine
-// workers already record (tree search, multipole kernel, a_lm + zeta). A
+// workers already record (block gather, tile consume, a_lm + zeta). A
 // Report round-trips through JSON; CI's benchmark-regression gate
 // (cmd/benchdiff via `make bench-check`) compares a fresh report against the
 // committed BENCH_baseline.json and fails the pipeline when pairs/sec drops
@@ -33,6 +33,16 @@ type Report struct {
 	// Host describes the measuring machine; regression comparisons across
 	// differing hosts are flagged in the Compare summary.
 	Host string `json:"host"`
+	// GoMaxProcs and NumCPU record the scheduler budget and physical core
+	// count at measurement time. A report whose Workers exceeds GoMaxProcs
+	// ran oversubscribed — its per-phase wall clocks include timeslice
+	// waits and its pairs/sec understates per-core throughput — so Compare
+	// flags oversubscription and parallelism mismatches in the summary
+	// instead of letting a "4 workers" baseline from a 1-CPU host pass
+	// silently for a 4-CPU run. Zero means a legacy report written before
+	// these fields existed.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	NumCPU     int `json:"num_cpu,omitempty"`
 	// Timestamp is the measurement time, RFC 3339.
 	Timestamp string `json:"timestamp"`
 
@@ -56,7 +66,7 @@ type Report struct {
 	ModelGFlopsPerSec float64 `json:"model_gflops_per_sec"`
 
 	// PhaseSec breaks the run down by engine phase (seconds): tree_build,
-	// tree_search, multipole, self_count, alm_zeta, worker_total. Worker
+	// gather, consume, self_count, alm_zeta, worker_total. Worker
 	// phases are summed across workers, so they can exceed ElapsedSec.
 	PhaseSec map[string]float64 `json:"phase_sec"`
 }
@@ -70,6 +80,8 @@ func Collect(label string, cfg core.Config, res *core.Result, elapsed time.Durat
 	r := &Report{
 		Label:        label,
 		Host:         fmt.Sprintf("%s/%s %d-cpu", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
 		Timestamp:    time.Now().UTC().Format(time.RFC3339),
 		NGalaxies:    res.NGalaxies,
 		NPrimaries:   res.NPrimaries,
@@ -80,8 +92,8 @@ func Collect(label string, cfg core.Config, res *core.Result, elapsed time.Durat
 		FlopsPerPair: sphharm.FlopsPerPair(res.LMax),
 		PhaseSec: map[string]float64{
 			"tree_build":   res.Timings.TreeBuild.Seconds(),
-			"tree_search":  res.Timings.TreeSearch.Seconds(),
-			"multipole":    res.Timings.Multipole.Seconds(),
+			"gather":       res.Timings.Gather.Seconds(),
+			"consume":      res.Timings.Consume.Seconds(),
 			"self_count":   res.Timings.SelfCount.Seconds(),
 			"alm_zeta":     res.Timings.AlmZeta.Seconds(),
 			"worker_total": res.Timings.WorkerTotal.Seconds(),
@@ -162,6 +174,10 @@ func Compare(baseline, fresh *Report, tolerance float64) (string, error) {
 	if baseline.Host != fresh.Host {
 		summary += fmt.Sprintf("; hosts differ (baseline %q, fresh %q)", baseline.Host, fresh.Host)
 	}
+	if baseline.GoMaxProcs != 0 && fresh.GoMaxProcs != 0 && baseline.GoMaxProcs != fresh.GoMaxProcs {
+		summary += fmt.Sprintf("; GOMAXPROCS differs (baseline %d, fresh %d)", baseline.GoMaxProcs, fresh.GoMaxProcs)
+	}
+	summary += oversubscribedNote("baseline", baseline) + oversubscribedNote("fresh", fresh)
 	if baseline.Backend != fresh.Backend {
 		summary += fmt.Sprintf("; backends differ (baseline %q, fresh %q)", baseline.Backend, fresh.Backend)
 	}
@@ -170,4 +186,15 @@ func Compare(baseline, fresh *Report, tolerance float64) (string, error) {
 			(1-ratio)*100, tolerance*100, summary)
 	}
 	return summary, nil
+}
+
+// oversubscribedNote flags a report whose pinned worker budget exceeds the
+// measuring host's scheduler budget: its phase clocks and rate carry
+// timeslice skew, so the gate's verdict should be read with that in mind.
+func oversubscribedNote(which string, r *Report) string {
+	if r.Workers == 0 || r.GoMaxProcs == 0 || r.Workers <= r.GoMaxProcs {
+		return ""
+	}
+	return fmt.Sprintf("; %s ran oversubscribed (%d workers on GOMAXPROCS %d)",
+		which, r.Workers, r.GoMaxProcs)
 }

@@ -3,6 +3,7 @@ package perfstat
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -37,7 +38,7 @@ func TestCollectPopulatesRates(t *testing.T) {
 	if r.NGalaxies != 300 || r.NBins != 4 || r.LMax != 4 {
 		t.Errorf("scenario fields wrong: %+v", r)
 	}
-	for _, phase := range []string{"tree_build", "tree_search", "multipole", "alm_zeta", "worker_total"} {
+	for _, phase := range []string{"tree_build", "gather", "consume", "alm_zeta", "worker_total"} {
 		if _, ok := r.PhaseSec[phase]; !ok {
 			t.Errorf("missing phase %q", phase)
 		}
@@ -57,7 +58,7 @@ func TestJSONRoundTrip(t *testing.T) {
 	if got.Pairs != r.Pairs || got.PairsPerSec != r.PairsPerSec || got.Label != r.Label {
 		t.Errorf("round trip changed report: %+v vs %+v", got, r)
 	}
-	if got.PhaseSec["multipole"] != r.PhaseSec["multipole"] {
+	if got.PhaseSec["consume"] != r.PhaseSec["consume"] {
 		t.Errorf("phase breakdown lost in round trip")
 	}
 }
@@ -169,4 +170,50 @@ func TestCompareToleratesLegacyReports(t *testing.T) {
 
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestCollectRecordsHostParallelism(t *testing.T) {
+	r := sampleReport(t)
+	if r.GoMaxProcs != runtime.GOMAXPROCS(0) || r.NumCPU != runtime.NumCPU() {
+		t.Fatalf("host parallelism not recorded: gomaxprocs=%d numcpu=%d", r.GoMaxProcs, r.NumCPU)
+	}
+}
+
+func TestCompareFlagsHostMismatches(t *testing.T) {
+	base := sampleReport(t)
+	fresh := sampleReport(t)
+	fresh.Pairs = base.Pairs
+	fresh.PairsPerSec = base.PairsPerSec
+
+	// Oversubscription: the pinned worker budget exceeds the host budget.
+	base.Workers, base.GoMaxProcs = 4, 1
+	fresh.Workers, fresh.GoMaxProcs = 4, 1
+	sum, err := Compare(base, fresh, 0.25)
+	if err != nil {
+		t.Fatalf("oversubscription must flag, not fail: %v", err)
+	}
+	if !strings.Contains(sum, "baseline ran oversubscribed (4 workers on GOMAXPROCS 1)") ||
+		!strings.Contains(sum, "fresh ran oversubscribed") {
+		t.Fatalf("summary missing oversubscription flags: %q", sum)
+	}
+
+	// Differing scheduler budgets across hosts.
+	base.GoMaxProcs, fresh.GoMaxProcs = 8, 4
+	sum, err = Compare(base, fresh, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sum, "GOMAXPROCS differs (baseline 8, fresh 4)") {
+		t.Fatalf("summary missing GOMAXPROCS mismatch: %q", sum)
+	}
+
+	// Legacy reports (zero fields) stay silent.
+	base.GoMaxProcs, fresh.GoMaxProcs = 0, 0
+	sum, err = Compare(base, fresh, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sum, "GOMAXPROCS") || strings.Contains(sum, "oversubscribed") {
+		t.Fatalf("legacy reports must not be flagged: %q", sum)
+	}
 }

@@ -200,15 +200,15 @@ func scalingPoint(cat *catalog.Catalog, nranks int, cfg core.Config) (ScalePoint
 // BreakdownFractions converts a timing breakdown into the Fig. 4 pie
 // fractions (of summed worker busy time plus build phases).
 func BreakdownFractions(b core.Breakdown) map[string]float64 {
-	total := float64(b.TreeBuild + b.TreeSearch + b.Multipole + b.SelfCount + b.AlmZeta + b.IO)
+	total := float64(b.TreeBuild + b.Gather + b.Consume + b.SelfCount + b.AlmZeta + b.IO)
 	if total == 0 {
 		return nil
 	}
 	return map[string]float64{
 		"io":         float64(b.IO) / total,
 		"tree build": float64(b.TreeBuild) / total,
-		"kd search":  float64(b.TreeSearch) / total,
-		"multipole":  float64(b.Multipole) / total,
+		"gather":     float64(b.Gather) / total,
+		"consume":    float64(b.Consume) / total,
 		"self count": float64(b.SelfCount) / total,
 		"alm+zeta":   float64(b.AlmZeta) / total,
 	}
@@ -269,8 +269,14 @@ func Calibrate(cat *catalog.Catalog, cfg core.Config) (perfmodel.Calibration, er
 		return perfmodel.Calibration{}, err
 	}
 	el := time.Since(start)
-	kernelFrac := float64(res.Timings.Multipole+res.Timings.TreeSearch) /
-		float64(res.Timings.WorkerTotal)
+	// Fraction of worker *phase* time in gather + kernel: WorkerTotal also
+	// carries scheduler and commit-clock waits (pure wall clock on an
+	// oversubscribed host), which would dilute the fraction.
+	busy := res.Timings.Gather + res.Timings.Consume + res.Timings.SelfCount + res.Timings.AlmZeta
+	kernelFrac := 0.0
+	if busy > 0 {
+		kernelFrac = float64(res.Timings.Consume+res.Timings.Gather) / float64(busy)
+	}
 	if kernelFrac <= 0 || kernelFrac > 1 {
 		kernelFrac = 1
 	}

@@ -168,12 +168,15 @@ func (k *Kernel) accumulateChunk(xs, ys, zs, ws []float64, acc []float64) {
 			if p > 0 {
 				mulInto(xy, ys)
 			}
-			addLanes(acc[i*Lanes:i*Lanes+Lanes], xy)
-			i++
-			for q := 1; q <= l-kk-p; q++ {
-				fmaLanes(acc[i*Lanes:i*Lanes+Lanes], xy, k.zpow[(q-1)*k.cap:(q-1)*k.cap+n])
-				i++
-			}
+			// One fused call folds the whole q ladder of this (k, p) row:
+			// the z^0 lane add plus every z^q fused multiply-accumulate,
+			// walking the hoisted z-power columns at stride cap. Cuts the
+			// per-monomial dispatch (an indirect call and slice setup per
+			// monomial) down to one per row — 66 instead of 286 calls per
+			// chunk at l = 10.
+			nq := l - kk - p
+			rowLanes(acc[i*Lanes:(i+nq+1)*Lanes], xy, k.zpow, k.cap)
+			i += nq + 1
 		}
 	}
 }
@@ -186,10 +189,26 @@ func (k *Kernel) accumulateChunk(xs, ys, zs, ws []float64, acc []float64) {
 var (
 	addLanes  = addLanesGeneric
 	fmaLanes  = fmaLanesGeneric
+	rowLanes  = rowLanesGeneric
 	mulInto   = mulIntoGeneric
 	mulCols   = mulColsGeneric
 	zetaBlock = zetaBlockGeneric
+	zetaBatch = zetaBatchGeneric
+	reduce    = reduceGeneric
 )
+
+// rowLanesGeneric folds one (k, p) ladder row — acc holds nq+1 lane groups,
+// where group q gains the lane-striped sums of xy .* z^q (group 0 is the
+// plain add) and z^q is the hoisted column zpow[(q-1)*zcap:]. The per-group
+// arithmetic is exactly addLanesGeneric / fmaLanesGeneric, so fusing the
+// row changes nothing numerically; it only removes per-monomial dispatch.
+func rowLanesGeneric(acc, xy, zpow []float64, zcap int) {
+	addLanesGeneric(acc[:Lanes], xy)
+	nq := len(acc)/Lanes - 1
+	for q := 1; q <= nq; q++ {
+		fmaLanesGeneric(acc[q*Lanes:q*Lanes+Lanes], xy, zpow[(q-1)*zcap:(q-1)*zcap+len(xy)])
+	}
+}
 
 // mulIntoGeneric multiplies dst elementwise by src (the x^k / y^p
 // running-product updates).
@@ -409,6 +428,48 @@ func ZetaBlock(dst []complex128, u, v, xs, ys []float64) {
 	zetaBlock(dst, u, v, xs, ys)
 }
 
+// ZetaBatch folds k dense primaries' zeta contributions to one channel in a
+// single call: dst is the channel's nb x nb complex matrix (row-major over
+// (b1, b2)), and for each primary a the row t1 gains
+//
+//	dst[t1*nb+t2] += complex(x*re2 + y*im2, y*re2 - x*im2)
+//
+// where (x, y) = xy[a*2nb + 2*t1 {, +1}] is the weighted first leg and
+// (re2, im2) = a2[a*2nb + 2*t2 {, +1}] the unweighted second leg, both
+// packed (re, im) pairs with per-primary stride 2*nb. This is k
+// back-to-back dense per-primary updates fused so the channel's dst tile is
+// loaded and stored once per column strip instead of once per (primary,
+// row) — the cache shape of the engine's block-level zeta stage. The
+// conjugate interleave ZetaBlock wants as u/v inputs is derived in-register
+// on the vector path (an odd-lane sign flip and a pair swap), so callers
+// fill one packed slab per leg instead of two interleavings.
+func ZetaBatch(dst []complex128, a2, xy []float64, nb, k int) {
+	if nb <= 0 || k <= 0 {
+		return
+	}
+	if len(dst) != nb*nb || len(a2) < k*2*nb || len(xy) < k*2*nb {
+		panic("sphharm: ZetaBatch shape mismatch")
+	}
+	zetaBatch(dst, a2, xy, nb, k)
+}
+
+// zetaBatchGeneric is the pure-Go body of ZetaBatch.
+func zetaBatchGeneric(dst []complex128, a2, xy []float64, nb, k int) {
+	for a := 0; a < k; a++ {
+		ao := a * 2 * nb
+		for t1 := 0; t1 < nb; t1++ {
+			x := xy[ao+2*t1]
+			y := xy[ao+2*t1+1]
+			row := dst[t1*nb : t1*nb+nb]
+			for t2 := range row {
+				re2 := a2[ao+2*t2]
+				im2 := a2[ao+2*t2+1]
+				row[t2] += complex(x*re2+y*im2, y*re2-x*im2)
+			}
+		}
+	}
+}
+
 // zetaBlockGeneric is the pure-Go body of ZetaBlock.
 func zetaBlockGeneric(dst []complex128, u, v, xs, ys []float64) {
 	nb := len(xs)
@@ -423,11 +484,18 @@ func zetaBlockGeneric(dst []complex128, u, v, xs, ys []float64) {
 
 // Reduce folds a lane-striped accumulator into plain monomial sums: the
 // single reduction per primary that replaces N/8 in-loop reductions
-// (Sec. 3.3.2). out must have length Table.Len(); it is overwritten.
+// (Sec. 3.3.2). out must have length Table.Len(); it is overwritten. The
+// vector dispatch performs the identical pairwise tree in-register, so its
+// results are bitwise equal to the generic body.
 func Reduce(acc []float64, out []float64) {
 	if len(acc) != len(out)*Lanes {
 		panic("sphharm: Reduce length mismatch")
 	}
+	reduce(acc, out)
+}
+
+// reduceGeneric is the pure-Go body of Reduce.
+func reduceGeneric(acc []float64, out []float64) {
 	for i := range out {
 		a := acc[i*Lanes : i*Lanes+Lanes]
 		// Pairwise tree reduction, matching a vector fold.

@@ -30,6 +30,9 @@ func fmaLanesAsm(a, src, zq []float64)
 func mulIntoAsm(dst, src []float64)
 func mulColsAsm(dst, a, b []float64)
 func zetaBlockAsm(dst []complex128, u, v, xs, ys []float64)
+func rowLanesAsm(acc, xy, zpow []float64, zcap int)
+func zetaBatchAsm(dst []complex128, a2, xy []float64, nb, k int)
+func reduceAsm(acc, out []float64)
 
 var useAVX512 = detectAVX512()
 
@@ -37,9 +40,12 @@ func init() {
 	if useAVX512 {
 		addLanes = addLanesAsm
 		fmaLanes = fmaLanesAsm
+		rowLanes = rowLanesAsm
 		mulInto = mulIntoAsm
 		mulCols = mulColsAsm
 		zetaBlock = zetaBlockAsm
+		zetaBatch = zetaBatchAsm
+		reduce = reduceAsm
 	}
 }
 

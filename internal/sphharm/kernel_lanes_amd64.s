@@ -304,3 +304,393 @@ multail:
 
 muldone:
 	RET
+
+// func rowLanesAsm(acc, xy, zpow []float64, zcap int)
+// One whole (k, p) ladder row in a single call: acc holds nq+1 lane groups,
+// group 0 gains the lane-striped sums of xy and group q >= 1 the fused
+// multiply-accumulated sums of xy .* z^q, reading the hoisted z-power
+// columns at stride zcap. Per group the arithmetic is exactly addLanesAsm /
+// fmaLanesAsm (four independent chains, folded at the end), so fusing the
+// row only removes per-monomial call dispatch.
+TEXT ·rowLanesAsm(SB), NOSPLIT, $0-80
+	MOVQ acc_base+0(FP), DI
+	MOVQ acc_len+8(FP), R8
+	MOVQ xy_base+24(FP), SI
+	MOVQ xy_len+32(FP), CX
+	MOVQ zpow_base+48(FP), BX
+	MOVQ zcap+72(FP), R9
+	SHLQ $3, R9 // z-power column stride, bytes
+	SHRQ $3, R8 // lane groups = nq+1
+
+	// Loop geometry shared by every row: quads, single blocks, tail mask.
+	MOVQ CX, R10
+	SHRQ $5, R10
+	MOVQ CX, R11
+	ANDQ $31, R11
+	SHRQ $3, R11
+	ANDQ $7, CX
+	MOVL $1, AX
+	SHLL CX, AX
+	DECL AX
+	KMOVW AX, K1
+
+	// Row 0: acc[0:8] += lane sums of xy.
+	VMOVUPD (DI), Z16
+	VPXORQ  Z17, Z17, Z17
+	VPXORQ  Z18, Z18, Z18
+	VPXORQ  Z19, Z19, Z19
+	MOVQ    SI, R14
+	MOVQ    R10, DX
+	TESTQ   DX, DX
+	JZ      r0blocks
+
+r0quad:
+	VADDPD (R14), Z16, Z16
+	VADDPD 64(R14), Z17, Z17
+	VADDPD 128(R14), Z18, Z18
+	VADDPD 192(R14), Z19, Z19
+	ADDQ   $256, R14
+	DECQ   DX
+	JNZ    r0quad
+
+r0blocks:
+	MOVQ  R11, DX
+	TESTQ DX, DX
+	JZ    r0tail
+
+r0block:
+	VADDPD (R14), Z16, Z16
+	ADDQ   $64, R14
+	DECQ   DX
+	JNZ    r0block
+
+r0tail:
+	TESTQ CX, CX
+	JZ    r0fold
+	VADDPD (R14), Z16, K1, Z16
+
+r0fold:
+	VADDPD  Z17, Z16, Z16
+	VADDPD  Z19, Z18, Z18
+	VADDPD  Z18, Z16, Z16
+	VMOVUPD Z16, (DI)
+	ADDQ    $64, DI
+
+	DECQ R8
+	JZ   rldone
+
+	// Rows 1..nq: acc[q*8:] += lane sums of xy .* z^q. Rows are consumed in
+	// pairs so each xy load feeds two z-power columns (25% fewer loads on
+	// the load-bound ladder); an odd final row falls through to the single-
+	// row loop.
+rlpair:
+	CMPQ R8, $2
+	JB   rlsingle
+
+	VMOVUPD (DI), Z16
+	VPXORQ  Z17, Z17, Z17
+	VPXORQ  Z18, Z18, Z18
+	VPXORQ  Z19, Z19, Z19
+	VMOVUPD 64(DI), Z24
+	VPXORQ  Z25, Z25, Z25
+	VPXORQ  Z26, Z26, Z26
+	VPXORQ  Z27, Z27, Z27
+	MOVQ    SI, R14
+	MOVQ    BX, R15
+	LEAQ    (BX)(R9*1), R12
+	MOVQ    R10, DX
+	TESTQ   DX, DX
+	JZ      rpblocks
+
+rpquad:
+	VMOVUPD (R14), Z20
+	VMOVUPD 64(R14), Z21
+	VMOVUPD 128(R14), Z22
+	VMOVUPD 192(R14), Z23
+	VFMADD231PD (R15), Z20, Z16
+	VFMADD231PD 64(R15), Z21, Z17
+	VFMADD231PD 128(R15), Z22, Z18
+	VFMADD231PD 192(R15), Z23, Z19
+	VFMADD231PD (R12), Z20, Z24
+	VFMADD231PD 64(R12), Z21, Z25
+	VFMADD231PD 128(R12), Z22, Z26
+	VFMADD231PD 192(R12), Z23, Z27
+	ADDQ $256, R14
+	ADDQ $256, R15
+	ADDQ $256, R12
+	DECQ DX
+	JNZ  rpquad
+
+rpblocks:
+	MOVQ  R11, DX
+	TESTQ DX, DX
+	JZ    rptail
+
+rpblock:
+	VMOVUPD (R14), Z20
+	VFMADD231PD (R15), Z20, Z16
+	VFMADD231PD (R12), Z20, Z24
+	ADDQ $64, R14
+	ADDQ $64, R15
+	ADDQ $64, R12
+	DECQ DX
+	JNZ  rpblock
+
+rptail:
+	TESTQ CX, CX
+	JZ    rpfold
+	VMOVUPD.Z (R14), K1, Z20
+	VFMADD231PD (R15), Z20, K1, Z16
+	VFMADD231PD (R12), Z20, K1, Z24
+
+rpfold:
+	VADDPD  Z17, Z16, Z16
+	VADDPD  Z19, Z18, Z18
+	VADDPD  Z18, Z16, Z16
+	VMOVUPD Z16, (DI)
+	VADDPD  Z25, Z24, Z24
+	VADDPD  Z27, Z26, Z26
+	VADDPD  Z26, Z24, Z24
+	VMOVUPD Z24, 64(DI)
+	ADDQ    $128, DI
+	LEAQ    (BX)(R9*2), BX
+	SUBQ    $2, R8
+	JMP     rlpair
+
+rlsingle:
+	TESTQ R8, R8
+	JZ    rldone
+	VMOVUPD (DI), Z16
+	VPXORQ  Z17, Z17, Z17
+	VPXORQ  Z18, Z18, Z18
+	VPXORQ  Z19, Z19, Z19
+	MOVQ    SI, R14
+	MOVQ    BX, R15
+	MOVQ    R10, DX
+	TESTQ   DX, DX
+	JZ      rlblocks
+
+rlquad:
+	VMOVUPD (R14), Z20
+	VMOVUPD 64(R14), Z21
+	VMOVUPD 128(R14), Z22
+	VMOVUPD 192(R14), Z23
+	VFMADD231PD (R15), Z20, Z16
+	VFMADD231PD 64(R15), Z21, Z17
+	VFMADD231PD 128(R15), Z22, Z18
+	VFMADD231PD 192(R15), Z23, Z19
+	ADDQ $256, R14
+	ADDQ $256, R15
+	DECQ DX
+	JNZ  rlquad
+
+rlblocks:
+	MOVQ  R11, DX
+	TESTQ DX, DX
+	JZ    rltail
+
+rlblock:
+	VMOVUPD (R14), Z20
+	VFMADD231PD (R15), Z20, Z16
+	ADDQ $64, R14
+	ADDQ $64, R15
+	DECQ DX
+	JNZ  rlblock
+
+rltail:
+	TESTQ CX, CX
+	JZ    rlfold
+	VMOVUPD.Z (R14), K1, Z20
+	VFMADD231PD (R15), Z20, K1, Z16
+
+rlfold:
+	VADDPD  Z17, Z16, Z16
+	VADDPD  Z19, Z18, Z18
+	VADDPD  Z18, Z16, Z16
+	VMOVUPD Z16, (DI)
+
+rldone:
+	RET
+
+// oddSignMask flips the sign of the odd (imaginary) float64 lanes: XORing a
+// packed (re, im) vector with it yields the conjugate interleave
+// [re, -im, ...] that the zeta update's u leg wants.
+DATA oddSignMask<>+0x00(SB)/8, $0x0000000000000000
+DATA oddSignMask<>+0x08(SB)/8, $0x8000000000000000
+DATA oddSignMask<>+0x10(SB)/8, $0x0000000000000000
+DATA oddSignMask<>+0x18(SB)/8, $0x8000000000000000
+DATA oddSignMask<>+0x20(SB)/8, $0x0000000000000000
+DATA oddSignMask<>+0x28(SB)/8, $0x8000000000000000
+DATA oddSignMask<>+0x30(SB)/8, $0x0000000000000000
+DATA oddSignMask<>+0x38(SB)/8, $0x8000000000000000
+GLOBL oddSignMask<>(SB), RODATA, $64
+
+// func zetaBatchAsm(dst []complex128, a2, xy []float64, nb, k int)
+// K fused dense per-primary zeta updates of one channel's nb x nb block.
+// The packed float64 view of dst is tiled into 8-float column strips x
+// 2-row groups; each tile is held in registers while all K primaries fold
+// in, so dst traffic is once per tile instead of once per (primary, row).
+// Per primary the packed a2 strip is loaded once and both interleavings are
+// derived in-register: u = a2 XOR oddSignMask (conjugate), v = pair-swapped
+// a2 (VPERMILPD), then each row accumulates two broadcast FMAs.
+TEXT ·zetaBatchAsm(SB), NOSPLIT, $0-88
+	MOVQ dst_base+0(FP), DI
+	MOVQ a2_base+24(FP), SI
+	MOVQ xy_base+48(FP), BX
+	MOVQ nb+72(FP), R10
+	MOVQ k+80(FP), R11
+	MOVQ R10, R12
+	SHLQ $4, R12 // per-primary (and per-row) stride: 2*nb floats = 16*nb bytes
+	VMOVUPD oddSignMask<>(SB), Z26
+
+	XORQ R13, R13 // column strip byte offset within a row
+
+striploop:
+	// Strip mask: full 8 floats, or the row-width remainder.
+	MOVQ R12, AX
+	SUBQ R13, AX
+	SHRQ $3, AX
+	CMPQ AX, $8
+	JBE  stripmask
+	MOVQ $8, AX
+
+stripmask:
+	MOVQ AX, CX
+	MOVL $1, DX
+	SHLL CX, DX
+	DECL DX
+	KMOVW DX, K1
+
+	XORQ R14, R14 // row index
+
+rowloop:
+	MOVQ R10, AX
+	SUBQ R14, AX
+	CMPQ AX, $2
+	JB   rowsingle
+
+	// Two-row tile: dst rows R14, R14+1 at this strip.
+	MOVQ R14, AX
+	IMULQ R12, AX
+	LEAQ (DI)(AX*1), DX
+	ADDQ R13, DX
+	VMOVUPD.Z (DX), K1, Z16
+	VMOVUPD.Z (DX)(R12*1), K1, Z17
+	LEAQ (SI)(R13*1), AX // a2 strip cursor
+	MOVQ R14, CX
+	SHLQ $4, CX
+	LEAQ (BX)(CX*1), CX // xy cursor: x of row R14 for primary 0
+	MOVQ R11, R15
+
+pairloop2:
+	VMOVUPD.Z (AX), K1, Z20
+	VXORPD    Z26, Z20, Z22     // u = [re, -im, ...]
+	VPERMILPD $0x55, Z20, Z21   // v = [im, re, ...]
+	VBROADCASTSD (CX), Z24
+	VFMADD231PD Z22, Z24, Z16
+	VBROADCASTSD 8(CX), Z25
+	VFMADD231PD Z21, Z25, Z16
+	VBROADCASTSD 16(CX), Z24
+	VFMADD231PD Z22, Z24, Z17
+	VBROADCASTSD 24(CX), Z25
+	VFMADD231PD Z21, Z25, Z17
+	ADDQ R12, AX
+	ADDQ R12, CX
+	DECQ R15
+	JNZ  pairloop2
+
+	VMOVUPD Z16, K1, (DX)
+	VMOVUPD Z17, K1, (DX)(R12*1)
+	ADDQ $2, R14
+	CMPQ R14, R10
+	JB   rowloop
+	JMP  stripnext
+
+rowsingle:
+	// Last odd row.
+	MOVQ R14, AX
+	IMULQ R12, AX
+	LEAQ (DI)(AX*1), DX
+	ADDQ R13, DX
+	VMOVUPD.Z (DX), K1, Z16
+	LEAQ (SI)(R13*1), AX
+	MOVQ R14, CX
+	SHLQ $4, CX
+	LEAQ (BX)(CX*1), CX
+	MOVQ R11, R15
+
+pairloop1:
+	VMOVUPD.Z (AX), K1, Z20
+	VXORPD    Z26, Z20, Z22
+	VPERMILPD $0x55, Z20, Z21
+	VBROADCASTSD (CX), Z24
+	VFMADD231PD Z22, Z24, Z16
+	VBROADCASTSD 8(CX), Z25
+	VFMADD231PD Z21, Z25, Z16
+	ADDQ R12, AX
+	ADDQ R12, CX
+	DECQ R15
+	JNZ  pairloop1
+
+	VMOVUPD Z16, K1, (DX)
+
+stripnext:
+	ADDQ $64, R13
+	CMPQ R13, R12
+	JB   striploop
+	RET
+
+// func reduceAsm(acc, out []float64)
+// Lane-striped accumulator fold, two monomials per iteration. Each group's
+// pairwise tree — (a0+a1)+(a2+a3) then +((a4+a5)+(a6+a7)) — is performed
+// in-register with the exact same addition pairing as the generic body, so
+// the results are bitwise identical: an in-pair swap + add forms the s01..
+// s67 sums, a per-128-lane compact + swap + add forms s0123/s4567, and the
+// 256-bit halves meet in the final scalar add.
+TEXT ·reduceAsm(SB), NOSPLIT, $0-48
+	MOVQ acc_base+0(FP), SI
+	MOVQ out_base+24(FP), DI
+	MOVQ out_len+32(FP), CX
+	MOVQ CX, DX
+	SHRQ $1, DX
+	JZ   rdsingle
+
+rdpair:
+	VMOVUPD (SI), Z16
+	VMOVUPD 64(SI), Z20
+	VPERMILPD $0x55, Z16, Z17
+	VPERMILPD $0x55, Z20, Z21
+	VADDPD Z17, Z16, Z16 // [s01 s01 s23 s23 | s45 s45 s67 s67]
+	VADDPD Z21, Z20, Z20
+	VPERMPD $0x08, Z16, Z16 // per 256 half: [s01 s23 . .]
+	VPERMPD $0x08, Z20, Z20
+	VPERMILPD $0x55, Z16, Z17
+	VPERMILPD $0x55, Z20, Z21
+	VADDPD Z17, Z16, Z16 // lane0 of each half: s0123 / s4567
+	VADDPD Z21, Z20, Z20
+	VEXTRACTF64X4 $1, Z16, Y17
+	VEXTRACTF64X4 $1, Z20, Y21
+	VADDSD X17, X16, X16
+	VADDSD X21, X20, X20
+	VMOVSD X16, (DI)
+	VMOVSD X20, 8(DI)
+	ADDQ $128, SI
+	ADDQ $16, DI
+	DECQ DX
+	JNZ  rdpair
+
+rdsingle:
+	ANDQ $1, CX
+	JZ   rddone
+	VMOVUPD (SI), Z16
+	VPERMILPD $0x55, Z16, Z17
+	VADDPD Z17, Z16, Z16
+	VPERMPD $0x08, Z16, Z16
+	VPERMILPD $0x55, Z16, Z17
+	VADDPD Z17, Z16, Z16
+	VEXTRACTF64X4 $1, Z16, Y17
+	VADDSD X17, X16, X16
+	VMOVSD X16, (DI)
+
+rddone:
+	RET

@@ -2,6 +2,7 @@ package sphharm
 
 import (
 	"math"
+	"math/cmplx"
 	"math/rand"
 	"testing"
 )
@@ -384,6 +385,108 @@ func TestAlmFromKernelMatchesPointwise(t *testing.T) {
 		d := got[i] - want[i]
 		if math.Hypot(real(d), imag(d)) > 1e-9*(1+math.Hypot(real(want[i]), imag(want[i]))) {
 			t.Fatalf("a_lm[%d]: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRowLanesMatchesGeneric(t *testing.T) {
+	// The fused ladder-row primitive must agree with the per-monomial
+	// generic sequence (plain lane add of the z^0 row plus one fused
+	// multiply-accumulate per hoisted z-power column) for every row length
+	// and tail shape.
+	rng := rand.New(rand.NewSource(91))
+	const zcap = 128
+	for _, n := range []int{1, 3, 7, 8, 9, 31, 32, 33, 100, 128} {
+		for _, nq := range []int{0, 1, 2, 5, 10} {
+			xy := make([]float64, n)
+			zpow := make([]float64, nq*zcap+n) // columns at stride zcap
+			for j := range xy {
+				xy[j] = rng.NormFloat64()
+			}
+			for j := range zpow {
+				zpow[j] = rng.NormFloat64()
+			}
+			got := make([]float64, (nq+1)*Lanes)
+			want := make([]float64, (nq+1)*Lanes)
+			for i := range got {
+				got[i] = float64(i)
+				want[i] = float64(i)
+			}
+			rowLanes(got, xy, zpow, zcap)
+			rowLanesGeneric(want, xy, zpow, zcap)
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+					t.Fatalf("n=%d nq=%d elem %d: %v vs %v", n, nq, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestZetaBatchMatchesPerPrimaryBlock(t *testing.T) {
+	// ZetaBatch over K packed primaries must agree with K sequential dense
+	// per-primary updates through ZetaBlock (the interleaved u/v form it
+	// replaces), for every nb strip/row shape and K.
+	rng := rand.New(rand.NewSource(93))
+	for _, nb := range []int{1, 2, 3, 4, 7, 8, 10, 16, 20} {
+		for _, k := range []int{1, 2, 5, 31} {
+			a2 := make([]float64, k*2*nb)
+			xy := make([]float64, k*2*nb)
+			for j := range a2 {
+				a2[j] = rng.NormFloat64()
+				xy[j] = rng.NormFloat64()
+			}
+			got := make([]complex128, nb*nb)
+			want := make([]complex128, nb*nb)
+			for i := range got {
+				v := complex(rng.NormFloat64(), rng.NormFloat64())
+				got[i] = v
+				want[i] = v
+			}
+			ZetaBatch(got, a2, xy, nb, k)
+			u := make([]float64, 2*nb)
+			v := make([]float64, 2*nb)
+			xs := make([]float64, nb)
+			ys := make([]float64, nb)
+			for a := 0; a < k; a++ {
+				ao := a * 2 * nb
+				for t2 := 0; t2 < nb; t2++ {
+					re2, im2 := a2[ao+2*t2], a2[ao+2*t2+1]
+					u[2*t2] = re2
+					u[2*t2+1] = -im2
+					v[2*t2] = im2
+					v[2*t2+1] = re2
+					xs[t2] = xy[ao+2*t2]
+					ys[t2] = xy[ao+2*t2+1]
+				}
+				ZetaBlock(want, u, v, xs, ys)
+			}
+			for i := range want {
+				if cmplx.Abs(got[i]-want[i]) > 1e-12*(1+cmplx.Abs(want[i])) {
+					t.Fatalf("nb=%d k=%d elem %d: %v vs %v", nb, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestReduceDispatchBitwiseGeneric(t *testing.T) {
+	// The vector Reduce performs the identical pairwise tree, so unlike the
+	// other primitives it must match the generic body bitwise.
+	rng := rand.New(rand.NewSource(97))
+	for _, n := range []int{1, 2, 3, 7, 8, 286} {
+		acc := make([]float64, n*Lanes)
+		for i := range acc {
+			acc[i] = rng.NormFloat64() * math.Exp(20*rng.NormFloat64())
+		}
+		got := make([]float64, n)
+		want := make([]float64, n)
+		reduce(acc, got)
+		reduceGeneric(acc, want)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("n=%d out[%d]: %v vs %v (not bitwise)", n, i, got[i], want[i])
+			}
 		}
 	}
 }
