@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build test test-race vet fmt-check bench bench-exp \
-	bench-baseline bench-check examples-smoke ci clean
+	bench-baseline bench-check examples-smoke scenario-smoke ci clean
 
 all: build
 
@@ -14,10 +14,11 @@ test:
 	$(GO) test ./...
 
 # Race detector over the concurrency surfaces: the engine worker pool, the
-# sharded checkpointing pipeline, and the execution layer's cancellation
-# paths.
+# sharded checkpointing pipeline, the execution layer's cancellation paths,
+# and the scenario registry's multi-stage workloads.
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/shard/... ./internal/exec/...
+	$(GO) test -race ./internal/core/... ./internal/shard/... ./internal/exec/... \
+		./internal/scenario/...
 
 vet:
 	$(GO) vet ./...
@@ -58,6 +59,15 @@ examples-smoke:
 	@set -e; for ex in examples/*/; do \
 		echo "== $$ex =="; $(GO) run ./$$ex -n 1200 > /dev/null; done
 	@echo "all examples ran clean"
+
+# Run every scenario-registry entry end-to-end under the race detector:
+# small N, the sharded backend at 2 shards (real cross-goroutine traffic),
+# every invariant checked. Set SCENARIO_SUMMARY to a file path (CI uses
+# $GITHUB_STEP_SUMMARY) to also append the per-scenario markdown table.
+scenario-smoke:
+	$(GO) run -race ./cmd/galactos -scenario all -n 900 -seed 1 \
+		-backend sharded -shards 2 \
+		$(if $(SCENARIO_SUMMARY),-scenario-summary "$(SCENARIO_SUMMARY)")
 
 ci: fmt-check build vet test bench
 

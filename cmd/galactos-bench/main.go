@@ -29,6 +29,7 @@ import (
 	"galactos/internal/perfmodel"
 	"galactos/internal/perfstat"
 	"galactos/internal/sim"
+	"galactos/internal/sphharm"
 )
 
 // scale multiplies experiment sizes: small for CI smoke, medium for the
@@ -58,6 +59,7 @@ var experiments = []experiment{
 	{"precision", "Sec. 5.4: mixed vs double precision", expPrecision},
 	{"sharded", "Sec. 3.3: sharded out-of-core pipeline vs single shot", expSharded},
 	{"perfstat", "CI regression anchor: pinned-scenario pairs/sec report", expPerfstat},
+	{"scenarios", "Sec. 6: survey-science scenario registry sweep", expScenarios},
 }
 
 // perfstat experiment flags: where to write the machine-readable report and
@@ -593,4 +595,25 @@ func clampInt(v, lo, hi int) int {
 		return hi
 	}
 	return v
+}
+
+// expScenarios sweeps the survey-science scenario registry (Sec. 6): every
+// end-to-end workload — periodic boxes, the data+randoms edge-corrected
+// estimator, jackknife covariance, the 2PCF and gridded cross-checks — run
+// through the local backend with its invariants checked, one table row
+// each. The hash column is the bitwise outcome fingerprint golden tests pin
+// (comparable across hosts sharing the kernel dispatch tag).
+func expScenarios(s float64) error {
+	n := clampInt(int(1500*s), 400, 20000)
+	pts, err := sim.ScenarioSweep(context.Background(), exec.Local{}, nil, n, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kernel dispatch: %s\n", sphharm.LaneDispatch())
+	fmt.Printf("%-22s %7s %12s %4s %10s  %s\n", "scenario", "n", "pairs", "inv", "time", "outcome hash")
+	for _, p := range pts {
+		fmt.Printf("%-22s %7d %12d %4d %10v  %s\n",
+			p.Name, p.N, p.Pairs, p.Invariants, p.Elapsed.Round(time.Millisecond), p.Hash[:16])
+	}
+	return nil
 }

@@ -12,6 +12,14 @@
 //	galactos -in catalog.glxc -rmax 200 -nbins 20 -lmax 10 -out zeta
 //	galactos -in survey.csv -los radial -backend dist -ranks 4 -out zeta
 //	galactos -in huge.glxc -backend sharded -shards 16 -stream -checkpoint-dir ckpt -resume -out zeta
+//	galactos -scenario list
+//	galactos -scenario all -n 900 -seed 1 -backend sharded -shards 2
+//
+// Scenario mode (-scenario) runs the survey-science scenario registry
+// instead of a catalog file: each registry entry generates its pinned seeded
+// catalog, runs end-to-end through the selected backend, and is checked
+// against its invariants; -scenario-summary appends a markdown pass/fail
+// table (for $GITHUB_STEP_SUMMARY).
 //
 // Outputs <out>.aniso.csv (channels zeta^m_{l1 l2}(r1, r2)) and
 // <out>.iso.csv (isotropic multipoles zeta_l(r1, r2)), plus a run summary
@@ -61,10 +69,19 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-shard Result checkpoints (sharded backend)")
 		resume    = flag.Bool("resume", false, "reuse valid checkpoints found in -checkpoint-dir")
 		keepCkpts = flag.Bool("keep-checkpoints", false, "keep per-shard checkpoints after a successful merge")
+
+		scen        = flag.String("scenario", "", "run the scenario registry instead of a catalog: list | all | <name>")
+		scenN       = flag.Int("n", 900, "scenario catalog size (scenario mode)")
+		scenSeed    = flag.Int64("seed", 1, "scenario catalog seed (scenario mode)")
+		scenSummary = flag.String("scenario-summary", "", "append a markdown pass/fail table to this file (scenario mode)")
 	)
 	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "galactos: -in catalog is required")
+	if *scen == "list" {
+		listScenarios()
+		return
+	}
+	if *scen == "" && *in == "" {
+		fmt.Fprintln(os.Stderr, "galactos: -in catalog is required (or -scenario)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -142,6 +159,14 @@ func main() {
 	// next scheduling chunk, completed shard checkpoints stay on disk.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+
+	if *scen != "" {
+		if *stream {
+			fatalf("-stream has no effect in scenario mode (scenario catalogs are generated in memory)")
+		}
+		runScenarios(ctx, b, *scen, *scenN, *scenSeed, *scenSummary)
+		return
+	}
 
 	// The streaming sharded backend never materializes the catalog; every
 	// other path loads it up front.

@@ -4,12 +4,18 @@
 // constitute many samples of the 3PCF over small volumes. These can be
 // combined to provide a covariance matrix."
 //
-// This example computes the 3PCF monopole in spatial sub-volumes of a mock
-// survey, builds the jackknife covariance, inverts it (the step the paper
-// warns is sensitive to having too few samples), and reports diagnostics.
+// This example runs the registry's jackknife-covariance scenario
+// (`galactos -scenario jackknife-covariance` runs the identical recipe):
+// the catalog is split into spatial regions with the same k-d partitioner
+// the distributed pipeline uses, the full sample and every leave-one-out
+// catalog run through the execution layer, and the delete-one samples feed
+// the jackknife covariance. The example then inverts the matrix (the step
+// the paper warns is sensitive to having too few samples) and reports
+// diagnostics.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -21,55 +27,28 @@ import (
 func main() {
 	nFlag := flag.Int("n", 24000, "catalog size (small values smoke-test only)")
 	flag.Parse()
-	n := *nFlag
-	const boxL = 320.0
-	const cells = 3 // 3x3x3 = 27 jackknife sub-volumes
+	ctx := context.Background()
 
-	cat := galactos.GenerateClustered(n, boxL, galactos.DefaultClusterParams(), 5)
-	fmt.Printf("survey mock: %d galaxies, box %.0f Mpc/h, %d sub-volumes\n", n, boxL, cells*cells*cells)
-
-	cfg := galactos.DefaultConfig()
-	cfg.RMax = 40
-	cfg.NBins = 4
-	cfg.LMax = 2
-	cfg.SelfCount = false
-	cfg.IsotropicOnly = true
-
-	// Per-subvolume 3PCF: mask the primaries by cell; secondaries remain
-	// global, exactly like a node-local computation after halo exchange.
-	side := boxL / cells
-	var samples [][]float64
-	for cx := 0; cx < cells; cx++ {
-		for cy := 0; cy < cells; cy++ {
-			for cz := 0; cz < cells; cz++ {
-				mask := make([]bool, cat.Len())
-				count := 0
-				for i, g := range cat.Galaxies {
-					if int(g.Pos.X/side) == cx && int(g.Pos.Y/side) == cy && int(g.Pos.Z/side) == cz {
-						mask[i] = true
-						count++
-					}
-				}
-				res, err := galactos.ComputeSubset(cat, mask, cfg)
-				if err != nil {
-					log.Fatal(err)
-				}
-				// The statistic vector: per-primary-normalized zeta_0
-				// diagonal (so sub-volume occupancy divides out).
-				vec := make([]float64, cfg.NBins)
-				for b := range vec {
-					vec[b] = res.IsoZeta(0, b, b) / float64(count)
-				}
-				samples = append(samples, vec)
-			}
-		}
-	}
-	fmt.Printf("collected %d jackknife samples of a %d-bin statistic\n", len(samples), cfg.NBins)
-
-	cov, err := galactos.JackknifeCovariance(samples)
+	// The whole resampling pipeline is one registry row: catalog recipe,
+	// region split, full + leave-one-out runs through the backend, and the
+	// invariants (exact partition, symmetric + PSD covariance, LOO means
+	// tracking the full sample) checked before we ever look at the output.
+	outcome, err := galactos.RunScenario(ctx, galactos.LocalBackend(), "jackknife-covariance", *nFlag, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
+	jk := outcome.Jackknife
+	fmt.Printf("scenario jackknife-covariance: n=%d, %d regions, invariants ok, hash %s\n",
+		outcome.N, jk.Regions, outcome.GoldenHash()[:16])
+	fmt.Printf("region occupancies: %v\n", jk.RegionCounts)
+
+	fmt.Println("\nstatistic: weight-normalized monopole diagonal zeta_0(b,b)/sum w")
+	fmt.Println("  bin   full-sample    LOO mean")
+	for b := range jk.Full {
+		fmt.Printf("  %3d   %11.4e   %11.4e\n", b, jk.Full[b], jk.Mean[b])
+	}
+
+	cov := jk.Cov
 	fmt.Println("\njackknife covariance (diagonal = per-bin variance):")
 	for i := 0; i < cov.N; i++ {
 		for j := 0; j < cov.N; j++ {

@@ -6,14 +6,18 @@
 // and of random catalogs that Monte-Carlo sample the geometry, then invert
 // the Wigner-3j window mixing matrix.
 //
-// This example cuts a thin slab (a strongly anisotropic mask) out of a
-// clustered box, runs the correction, and compares the corrected multipoles
-// against the maskless truth. It shows: (a) the slab imprints large window
-// multipoles f_l; (b) the normalized estimate zeta-hat from the masked
-// survey agrees with the maskless measurement at the clustered scales.
+// The masked measurement here is the registry's survey-estimator scenario
+// (`galactos -scenario survey-estimator` runs the identical recipe): a thin
+// slab cut out of a clustered box, data + randoms routed through the
+// execution layer, edge correction, and the registered invariants checked.
+// The example then rebuilds the same clustered universe without the mask
+// and shows: (a) the slab imprints large window multipoles f_l; (b) the
+// corrected estimate from the masked survey agrees with the maskless
+// measurement at the clustered scales.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,50 +30,41 @@ func main() {
 	nFlag := flag.Int("n", 20000, "data catalog size (small values smoke-test only)")
 	flag.Parse()
 	const boxL = 240.0
+	const seed = 11
 	nData := *nFlag
+	ctx := context.Background()
 
-	// The "true" universe: a clustered periodic box.
-	full := galactos.GenerateClustered(nData, boxL, galactos.DefaultClusterParams(), 11)
-
-	// The survey sees a slab: |z - L/2| < L/4 (half the volume, with two
-	// anisotropic boundaries along the line of sight). Real surveys are
-	// much larger than the clustering correlation length; keeping the slab
-	// thick relative to the ~12 Mpc/h cluster size keeps the estimator in
-	// its valid regime (see the note printed at the end).
-	mask := func(g galactos.Galaxy) bool { return math.Abs(g.Pos.Z-boxL/2) < boxL/4 }
-	survey := &galactos.Catalog{}
-	for _, g := range full.Galaxies {
-		if mask(g) {
-			survey.Galaxies = append(survey.Galaxies, g)
-		}
+	// The masked survey measurement, through the scenario registry: the
+	// recipe generates a clustered box at (n, seed), keeps the slab
+	// |z - L/2| < L/4 (half the volume, two anisotropic boundaries along
+	// the line of sight), masks 4x uniform randoms the same way, runs the
+	// D-R field and the scaled randoms through the backend, and applies
+	// the mixing-matrix correction — then checks every invariant.
+	outcome, err := galactos.RunScenario(ctx, galactos.LocalBackend(), "survey-estimator", nData, seed)
+	if err != nil {
+		log.Fatal(err)
 	}
-	pool := galactos.GenerateUniform(4*nData, boxL, 12)
-	randoms := &galactos.Catalog{}
-	for _, g := range pool.Galaxies {
-		if mask(g) {
-			randoms.Galaxies = append(randoms.Galaxies, g)
-		}
-	}
-	fmt.Printf("survey: %d of %d galaxies visible; %d randoms in the mask\n",
-		survey.Len(), full.Len(), randoms.Len())
+	corrected := outcome.Corrected
+	fmt.Printf("scenario survey-estimator: n=%d, %d D-R pairs, invariants ok, hash %s\n",
+		outcome.N, outcome.Result.Pairs, outcome.GoldenHash()[:16])
 
+	// Reference: the maskless truth. The generators are deterministic in
+	// (n, seed), so this is the same clustered universe the scenario
+	// slab-masked — now seen whole, with full-box randoms, through the
+	// same backend-routed estimator. Config matches the scenario's.
 	cfg := galactos.DefaultConfig()
 	cfg.RMax = 40
 	cfg.NBins = 4
 	cfg.LMax = 4
 	cfg.SelfCount = false
-
-	// Reference: the maskless truth (full periodic box + full-box randoms).
-	fullRandoms := galactos.GenerateUniform(2*nData, boxL, 13)
-	truth, err := galactos.EdgeCorrectedZeta(full, fullRandoms, cfg)
+	cfg.IsotropicOnly = true
+	full := galactos.GenerateClustered(outcome.N, boxL, galactos.DefaultClusterParams(), seed)
+	fullRandoms := galactos.GenerateUniform(2*outcome.N, boxL, 13)
+	truthRun, err := galactos.RunSurveyEstimator(ctx, galactos.LocalBackend(), full, fullRandoms, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	corrected, err := galactos.EdgeCorrectedZeta(survey, randoms, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	truth := truthRun.Corrected
 
 	fmt.Println("\nwindow multipoles f_l = R_l/R_0 (diagonal bins; ~0 for a maskless box):")
 	for l := 1; l <= 2; l++ {

@@ -32,6 +32,7 @@ import (
 	"galactos/internal/gridded"
 	"galactos/internal/partition"
 	"galactos/internal/perfstat"
+	"galactos/internal/scenario"
 	"galactos/internal/shard"
 	"galactos/internal/stats"
 	"galactos/internal/twopcf"
@@ -364,6 +365,65 @@ type EdgeCorrected = estimator.Corrected
 // recover the true isotropic multipoles.
 func EdgeCorrectedZeta(data, randoms *Catalog, cfg Config) (*EdgeCorrected, error) {
 	return estimator.CorrectedZeta(data, randoms, cfg)
+}
+
+// Scenario is one row of the survey-science scenario registry: a named,
+// seeded end-to-end workload (catalog recipe + Config + invariants) that
+// runs through any Backend. The registry is the correctness gate every
+// backend must pass; see DESIGN.md, "Scenario registry".
+type Scenario = scenario.Scenario
+
+// ScenarioInvariant is one machine-checked property of a scenario outcome.
+type ScenarioInvariant = scenario.Invariant
+
+// ScenarioOutcome carries everything a scenario run produced, plus the
+// bitwise GoldenHash and tolerance-based MaxRelDiff comparison helpers.
+type ScenarioOutcome = scenario.Outcome
+
+// SurveyRun is the output of the data+randoms survey-estimator workload:
+// the D-R and scaled-randoms stage runs and the edge-corrected multipoles.
+type SurveyRun = scenario.Survey
+
+// JackknifeRun is the output of the spatial-resampling workload: per-region
+// leave-one-out statistic vectors and their jackknife covariance.
+type JackknifeRun = scenario.Jackknife
+
+// Scenarios returns the scenario registry rows in registration order.
+func Scenarios() []*Scenario { return scenario.All() }
+
+// ScenarioNames returns the sorted registry names.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioByName resolves a registry entry.
+func ScenarioByName(name string) (*Scenario, error) { return scenario.Get(name) }
+
+// RunScenario runs a registry entry end-to-end through the backend at
+// catalog size n (clamped up to the scenario's MinN) and checks every
+// invariant; the first violation is returned as an error alongside the
+// outcome.
+func RunScenario(ctx context.Context, b Backend, name string, n int, seed int64) (*ScenarioOutcome, error) {
+	s, err := scenario.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunChecked(ctx, b, n, seed)
+}
+
+// RunSurveyEstimator runs the backend-routed survey estimator of Sec. 6.1:
+// the data-minus-randoms field and the scaled randoms each run through b
+// (checkpointed backends keep disjoint per-stage checkpoint sets), then the
+// mixing-matrix edge correction recovers the true isotropic multipoles.
+func RunSurveyEstimator(ctx context.Context, b Backend, data, randoms *Catalog, cfg Config) (*SurveyRun, error) {
+	return scenario.RunSurveyEstimator(ctx, b, data, randoms, cfg)
+}
+
+// RunJackknifeResampling runs the delete-one spatial jackknife of Sec. 6.1
+// through the backend: the catalog is split into regions with the k-d
+// partitioner, the full sample and every leave-one-out catalog run as
+// independently resumable stages, and the statistic vectors feed the
+// jackknife covariance.
+func RunJackknifeResampling(ctx context.Context, b Backend, cat *Catalog, regions int, cfg Config) (*JackknifeRun, error) {
+	return scenario.RunJackknife(ctx, b, cat, regions, cfg)
 }
 
 // MeshAssignment selects the mass-deposition scheme for gridded data.

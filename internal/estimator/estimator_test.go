@@ -7,6 +7,7 @@ import (
 	"galactos/internal/catalog"
 	"galactos/internal/core"
 	"galactos/internal/geom"
+	"galactos/internal/hist"
 )
 
 func TestMixingMatrixIdentityForPeriodicWindow(t *testing.T) {
@@ -201,5 +202,135 @@ func TestMixingMatrixSymmetryProperty(t *testing.T) {
 	// And it must reduce to stats-invertible form for mild windows.
 	if _, err := m.Inverse(); err != nil {
 		t.Errorf("mild window matrix not invertible: %v", err)
+	}
+}
+
+// injectIso writes a value into the (l, l, m=0) channel of a synthetic
+// result so that IsoZeta(l, b1, b2) returns exactly v: the addition theorem
+// gives IsoZeta = 4pi/(2l+1) * Re Aniso for an m=0-only channel.
+func injectIso(res *core.Result, l, b1, b2 int, v float64) {
+	i, ok := res.Combos.Index(l, l, 0)
+	if !ok {
+		panic("injectIso: l out of range")
+	}
+	nb := res.Bins.N
+	res.Aniso[(i*nb+b1)*nb+b2] = complex(v*float64(2*l+1)/(4*math.Pi), 0)
+}
+
+// TestEdgeCorrectRecoversInjectedMultipoles synthesizes D-R and random
+// results with known multipoles — the randoms encode a hand-built window
+// f_l, the D-R field encodes N_l = R_0 * (M zeta_true)_l — and verifies the
+// full EdgeCorrect pipeline (window extraction, mixing-matrix build, solve)
+// recovers zeta_true per radial-bin pair within tolerance.
+func TestEdgeCorrectRecoversInjectedMultipoles(t *testing.T) {
+	const lmax, nb = 3, 3
+	bins, err := hist.NewBinning(0, 30, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := []float64{1, 0.35, -0.12, 0.06}
+	m := MixingMatrix(f)
+	nRes := core.NewResult(lmax, bins)
+	rRes := core.NewResult(lmax, bins)
+	zTrue := func(l, b1, b2 int) float64 {
+		return 1.5 + 0.3*float64(l) - 0.1*float64(b1) + 0.07*float64(b2)
+	}
+	const r0 = 2.75 // arbitrary nonzero window monopole
+	for b1 := 0; b1 < nb; b1++ {
+		for b2 := 0; b2 < nb; b2++ {
+			for l := 0; l <= lmax; l++ {
+				injectIso(rRes, l, b1, b2, r0*f[l])
+				mixed := 0.0
+				for lp := 0; lp <= lmax; lp++ {
+					mixed += m.At(l, lp) * zTrue(lp, b1, b2)
+				}
+				injectIso(nRes, l, b1, b2, r0*mixed)
+			}
+		}
+	}
+	corr, err := EdgeCorrect(nRes, rRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b1 := 0; b1 < nb; b1++ {
+		for b2 := 0; b2 < nb; b2++ {
+			for l := 0; l <= lmax; l++ {
+				if got := corr.WindowF[l][b1*nb+b2]; math.Abs(got-f[l]) > 1e-12 {
+					t.Errorf("window f_%d at (%d,%d) = %v, want %v", l, b1, b2, got, f[l])
+				}
+				want := zTrue(l, b1, b2)
+				if got := corr.Zeta[l][b1*nb+b2]; math.Abs(got-want) > 1e-10 {
+					t.Errorf("zeta_%d at (%d,%d) = %v, want %v", l, b1, b2, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEdgeCorrectPeriodicWindowExactNoOp: with a pure-monopole window
+// (f_l = delta_{l0}, the periodic-volume limit) the mixing matrix is the
+// identity and the correction returns N_l / R_0 unchanged up to the
+// rounding of one matrix solve.
+func TestEdgeCorrectPeriodicWindowExactNoOp(t *testing.T) {
+	const lmax, nb = 3, 2
+	bins, err := hist.NewBinning(0, 30, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nRes := core.NewResult(lmax, bins)
+	rRes := core.NewResult(lmax, bins)
+	const r0 = 4.0
+	inject := func(l, b1, b2 int) float64 {
+		return -0.8 + 0.5*float64(l) + 0.25*float64(b1*nb+b2)
+	}
+	for b1 := 0; b1 < nb; b1++ {
+		for b2 := 0; b2 < nb; b2++ {
+			injectIso(rRes, 0, b1, b2, r0) // f_l = delta_{l0}
+			for l := 0; l <= lmax; l++ {
+				injectIso(nRes, l, b1, b2, r0*inject(l, b1, b2))
+			}
+		}
+	}
+	corr, err := EdgeCorrect(nRes, rRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr.Condition > 1+1e-10 {
+		t.Errorf("identity mixing matrix has condition estimate %v", corr.Condition)
+	}
+	for b1 := 0; b1 < nb; b1++ {
+		for b2 := 0; b2 < nb; b2++ {
+			for l := 0; l <= lmax; l++ {
+				want := inject(l, b1, b2)
+				if got := corr.Zeta[l][b1*nb+b2]; math.Abs(got-want) > 1e-12 {
+					t.Errorf("no-op violated: zeta_%d at (%d,%d) = %v, want %v", l, b1, b2, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestScaledRandoms pins the normalization-run convention: total weight
+// matches the data, positions are untouched, and the input is not mutated.
+func TestScaledRandoms(t *testing.T) {
+	data := catalog.Uniform(100, 150, 11)
+	for i := range data.Galaxies {
+		data.Galaxies[i].Weight = 2.0
+	}
+	randoms := catalog.Uniform(400, 150, 12)
+	scaled := ScaledRandoms(data, randoms)
+	if got, want := scaled.TotalWeight(), data.TotalWeight(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("scaled total weight %v, want %v", got, want)
+	}
+	if scaled.Len() != randoms.Len() {
+		t.Fatalf("length changed: %d vs %d", scaled.Len(), randoms.Len())
+	}
+	for i := range scaled.Galaxies {
+		if scaled.Galaxies[i].Pos != randoms.Galaxies[i].Pos {
+			t.Fatalf("position %d changed", i)
+		}
+		if randoms.Galaxies[i].Weight != 1 {
+			t.Fatalf("input randoms mutated at %d", i)
+		}
 	}
 }

@@ -14,6 +14,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"galactos/internal/catalog"
@@ -121,6 +122,27 @@ func (w withLog) Run(ctx context.Context, job *Job) (*core.Result, []UnitStats, 
 		job = &j
 	}
 	return w.Backend.Run(ctx, job)
+}
+
+// Staged returns a backend scoped to one named stage of a multi-run
+// workload. Only checkpoint state needs scoping: a Sharded backend with a
+// CheckpointDir gets a per-stage subdirectory, so the several engine runs
+// of one workload (the D-R and randoms runs of the survey estimator, each
+// leave-one-out region of a jackknife) keep disjoint checkpoint sets and
+// resume independently. Backends without checkpoint state are returned
+// unchanged; logging wrappers are preserved around the staged backend.
+func Staged(b Backend, stage string) Backend {
+	switch t := b.(type) {
+	case withLog:
+		return withLog{Backend: Staged(t.Backend, stage), logf: t.logf}
+	case Sharded:
+		if t.CheckpointDir != "" {
+			t.CheckpointDir = filepath.Join(t.CheckpointDir, stage)
+		}
+		return t
+	default:
+		return b
+	}
 }
 
 // materialize loads the job's source into memory (the fast path unwraps a

@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"galactos/internal/exec"
+	"galactos/internal/sphharm"
+)
+
+// -update-golden rewrites testdata/golden.json with hashes computed on this
+// host, for every kernel dispatch mode the host can run.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.json")
+
+const goldenPath = "testdata/golden.json"
+
+// goldenFile maps scenario name -> kernel dispatch tag -> outcome hash.
+// Hashes are ISA-keyed because the vector lane bodies regroup additions:
+// avx512 and generic runs agree to rounding, not bits.
+type goldenFile map[string]map[string]string
+
+func loadGolden(t *testing.T) goldenFile {
+	t.Helper()
+	g := goldenFile{}
+	data, err := os.ReadFile(goldenPath)
+	if os.IsNotExist(err) {
+		return g
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+	return g
+}
+
+// dispatchModes returns the kernel dispatch settings this host can
+// generate/verify: always the portable generic bodies, plus the vector
+// bodies where present.
+func dispatchModes() []bool {
+	modes := []bool{false}
+	if sphharm.HasAVX512() {
+		modes = append(modes, true)
+	}
+	return modes
+}
+
+// TestRegistryShape pins the registry contract: >= 6 scenarios, unique
+// names, each resolvable by Get and carrying at least one invariant.
+func TestRegistryShape(t *testing.T) {
+	all := All()
+	if len(all) < 6 {
+		t.Fatalf("registry has %d scenarios, want >= 6", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if len(s.Invariants) == 0 {
+			t.Errorf("scenario %s has no invariants", s.Name)
+		}
+		if s.GoldenN < s.MinN {
+			t.Errorf("scenario %s: GoldenN %d below MinN %d", s.Name, s.GoldenN, s.MinN)
+		}
+		got, err := Get(s.Name)
+		if err != nil || got != s {
+			t.Errorf("Get(%q) = %v, %v", s.Name, got, err)
+		}
+	}
+	if _, err := Get("no-such-scenario"); err == nil {
+		t.Error("Get accepted an unknown name")
+	}
+}
+
+// TestInvariantsAtSmokeN: every scenario passes its invariants at a small,
+// CI-sized N with a seed different from the golden seed — the invariants
+// are structural, not tuned to one realization.
+func TestInvariantsAtSmokeN(t *testing.T) {
+	ctx := context.Background()
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			if _, err := s.RunChecked(ctx, exec.Local{}, 900, 7); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestGoldenHashes: at the pinned (GoldenN, GoldenSeed), every scenario is
+// run-to-run bitwise deterministic, and matches the committed golden hash
+// for the active kernel dispatch tag. Run with -update-golden to
+// regenerate testdata/golden.json (entries for every mode this host has).
+func TestGoldenHashes(t *testing.T) {
+	ctx := context.Background()
+	golden := loadGolden(t)
+	hostVector := sphharm.HasAVX512()
+	defer sphharm.SetLaneDispatch(hostVector)
+
+	changed := false
+	for _, vector := range dispatchModes() {
+		sphharm.SetLaneDispatch(vector)
+		tag := sphharm.LaneDispatch()
+		for _, s := range All() {
+			o1, err := s.RunChecked(ctx, exec.Local{}, s.GoldenN, s.GoldenSeed)
+			if err != nil {
+				t.Fatalf("%s [%s]: %v", s.Name, tag, err)
+			}
+			h1 := o1.GoldenHash()
+			o2, err := s.Run(ctx, exec.Local{}, s.GoldenN, s.GoldenSeed)
+			if err != nil {
+				t.Fatalf("%s [%s] rerun: %v", s.Name, tag, err)
+			}
+			if h2 := o2.GoldenHash(); h2 != h1 {
+				t.Errorf("%s [%s]: run-to-run hash mismatch\n  %s\n  %s", s.Name, tag, h1, h2)
+				continue
+			}
+			if *updateGolden {
+				if golden[s.Name] == nil {
+					golden[s.Name] = map[string]string{}
+				}
+				if golden[s.Name][tag] != h1 {
+					golden[s.Name][tag] = h1
+					changed = true
+				}
+				continue
+			}
+			want := golden[s.Name][tag]
+			if want == "" {
+				t.Errorf("%s: no golden hash for kernel tag %q — run `go test ./internal/scenario -run TestGoldenHashes -update-golden`", s.Name, tag)
+				continue
+			}
+			if want != h1 {
+				t.Errorf("%s [%s]: hash %s, golden %s", s.Name, tag, h1, want)
+			}
+		}
+	}
+	if *updateGolden && changed {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(golden, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+	}
+}

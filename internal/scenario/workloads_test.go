@@ -1,0 +1,317 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"galactos/internal/catalog"
+	"galactos/internal/core"
+	"galactos/internal/exec"
+	"galactos/internal/partition"
+)
+
+// surveyFixture builds the slab-masked data + randoms pair of the survey
+// scenario at a test-controlled size.
+func surveyFixture(n int, seed int64) (data, randoms *catalog.Catalog) {
+	const l = 240.0
+	slab := func(c *catalog.Catalog) *catalog.Catalog {
+		out := &catalog.Catalog{}
+		for _, g := range c.Galaxies {
+			if math.Abs(g.Pos.Z-l/2) < l/4 {
+				out.Galaxies = append(out.Galaxies, g)
+			}
+		}
+		return out
+	}
+	return slab(catalog.Clustered(n, l, catalog.DefaultClusterParams(), seed)),
+		slab(catalog.Uniform(4*n, l, seed+1))
+}
+
+func surveyConfig() core.Config {
+	return core.Config{
+		RMax: 40, NBins: 4, LMax: 4,
+		LOS: core.LOSPlaneParallel, SelfCount: false, IsotropicOnly: true,
+		Workers: 1,
+	}
+}
+
+func jackknifeConfig() core.Config {
+	return core.Config{
+		RMax: 30, NBins: 4, LMax: 2,
+		LOS: core.LOSPlaneParallel, SelfCount: false, IsotropicOnly: true,
+		Workers: 1,
+	}
+}
+
+// assertResultBitwise compares two engine results bit for bit.
+func assertResultBitwise(t *testing.T, label string, a, b *core.Result) {
+	t.Helper()
+	if a.Pairs != b.Pairs || a.NPrimaries != b.NPrimaries ||
+		math.Float64bits(a.SumWeight) != math.Float64bits(b.SumWeight) {
+		t.Fatalf("%s: counters differ (%d/%d/%v vs %d/%d/%v)", label,
+			a.Pairs, a.NPrimaries, a.SumWeight, b.Pairs, b.NPrimaries, b.SumWeight)
+	}
+	for i := range a.Aniso {
+		if a.Aniso[i] != b.Aniso[i] {
+			t.Fatalf("%s: Aniso[%d] differs: %v vs %v", label, i, a.Aniso[i], b.Aniso[i])
+		}
+	}
+}
+
+// settleGoroutines polls until the goroutine count returns to the baseline
+// (cancelled workers need a moment to unwind).
+func settleGoroutines(baseline int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// TestSurveyEstimatorKillResume: cancelling the survey workload mid-first-
+// stage leaves resumable checkpoints and no goroutines; resuming reuses at
+// least one checkpoint and reproduces the uninterrupted result bitwise.
+func TestSurveyEstimatorKillResume(t *testing.T) {
+	data, randoms := surveyFixture(900, 5)
+	cfg := surveyConfig()
+	dir := t.TempDir()
+
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fired atomic.Int32
+	killed := exec.WithLog(exec.Sharded{NShards: 6, CheckpointDir: dir},
+		func(format string, args ...any) {
+			if fired.Add(1) == 1 {
+				cancel()
+			}
+		})
+	if _, err := RunSurveyEstimator(ctx, killed, data, randoms, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := settleGoroutines(baseline); n > baseline {
+		t.Fatalf("goroutine leak after cancel: %d before, %d after", baseline, n)
+	}
+
+	resume := exec.Sharded{NShards: 6, CheckpointDir: dir, Resume: true}
+	sv, err := RunSurveyEstimator(context.Background(), resume, data, randoms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := 0
+	for _, u := range sv.DMR.Units {
+		if u.Resumed {
+			resumed++
+		}
+	}
+	if resumed == 0 {
+		t.Fatal("resume recomputed every D-R shard; expected checkpoint reuse")
+	}
+
+	clean, err := RunSurveyEstimator(context.Background(), exec.Sharded{NShards: 6}, data, randoms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultBitwise(t, "survey D-R resumed vs uninterrupted", sv.DMR.Result, clean.DMR.Result)
+	assertResultBitwise(t, "survey randoms resumed vs uninterrupted", sv.Randoms.Result, clean.Randoms.Result)
+	for l := range clean.Corrected.Zeta {
+		for i := range clean.Corrected.Zeta[l] {
+			if sv.Corrected.Zeta[l][i] != clean.Corrected.Zeta[l][i] {
+				t.Fatalf("corrected zeta_%d[%d] differs after resume", l, i)
+			}
+		}
+	}
+}
+
+// TestJackknifeKillResume: same contract for the resampling workload — the
+// full-sample stage's checkpoints survive the kill and the resumed
+// covariance is bitwise identical to an uninterrupted run.
+func TestJackknifeKillResume(t *testing.T) {
+	cat := catalog.Uniform(1000, 200, 9)
+	cfg := jackknifeConfig()
+	dir := t.TempDir()
+
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fired atomic.Int32
+	killed := exec.WithLog(exec.Sharded{NShards: 6, CheckpointDir: dir},
+		func(format string, args ...any) {
+			if fired.Add(1) == 1 {
+				cancel()
+			}
+		})
+	if _, err := RunJackknife(ctx, killed, cat, 4, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := settleGoroutines(baseline); n > baseline {
+		t.Fatalf("goroutine leak after cancel: %d before, %d after", baseline, n)
+	}
+
+	resume := exec.Sharded{NShards: 6, CheckpointDir: dir, Resume: true}
+	jk, err := RunJackknife(context.Background(), resume, cat, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := 0
+	for _, u := range jk.FullRun.Units {
+		if u.Resumed {
+			resumed++
+		}
+	}
+	if resumed == 0 {
+		t.Fatal("resume recomputed every full-sample shard; expected checkpoint reuse")
+	}
+
+	clean, err := RunJackknife(context.Background(), exec.Sharded{NShards: 6}, cat, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultBitwise(t, "jackknife full resumed vs uninterrupted", jk.FullRun.Result, clean.FullRun.Result)
+	for i := range clean.Cov.Data {
+		if math.Float64bits(jk.Cov.Data[i]) != math.Float64bits(clean.Cov.Data[i]) {
+			t.Fatalf("covariance entry %d differs after resume", i)
+		}
+	}
+}
+
+// TestJackknifeRegionsPartitionExactly: the partition splitter assigns
+// every galaxy to exactly one region — no drops or duplicates at region
+// boundaries.
+func TestJackknifeRegionsPartitionExactly(t *testing.T) {
+	cat := catalog.Uniform(1200, 200, 3)
+	parts, err := partition.Split(cat, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, cat.Len())
+	for p, part := range parts {
+		if len(part.Index) == 0 {
+			t.Errorf("region %d is empty", p)
+		}
+		for _, idx := range part.Index {
+			if seen[idx] {
+				t.Fatalf("galaxy %d assigned to more than one region", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("galaxy %d assigned to no region", i)
+		}
+	}
+}
+
+// TestJackknifeCovarianceProperties: on a uniform catalog, the estimated
+// covariance is symmetric and PSD, every sample has the statistic's
+// dimension, and the leave-one-out mean tracks the full-sample statistic
+// (to the ~20% boundary-truncation bias of delete-one holes, not to
+// jackknife-sigma precision).
+func TestJackknifeCovarianceProperties(t *testing.T) {
+	cat := catalog.Uniform(1400, 200, 21)
+	cfg := jackknifeConfig()
+	jk, err := RunJackknife(context.Background(), exec.Local{}, cat, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jk.Regions != 8 || len(jk.Samples) != 8 {
+		t.Fatalf("got %d regions, %d samples", jk.Regions, len(jk.Samples))
+	}
+	total := 0
+	for _, c := range jk.RegionCounts {
+		total += c
+	}
+	if total != cat.Len() {
+		t.Fatalf("region counts sum to %d, want %d", total, cat.Len())
+	}
+	for i, s := range jk.Samples {
+		if len(s) != cfg.NBins {
+			t.Fatalf("sample %d has dimension %d, want %d", i, len(s), cfg.NBins)
+		}
+	}
+	if e := jk.Cov.SymmetryError(); e != 0 {
+		t.Errorf("covariance symmetry error %g, want exact symmetry", e)
+	}
+	if !jk.Cov.IsPSD(1e-10) {
+		t.Error("covariance is not PSD")
+	}
+	for i := range jk.Full {
+		if diff := math.Abs(jk.Mean[i] - jk.Full[i]); diff > 0.2*math.Abs(jk.Full[i])+1e-12 {
+			t.Errorf("bin %d: LOO mean %g deviates from full-sample %g", i, jk.Mean[i], jk.Full[i])
+		}
+	}
+}
+
+// TestStagedScopesCheckpointDirs: the stage wrapper gives checkpointed
+// sharded backends disjoint per-stage directories and leaves everything
+// else untouched, through logging wrappers.
+func TestStagedScopesCheckpointDirs(t *testing.T) {
+	base := exec.Sharded{NShards: 3, CheckpointDir: "/ckpt"}
+	staged := exec.Staged(base, "loo-001")
+	sh, ok := staged.(exec.Sharded)
+	if !ok {
+		t.Fatalf("staged sharded backend has type %T", staged)
+	}
+	if want := "/ckpt/loo-001"; sh.CheckpointDir != want {
+		t.Errorf("CheckpointDir = %q, want %q", sh.CheckpointDir, want)
+	}
+	if sh.NShards != 3 {
+		t.Errorf("NShards changed: %d", sh.NShards)
+	}
+
+	logged := exec.Staged(exec.WithLog(base, func(string, ...any) {}), "dmr")
+	if _, ok := logged.(exec.Sharded); ok {
+		t.Error("Staged dropped the logging wrapper")
+	}
+
+	if b := exec.Staged(exec.Local{}, "dmr"); b != (exec.Local{}) {
+		t.Errorf("local backend changed: %v", b)
+	}
+	plain := exec.Sharded{NShards: 2}
+	if b := exec.Staged(plain, "dmr"); b != exec.Backend(plain) {
+		t.Errorf("uncheckpointed sharded backend changed: %v", b)
+	}
+}
+
+// TestRunJackknifeRejectsBadRegions pins the argument contract.
+func TestRunJackknifeRejectsBadRegions(t *testing.T) {
+	cat := catalog.Uniform(100, 200, 1)
+	if _, err := RunJackknife(context.Background(), exec.Local{}, cat, 1, jackknifeConfig()); err == nil {
+		t.Error("regions = 1 accepted")
+	}
+}
+
+// TestOutcomeHashDiscriminates: the canonical hash changes when any payload
+// bit changes and is insensitive to nothing it covers.
+func TestOutcomeHashDiscriminates(t *testing.T) {
+	o, err := Get("periodic-iso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := o.Run(context.Background(), exec.Local{}, 500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := a.GoldenHash()
+	if h2 := a.GoldenHash(); h2 != h {
+		t.Fatalf("hash not stable: %s vs %s", h, h2)
+	}
+	orig := a.Result.Aniso[0]
+	a.Result.Aniso[0] = complex(math.Nextafter(real(orig), math.Inf(1)), imag(orig))
+	if a.GoldenHash() == h {
+		t.Error("hash unchanged after one-ulp payload perturbation")
+	}
+	a.Result.Aniso[0] = orig
+	rel, err := a.MaxRelDiff(a)
+	if err != nil || rel != 0 {
+		t.Errorf("self-diff = %v, %v", rel, err)
+	}
+}

@@ -1,0 +1,61 @@
+// The scenario sweep: the survey-science registry (internal/scenario) as a
+// bench experiment, so the end-to-end workloads of Sec. 6 show up next to
+// the kernel-level experiments with the same table discipline.
+
+package sim
+
+import (
+	"context"
+	"time"
+
+	"galactos/internal/exec"
+	"galactos/internal/scenario"
+)
+
+// ScenarioPoint is one row of the scenario sweep: a registry entry run
+// end-to-end through a backend with every invariant checked, plus the
+// bitwise outcome fingerprint.
+type ScenarioPoint struct {
+	Name       string
+	N          int
+	Pairs      uint64
+	Invariants int
+	Elapsed    time.Duration
+	Hash       string
+}
+
+// ScenarioSweep runs the named registry scenarios (all of them when names
+// is empty) at size n through the backend, checking invariants as it goes.
+func ScenarioSweep(ctx context.Context, b exec.Backend, names []string, n int, seed int64) ([]ScenarioPoint, error) {
+	scens := scenario.All()
+	if len(names) > 0 {
+		scens = make([]*scenario.Scenario, 0, len(names))
+		for _, name := range names {
+			s, err := scenario.Get(name)
+			if err != nil {
+				return nil, err
+			}
+			scens = append(scens, s)
+		}
+	}
+	out := make([]ScenarioPoint, 0, len(scens))
+	for _, s := range scens {
+		o, err := s.RunChecked(ctx, b, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		var pairs uint64
+		if o.Result != nil {
+			pairs = o.Result.Pairs
+		}
+		out = append(out, ScenarioPoint{
+			Name:       s.Name,
+			N:          o.N,
+			Pairs:      pairs,
+			Invariants: len(s.Invariants),
+			Elapsed:    o.Elapsed,
+			Hash:       o.GoldenHash(),
+		})
+	}
+	return out, nil
+}

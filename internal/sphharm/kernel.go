@@ -197,6 +197,50 @@ var (
 	reduce    = reduceGeneric
 )
 
+// laneDispatchVector tracks which bodies the lane-primitive variables are
+// currently bound to; it backs the LaneDispatch tag golden results are
+// keyed by.
+var laneDispatchVector = false
+
+// bindGenericLanes rebinds every lane primitive to its portable pure-Go
+// body.
+func bindGenericLanes() {
+	addLanes = addLanesGeneric
+	fmaLanes = fmaLanesGeneric
+	rowLanes = rowLanesGeneric
+	mulInto = mulIntoGeneric
+	mulCols = mulColsGeneric
+	zetaBlock = zetaBlockGeneric
+	zetaBatch = zetaBatchGeneric
+	reduce = reduceGeneric
+	laneDispatchVector = false
+}
+
+// SetLaneDispatch selects the lane-primitive implementation: vector
+// requests the SIMD bodies (kept only on hosts that have them), false
+// forces the portable pure-Go bodies everywhere. It returns whether the
+// vector path is active after the call. The rebinding is process-global and
+// not synchronized against running kernels — callers (the scenario golden
+// harness, kernel ablations) must switch only between runs.
+func SetLaneDispatch(vector bool) bool {
+	if vector && HasAVX512() {
+		bindVectorLanes()
+	} else {
+		bindGenericLanes()
+	}
+	return laneDispatchVector
+}
+
+// LaneDispatch names the lane-primitive binding in effect ("avx512" or
+// "generic"). Results computed under different tags agree only to rounding,
+// so bitwise golden hashes must be compared per tag.
+func LaneDispatch() string {
+	if laneDispatchVector {
+		return "avx512"
+	}
+	return "generic"
+}
+
 // rowLanesGeneric folds one (k, p) ladder row — acc holds nq+1 lane groups,
 // where group q gains the lane-striped sums of xy .* z^q (group 0 is the
 // plain add) and z^q is the hoisted column zpow[(q-1)*zcap:]. The per-group

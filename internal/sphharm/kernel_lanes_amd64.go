@@ -38,15 +38,23 @@ var useAVX512 = detectAVX512()
 
 func init() {
 	if useAVX512 {
-		addLanes = addLanesAsm
-		fmaLanes = fmaLanesAsm
-		rowLanes = rowLanesAsm
-		mulInto = mulIntoAsm
-		mulCols = mulColsAsm
-		zetaBlock = zetaBlockAsm
-		zetaBatch = zetaBatchAsm
-		reduce = reduceAsm
+		bindVectorLanes()
 	}
+}
+
+// bindVectorLanes rebinds every lane primitive to its AVX-512 body. Callers
+// (init here, SetLaneDispatch in kernel.go) only reach it when useAVX512
+// already passed.
+func bindVectorLanes() {
+	addLanes = addLanesAsm
+	fmaLanes = fmaLanesAsm
+	rowLanes = rowLanesAsm
+	mulInto = mulIntoAsm
+	mulCols = mulColsAsm
+	zetaBlock = zetaBlockAsm
+	zetaBatch = zetaBatchAsm
+	reduce = reduceAsm
+	laneDispatchVector = true
 }
 
 // detectAVX512 reports whether the CPU implements AVX-512F plus FMA and the

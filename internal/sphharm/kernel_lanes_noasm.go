@@ -7,3 +7,7 @@ package sphharm
 
 // HasAVX512 reports whether the lane primitives run on the AVX-512 path.
 func HasAVX512() bool { return false }
+
+// bindVectorLanes is unreachable without a vector implementation;
+// SetLaneDispatch guards every call with HasAVX512.
+func bindVectorLanes() {}

@@ -243,6 +243,75 @@ func (m *Matrix) CorrelationMatrix() (*Matrix, error) {
 	return out, nil
 }
 
+// SymmetryError returns the largest |m_ij - m_ji| — zero for an exactly
+// symmetric matrix (jackknife covariance accumulates symmetric products, so
+// its error is exactly zero, a scenario invariant).
+func (m *Matrix) SymmetryError() float64 {
+	worst := 0.0
+	for i := 0; i < m.N; i++ {
+		for j := i + 1; j < m.N; j++ {
+			if v := math.Abs(m.At(i, j) - m.At(j, i)); v > worst {
+				worst = v
+			}
+		}
+	}
+	return worst
+}
+
+// IsPSD reports whether the symmetrized matrix is positive semi-definite up
+// to a relative tolerance: the Cholesky factorization of C + tol*scale*I
+// must succeed, where scale is the largest diagonal magnitude. tol absorbs
+// the rounding of the covariance accumulation; a genuinely indefinite
+// matrix (a negative eigenvalue of order scale) still fails.
+func (m *Matrix) IsPSD(tol float64) bool {
+	n := m.N
+	scale := 0.0
+	for i := 0; i < n; i++ {
+		if v := math.Abs(m.At(i, i)); v > scale {
+			scale = v
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	shift := tol * scale
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = 0.5 * (m.At(i, j) + m.At(j, i))
+		}
+		a[i*n+i] += shift
+	}
+	for j := 0; j < n; j++ {
+		d := a[j*n+j]
+		for k := 0; k < j; k++ {
+			d -= a[j*n+k] * a[j*n+k]
+		}
+		if d < 0 || math.IsNaN(d) {
+			return false
+		}
+		ld := math.Sqrt(d)
+		a[j*n+j] = ld
+		for i := j + 1; i < n; i++ {
+			s := a[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*n+k] * a[j*n+k]
+			}
+			if ld == 0 {
+				// Rank-deficient pivot: PSD only if the rest of the
+				// column is negligible too.
+				if math.Abs(s) > shift*float64(n)+1e-300 {
+					return false
+				}
+				a[i*n+j] = 0
+				continue
+			}
+			a[i*n+j] = s / ld
+		}
+	}
+	return true
+}
+
 func swapRows(a []float64, n, r1, r2 int) {
 	for j := 0; j < n; j++ {
 		a[r1*n+j], a[r2*n+j] = a[r2*n+j], a[r1*n+j]

@@ -189,3 +189,80 @@ func TestFewSamplesSingularCovariance(t *testing.T) {
 		t.Error("rank-deficient covariance inverted without error")
 	}
 }
+
+func TestSymmetryError(t *testing.T) {
+	m := NewMatrix(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, float64(i+j))
+		}
+	}
+	if e := m.SymmetryError(); e != 0 {
+		t.Errorf("symmetric matrix reports error %v", e)
+	}
+	m.Set(0, 2, m.At(0, 2)+0.25)
+	if e := m.SymmetryError(); e != 0.25 {
+		t.Errorf("symmetry error = %v, want 0.25", e)
+	}
+}
+
+func TestIsPSD(t *testing.T) {
+	// A Gram matrix A^T A is PSD by construction.
+	rng := rand.New(rand.NewSource(17))
+	const n, k = 5, 8
+	a := make([][]float64, k)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			a[i][j] = rng.NormFloat64()
+		}
+	}
+	gram := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for r := 0; r < k; r++ {
+				s += a[r][i] * a[r][j]
+			}
+			gram.Set(i, j, s)
+		}
+	}
+	if !gram.IsPSD(1e-12) {
+		t.Error("Gram matrix rejected")
+	}
+
+	// Rank-deficient PSD: outer product of one vector (rank 1).
+	outer := NewMatrix(3)
+	v := []float64{1, -2, 0.5}
+	for i := range v {
+		for j := range v {
+			outer.Set(i, j, v[i]*v[j])
+		}
+	}
+	if !outer.IsPSD(1e-12) {
+		t.Error("rank-1 outer product rejected")
+	}
+
+	// Indefinite: eigenvalues -1 and 3.
+	indef := NewMatrix(2)
+	indef.Set(0, 0, 1)
+	indef.Set(0, 1, 2)
+	indef.Set(1, 0, 2)
+	indef.Set(1, 1, 1)
+	if indef.IsPSD(1e-10) {
+		t.Error("indefinite matrix accepted")
+	}
+
+	// Negative definite.
+	neg := NewMatrix(2)
+	neg.Set(0, 0, -1)
+	neg.Set(1, 1, -0.5)
+	if neg.IsPSD(1e-10) {
+		t.Error("negative-definite matrix accepted")
+	}
+
+	// Zero matrix is (trivially) PSD.
+	if !NewMatrix(4).IsPSD(1e-10) {
+		t.Error("zero matrix rejected")
+	}
+}
