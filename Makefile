@@ -3,7 +3,8 @@
 GO ?= go
 
 .PHONY: all build test test-race vet fmt-check bench bench-exp \
-	bench-baseline bench-check examples-smoke scenario-smoke ci clean
+	bench-baseline bench-check examples-smoke scenario-smoke \
+	service-smoke ci clean
 
 all: build
 
@@ -15,10 +16,11 @@ test:
 
 # Race detector over the concurrency surfaces: the engine worker pool, the
 # sharded checkpointing pipeline, the execution layer's cancellation paths,
-# and the scenario registry's multi-stage workloads.
+# the scenario registry's multi-stage workloads, and the galactosd job
+# server (worker pool, SSE streaming, disconnect-cancel) with its client.
 test-race:
 	$(GO) test -race ./internal/core/... ./internal/shard/... ./internal/exec/... \
-		./internal/scenario/...
+		./internal/scenario/... ./internal/service/... ./client/...
 
 vet:
 	$(GO) vet ./...
@@ -59,6 +61,13 @@ examples-smoke:
 	@set -e; for ex in examples/*/; do \
 		echo "== $$ex =="; $(GO) run ./$$ex -n 1200 > /dev/null; done
 	@echo "all examples ran clean"
+
+# Golden end-to-end gate for the galactosd service: start a server, submit
+# a job over HTTP with streamed progress, verify the result is
+# bitwise-equal to a direct in-process Run, resubmit and assert the answer
+# comes from the result cache (hit counter + byte-identical payload).
+service-smoke:
+	$(GO) run ./cmd/galactos-load -smoke -n 800
 
 # Run every scenario-registry entry end-to-end under the race detector:
 # small N, the sharded backend at 2 shards (real cross-goroutine traffic),

@@ -1,0 +1,260 @@
+// Package client is the Go client for the galactosd job service. It
+// speaks the service's HTTP/JSON API: job submission is a galactos.Request
+// serialized as-is (the facade's entrypoint is the wire schema), progress
+// arrives as Server-Sent Events, and results come back in the versioned
+// resultio encoding — decoded here into the same *galactos.Result a direct
+// Run produces, byte lineage intact.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"galactos"
+	"galactos/internal/core"
+	"galactos/internal/service"
+)
+
+// Wire types, shared verbatim with the server.
+type (
+	State     = service.State
+	JobStatus = service.JobStatus
+	Event     = service.Event
+	Stats     = service.Stats
+)
+
+// Client talks to one galactosd server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at base (e.g. "http://localhost:8080").
+// httpClient may be nil for http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("galactosd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func apiError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(data, &e) != nil || e.Error == "" {
+		e.Error = strings.TrimSpace(string(data))
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+}
+
+// Submit enqueues a request and returns the accepted job's status without
+// waiting for it to run. Requests must carry their catalog as Catalog
+// (inline) or Path (server-local file); Source does not serialize.
+func (c *Client) Submit(ctx context.Context, req galactos.Request) (JobStatus, error) {
+	var st JobStatus
+	data, err := json.Marshal(req)
+	if err != nil {
+		return st, err
+	}
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(data), &st)
+	return st, err
+}
+
+// SubmitStream submits a request and follows its event stream to
+// completion, invoking onEvent (when non-nil) for each event. The
+// submitting connection owns the job: cancelling ctx (or disconnecting)
+// cancels the job on the server. Returns the job's final status.
+func (c *Client) SubmitStream(ctx context.Context, req galactos.Request, onEvent func(Event)) (JobStatus, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return c.stream(ctx, http.MethodPost, "/v1/jobs?stream", bytes.NewReader(data), onEvent)
+}
+
+// Watch follows an existing job's event stream to completion, replaying
+// history first. Watching does not own the job: cancelling ctx stops
+// watching, not the job. Returns the job's final status.
+func (c *Client) Watch(ctx context.Context, id string, onEvent func(Event)) (JobStatus, error) {
+	return c.stream(ctx, http.MethodGet, "/v1/jobs/"+id+"/events", nil, onEvent)
+}
+
+// Wait blocks until the job terminalizes and returns its final status.
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	return c.Watch(ctx, id, nil)
+}
+
+// stream runs one SSE request, dispatching events until the job
+// terminalizes, then fetches and returns the final status.
+func (c *Client) stream(ctx context.Context, method, path string, body io.Reader, onEvent func(Event)) (JobStatus, error) {
+	var st JobStatus
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return st, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, apiError(resp)
+	}
+
+	id := ""
+	err = readSSE(resp.Body, func(event string, data []byte) error {
+		switch event {
+		case "job":
+			if err := json.Unmarshal(data, &st); err != nil {
+				return err
+			}
+			id = st.ID
+		case "state", "log":
+			var ev Event
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return err
+			}
+			if onEvent != nil {
+				onEvent(ev)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return st, err
+	}
+	if id == "" {
+		return st, fmt.Errorf("galactosd: stream ended without a job event")
+	}
+	return c.Status(ctx, id)
+}
+
+// readSSE parses a Server-Sent Events stream, calling handle for each
+// complete event, until the stream ends.
+func readSSE(r io.Reader, handle func(event string, data []byte) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	event := ""
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if event != "" || len(data) > 0 {
+				if err := handle(event, data); err != nil {
+					return err
+				}
+			}
+			event, data = "", nil
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, line[len("data: "):]...)
+		}
+	}
+	return sc.Err()
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Jobs lists all job statuses in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// ResultBytes fetches a done job's result in the raw resultio encoding —
+// the exact bytes the server computed or cached.
+func (c *Client) ResultBytes(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Result fetches and decodes a done job's result.
+func (c *Client) Result(ctx context.Context, id string) (*galactos.Result, error) {
+	data, err := c.ResultBytes(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return core.ReadResult(bytes.NewReader(data))
+}
+
+// Cancel cancels a job and returns its status.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Stats fetches the server-wide counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Healthy reports whether the server answers its liveness probe.
+func (c *Client) Healthy(ctx context.Context) bool {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil) == nil
+}

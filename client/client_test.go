@@ -1,0 +1,47 @@
+package client
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadSSE(t *testing.T) {
+	stream := "event: job\ndata: {\"id\":\"job-000001\"}\n\n" +
+		"event: state\ndata: {\"seq\":0,\"type\":\"state\",\"state\":\"queued\"}\n\n" +
+		"event: log\ndata: {\"seq\":1,\"type\":\"log\",\"message\":\"shard 1/2 done\"}\n\n"
+	type got struct{ event, data string }
+	var events []got
+	err := readSSE(strings.NewReader(stream), func(event string, data []byte) error {
+		events = append(events, got{event, string(data)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(events))
+	}
+	if events[0].event != "job" || !strings.Contains(events[0].data, "job-000001") {
+		t.Errorf("first event = %+v, want the job header", events[0])
+	}
+	if events[1].event != "state" || events[2].event != "log" {
+		t.Errorf("event types = %s, %s; want state, log", events[1].event, events[2].event)
+	}
+}
+
+func TestReadSSEStopsOnHandlerError(t *testing.T) {
+	stream := "event: a\ndata: 1\n\nevent: b\ndata: 2\n\n"
+	calls := 0
+	err := readSSE(strings.NewReader(stream), func(string, []byte) error {
+		calls++
+		return errTest
+	})
+	if err != errTest {
+		t.Fatalf("got %v, want the handler's error", err)
+	}
+	if calls != 1 {
+		t.Errorf("handler called %d times after erroring, want 1", calls)
+	}
+}
+
+var errTest = &APIError{StatusCode: 418, Message: "test"}

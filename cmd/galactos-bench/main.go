@@ -22,15 +22,23 @@ import (
 	"strings"
 	"time"
 
+	"galactos"
 	"galactos/internal/bruteforce"
 	"galactos/internal/catalog"
 	"galactos/internal/core"
-	"galactos/internal/exec"
 	"galactos/internal/perfmodel"
 	"galactos/internal/perfstat"
 	"galactos/internal/sim"
 	"galactos/internal/sphharm"
 )
+
+// facadeRun executes one bench computation through the facade's canonical
+// Run entrypoint — the same path cmd/galactos and the galactosd service
+// take — so the benchmarks measure what production runs.
+func facadeRun(cat *catalog.Catalog, cfg core.Config, label string) (*galactos.RunResult, error) {
+	return galactos.Run(context.Background(),
+		galactos.Request{Catalog: cat, Config: cfg, Label: label})
+}
 
 // scale multiplies experiment sizes: small for CI smoke, medium for the
 // documented EXPERIMENTS.md run, large for multi-core hosts.
@@ -153,10 +161,11 @@ func expBreakdown(s float64) error {
 	n := int(12000 * s)
 	cat := densityCatalog(n, 7)
 	cfg := perfConfig(18)
-	res, err := core.Compute(cat, cfg)
+	run, err := facadeRun(cat, cfg, "bench-breakdown")
 	if err != nil {
 		return err
 	}
+	res := run.Result
 	fr := sim.BreakdownFractions(res.Timings)
 	fmt.Printf("catalog: %d galaxies, box %.1f Mpc/h, Rmax %.0f, pairs %d\n",
 		cat.Len(), cat.Box.L, cfg.RMax, res.Pairs)
@@ -239,12 +248,11 @@ func expSingleNode(s float64) error {
 	n := int(20000 * s)
 	cat := densityCatalog(n, 15)
 	cfg := perfConfig(20)
-	start := time.Now()
-	res, err := core.Compute(cat, cfg)
+	run, err := facadeRun(cat, cfg, "bench-singlenode")
 	if err != nil {
 		return err
 	}
-	el := time.Since(start)
+	res, el := run.Result, run.Elapsed
 	rate := float64(res.Pairs) / el.Seconds()
 	gf := perfmodel.GF(res.FlopsEstimate() / el.Seconds())
 	fmt.Printf("catalog: %d galaxies at Outer Rim density, %d pairs\n", cat.Len(), res.Pairs)
@@ -302,17 +310,19 @@ func expBAOMap(s float64) error {
 	cfg.LMax = 4
 	cfg.IsotropicOnly = true
 	cfg.SelfCount = false
-	res, err := core.Compute(cat, cfg)
+	run, err := facadeRun(cat, cfg, "bench-baomap")
 	if err != nil {
 		return err
 	}
+	res := run.Result
 	// Normalize each diagonal by the shell volumes (raw sums scale as
 	// r1^2 r2^2) to expose the feature, and compare with a random catalog.
 	rnd := catalog.Uniform(cat.Len(), l, 23)
-	resR, err := core.Compute(rnd, cfg)
+	runR, err := facadeRun(rnd, cfg, "bench-baomap-random")
 	if err != nil {
 		return err
 	}
+	resR := runR.Result
 	fmt.Println("paper Fig. 1 (right): zeta excess at r1 ~ r2 ~ acoustic scale (~105 Mpc/h)")
 	fmt.Println("l=0 diagonal, BAO catalog / random catalog (1.00 = no clustering):")
 	fmt.Println("  r (Mpc/h)   ratio")
@@ -368,12 +378,12 @@ func expCrossover(s float64) error {
 			nn = 20
 		}
 		cat := catalog.Clustered(nn, 160, catalog.DefaultClusterParams(), int64(nn))
-		start := time.Now()
-		if _, err := core.Compute(cat, cfg); err != nil {
+		run, err := facadeRun(cat, cfg, "bench-crossover")
+		if err != nil {
 			return err
 		}
-		fast := time.Since(start)
-		start = time.Now()
+		fast := run.Elapsed
+		start := time.Now()
 		if _, err := bruteforce.Aniso(cat, cfg); err != nil {
 			return err
 		}
@@ -409,12 +419,11 @@ func expFinder(s float64) error {
 	for _, f := range []core.FinderKind{core.FinderKD32, core.FinderKD64, core.FinderGrid} {
 		cfg := perfConfig(18)
 		cfg.Finder = f
-		start := time.Now()
-		res, err := core.Compute(cat, cfg)
+		run, err := facadeRun(cat, cfg, "bench-finder")
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %-7v  %-10v  %d\n", f, time.Since(start).Round(time.Millisecond), res.Pairs)
+		fmt.Printf("  %-7v  %-10v  %d\n", f, run.Elapsed.Round(time.Millisecond), run.Result.Pairs)
 	}
 	return nil
 }
@@ -430,11 +439,11 @@ func expSched(s float64) error {
 		cfg := perfConfig(18)
 		cfg.Scheduling = sched
 		cfg.Workers = 4
-		start := time.Now()
-		if _, err := core.Compute(cat, cfg); err != nil {
+		run, err := facadeRun(cat, cfg, "bench-sched")
+		if err != nil {
 			return err
 		}
-		fmt.Printf("  %-10v   %7d   %v\n", sched, cfg.Workers, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  %-10v   %7d   %v\n", sched, cfg.Workers, run.Elapsed.Round(time.Millisecond))
 	}
 	fmt.Println("note: the gap requires real core parallelism; single-core hosts show parity.")
 	return nil
@@ -483,12 +492,11 @@ func expSharded(s float64) error {
 	defer debug.SetGCPercent(debug.SetGCPercent(20)) // peaks ~ live set, not garbage
 
 	stop := sim.HeapSampler()
-	start := time.Now()
-	single, err := core.Compute(cat, cfg)
+	run, err := facadeRun(cat, cfg, "bench-sharded-single")
 	if err != nil {
 		return err
 	}
-	singleTime := time.Since(start)
+	single, singleTime := run.Result, run.Elapsed
 	singleHeap := stop()
 
 	fmt.Printf("catalog: %d galaxies, box %.1f Mpc/h, Rmax %.0f\n", cat.Len(), cat.Box.L, cfg.RMax)
@@ -501,20 +509,22 @@ func expSharded(s float64) error {
 		return err
 	}
 	defer os.RemoveAll(dir)
-	// Both sharded modes run through the unified execution layer, exactly
-	// as `galactos -backend sharded` does.
-	job := &exec.Job{Source: catalog.NewMemorySource(cat), Config: cfg}
+	// Both sharded modes run through the facade, exactly as
+	// `galactos -backend sharded` does.
 	for _, nshards := range []int{4, 8} {
 		stop := sim.HeapSampler()
-		start := time.Now()
-		res, _, err := exec.Sharded{NShards: nshards, CheckpointDir: filepath.Join(dir, "ck")}.Run(context.Background(), job)
+		srun, err := galactos.Run(context.Background(), galactos.Request{
+			Catalog: cat, Config: cfg, Label: "bench-sharded",
+			Backend: galactos.BackendSpec{Name: "sharded", Shards: nshards,
+				CheckpointDir: filepath.Join(dir, "ck")},
+		})
 		if err != nil {
 			return err
 		}
-		el := time.Since(start)
 		peak := stop()
 		fmt.Printf("  %2d shards (ckpt)   %-10v  %6.1f MB   %.3e\n",
-			nshards, el.Round(time.Millisecond), float64(peak)/(1<<20), res.MaxAbsDiff(single))
+			nshards, srun.Elapsed.Round(time.Millisecond), float64(peak)/(1<<20),
+			srun.Result.MaxAbsDiff(single))
 	}
 
 	// The streaming-ingestion mode: the catalog is consumed from disk
@@ -525,15 +535,17 @@ func expSharded(s float64) error {
 	if err := catalog.SaveBinary(path, cat); err != nil {
 		return err
 	}
-	fileJob := &exec.Job{Source: catalog.NewFileSource(path), Config: cfg}
 	stop = sim.HeapSampler()
-	start = time.Now()
-	res, _, err := exec.Sharded{NShards: 8, Stream: true}.Run(context.Background(), fileJob)
+	frun, err := galactos.Run(context.Background(), galactos.Request{
+		Path: path, Config: cfg, Label: "bench-sharded-stream",
+		Backend: galactos.BackendSpec{Name: "sharded", Shards: 8, Stream: true},
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("   8 slabs (stream)  %-10v  %6.1f MB   %.3e\n",
-		time.Since(start).Round(time.Millisecond), float64(stop())/(1<<20), res.MaxAbsDiff(single))
+		frun.Elapsed.Round(time.Millisecond), float64(stop())/(1<<20),
+		frun.Result.MaxAbsDiff(single))
 	fmt.Println("both peaks include the catalog (shared by the two paths); the sharded")
 	fmt.Println("excess over it stays near one shard's engine state as shards grow, and")
 	fmt.Println("the streaming mode drops the resident-catalog requirement entirely.")
@@ -563,12 +575,11 @@ func expPerfstat(s float64) error {
 	}
 	var best *perfstat.Report
 	for it := 0; it < iters; it++ {
-		start := time.Now()
-		res, err := core.Compute(cat, cfg)
+		run, err := facadeRun(cat, cfg, "bench-baseline")
 		if err != nil {
 			return err
 		}
-		r := perfstat.Collect("bench-baseline", cfg, res, time.Since(start))
+		r := run.Perf
 		fmt.Printf("  run %d/%d: %.3e pairs/s (%.2f model GF/s)\n",
 			it+1, iters, r.PairsPerSec, r.ModelGFlopsPerSec)
 		if best == nil || r.PairsPerSec > best.PairsPerSec {
@@ -605,7 +616,7 @@ func clampInt(v, lo, hi int) int {
 // (comparable across hosts sharing the kernel dispatch tag).
 func expScenarios(s float64) error {
 	n := clampInt(int(1500*s), 400, 20000)
-	pts, err := sim.ScenarioSweep(context.Background(), exec.Local{}, nil, n, 1)
+	pts, err := sim.ScenarioSweep(context.Background(), galactos.LocalBackend(), nil, n, 1)
 	if err != nil {
 		return err
 	}

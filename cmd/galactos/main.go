@@ -39,7 +39,6 @@ import (
 
 	"galactos"
 	"galactos/internal/core"
-	"galactos/internal/exec"
 	"galactos/internal/perfmodel"
 )
 
@@ -140,7 +139,7 @@ func main() {
 	if *stream && *shardPar != 1 {
 		fatalf("-shard-concurrency has no effect with -stream (the streaming pipeline is the minimum-memory path and computes slabs sequentially)")
 	}
-	spec := exec.Spec{
+	spec := galactos.BackendSpec{
 		Name:             name,
 		Shards:           *shards,
 		ShardConcurrency: *shardPar,
@@ -169,27 +168,30 @@ func main() {
 	}
 
 	// The streaming sharded backend never materializes the catalog; every
-	// other path loads it up front.
-	src := galactos.NewFileSource(*in)
-	if !(*stream && name == "sharded") {
+	// other path loads it up front. Execution goes through the facade's one
+	// canonical entrypoint: the Request below, serialized, is also a valid
+	// galactosd job.
+	req := galactos.Request{
+		Config:  cfg,
+		Backend: spec,
+		Label:   "galactos-run",
+		Log: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	}
+	if *stream && name == "sharded" {
+		fmt.Printf("streaming %s (catalog never fully resident)\n", *in)
+		req.Path = *in
+	} else {
 		cat, err := galactos.LoadCatalog(*in)
 		if err != nil {
 			fatalf("loading %s: %v", *in, err)
 		}
 		fmt.Printf("loaded %d galaxies (box %.1f Mpc/h)\n", cat.Len(), cat.Box.L)
-		src = galactos.NewMemorySource(cat)
-	} else {
-		fmt.Printf("streaming %s (catalog never fully resident)\n", *in)
+		req.Catalog = cat
 	}
 
-	run, err := exec.Run(ctx, b, &exec.Job{
-		Source: src,
-		Config: cfg,
-		Label:  "galactos-run",
-		Log: func(format string, args ...any) {
-			fmt.Printf("  "+format+"\n", args...)
-		},
-	})
+	run, err := galactos.Run(ctx, req)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			msg := "interrupted"

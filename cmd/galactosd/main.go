@@ -1,0 +1,73 @@
+// Command galactosd serves the anisotropic 3PCF as a job service: clients
+// POST galactos.Request jobs as JSON, follow per-unit progress over SSE,
+// and fetch results in the versioned resultio encoding. Completed results
+// are cached by catalog content hash and normalized config fingerprint, so
+// a resubmitted job answers byte-for-byte from the cache.
+//
+// Usage:
+//
+//	galactosd [-addr :8080] [-workers 2] [-queue 64] [-cache 256] [-quiet]
+//
+// SIGINT/SIGTERM starts a graceful shutdown: the listener stops accepting,
+// queued and running jobs drain (bounded by -drain), then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"galactos/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent jobs")
+	queue := flag.Int("queue", 64, "job queue depth")
+	cache := flag.Int("cache", 256, "result cache entries (negative disables)")
+	drain := flag.Duration("drain", 2*time.Minute, "graceful shutdown drain deadline")
+	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "galactosd: ", log.LstdFlags)
+	opts := service.Options{Workers: *workers, QueueDepth: *queue, CacheEntries: *cache}
+	if !*quiet {
+		opts.Log = func(format string, args ...any) { logger.Printf(format, args...) }
+	}
+	svc := service.New(opts)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s (%d workers, queue %d, cache %d)", *addr, *workers, *queue, *cache)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down: draining jobs (deadline %s)", *drain)
+	deadline, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting first, then drain the job queue; an expired deadline
+	// cancels in-flight jobs rather than hanging the process.
+	if err := httpSrv.Shutdown(deadline); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(deadline); err != nil {
+		fmt.Fprintln(os.Stderr, "galactosd: drain deadline exceeded, jobs cancelled")
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly")
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -38,14 +39,17 @@ func main() {
 	cfg.IsotropicOnly = true // the BAO feature lives in the isotropic part
 	cfg.SelfCount = false
 
-	resB, err := galactos.Compute(bao, cfg)
+	runB, err := galactos.Run(context.Background(),
+		galactos.Request{Catalog: bao, Config: cfg, Label: "bao-mock"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	resR, err := galactos.Compute(random, cfg)
+	runR, err := galactos.Run(context.Background(),
+		galactos.Request{Catalog: random, Config: cfg, Label: "bao-random"})
 	if err != nil {
 		log.Fatal(err)
 	}
+	resB, resR := runB.Result, runR.Result
 
 	// Ratio of zeta_0 diagonals: clustering excess per separation scale.
 	fmt.Println("\nzeta_0(r, r) BAO / random (1.00 = unclustered):")

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -35,13 +36,16 @@ func main() {
 	// it on when the absolute values matter; off for performance studies.
 	cfg.SelfCount = false
 
-	start := time.Now()
-	res, err := galactos.Compute(cat, cfg)
+	// Run is the facade's one canonical entrypoint: the same Request,
+	// serialized as JSON, submits unchanged to the galactosd job service.
+	run, err := galactos.Run(context.Background(),
+		galactos.Request{Catalog: cat, Config: cfg, Label: "quickstart"})
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := run.Result
 	fmt.Printf("computed %d primary galaxies, %d pairs in %v\n",
-		res.NPrimaries, res.Pairs, time.Since(start).Round(time.Millisecond))
+		res.NPrimaries, res.Pairs, run.Elapsed.Round(time.Millisecond))
 
 	// The isotropic multipoles zeta_l(r1, r2) (Slepian–Eisenstein basis).
 	fmt.Println("\nisotropic monopole zeta_0(r, r) along the diagonal:")

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -37,14 +38,17 @@ func main() {
 	cfg.SelfCount = false
 	cfg.LOS = galactos.LOSPlaneParallel // simulation-box convention
 
-	resI, err := galactos.Compute(iso, cfg)
+	runI, err := galactos.Run(context.Background(),
+		galactos.Request{Catalog: iso, Config: cfg, Label: "rsd-isotropic"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	resR, err := galactos.Compute(rsd, cfg)
+	runR, err := galactos.Run(context.Background(),
+		galactos.Request{Catalog: rsd, Config: cfg, Label: "rsd-distorted"})
 	if err != nil {
 		log.Fatal(err)
 	}
+	resI, resR := runI.Result, runR.Result
 
 	fmt.Printf("catalogs: %d galaxies, box %.0f Mpc/h (isotropic vs z-stretched)\n\n", n, boxL)
 

@@ -1,0 +1,98 @@
+// Service: run galactosd in-process, submit a 3PCF job over its HTTP API
+// with streamed progress, and fetch the result — the same client flow a
+// remote galactosd deployment serves. The demo also resubmits the job to
+// show the content-addressed result cache answering without recomputing.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"galactos"
+	"galactos/client"
+	"galactos/internal/service"
+)
+
+func main() {
+	nFlag := flag.Int("n", 5000, "catalog size (small values smoke-test only)")
+	flag.Parse()
+	ctx := context.Background()
+
+	// An in-process galactosd: the same service.New + Handler pair the
+	// galactosd command serves; only the listener differs.
+	svc := service.New(service.Options{Workers: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, svc.Handler())
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Shutdown(sctx)
+		ln.Close()
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("galactosd listening at %s\n", base)
+
+	// A job is a galactos.Request — the same value Run takes — serialized
+	// as JSON. The catalog travels inline with the request.
+	cat := galactos.GenerateClustered(*nFlag, 200, galactos.DefaultClusterParams(), 1)
+	cfg := galactos.DefaultConfig()
+	cfg.RMax = 60
+	cfg.NBins = 6
+	cfg.LMax = 5
+	req := galactos.Request{Catalog: cat, Config: cfg, Label: "service-demo"}
+
+	cl := client.New(base, nil)
+	fmt.Printf("submitting: %d galaxies, rmax %.0f, %d bins, l_max %d\n",
+		cat.Len(), cfg.RMax, cfg.NBins, cfg.LMax)
+	st, err := cl.SubmitStream(ctx, req, func(ev client.Event) {
+		switch ev.Type {
+		case "state":
+			fmt.Printf("  [%d] -> %s\n", ev.Seq, ev.State)
+		case "log":
+			fmt.Printf("  [%d] %s\n", ev.Seq, ev.Message)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		log.Fatalf("job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+
+	res, err := cl.Result(ctx, st.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done: %d pairs over %d primaries in %.2fs\n",
+		res.Pairs, res.NPrimaries, st.ElapsedSec)
+	fmt.Printf("zeta_0 diagonal: ")
+	for b := 0; b < cfg.NBins; b++ {
+		fmt.Printf("%.1f ", res.IsoZeta(0, b, b))
+	}
+	fmt.Println()
+
+	// Resubmit the identical request: the server recognizes it by catalog
+	// content hash + config fingerprint and answers from the result cache.
+	st2, err := cl.Submit(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st2, err = cl.Wait(ctx, st2.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resubmitted as %s: state %s, cache_hit=%v (server: %d hits / %d misses)\n",
+		st2.ID, st2.State, st2.CacheHit, stats.CacheHits, stats.CacheMisses)
+}

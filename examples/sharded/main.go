@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -43,15 +44,18 @@ func main() {
 	// (with more workers the results agree to floating-point rounding).
 	cfg.Workers = 1
 
-	// Single shot: the whole catalog through one engine.
+	// Single shot: the whole catalog through one engine, via the facade's
+	// canonical Run entrypoint.
 	stop := heapSampler()
-	start := time.Now()
-	single, err := galactos.Compute(cat, cfg)
+	srun, err := galactos.Run(context.Background(), galactos.Request{
+		Catalog: cat, Config: cfg, Label: "sharded-example-single",
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	single := srun.Result
 	fmt.Printf("single shot: %d pairs in %v, peak engine heap %.1f MB\n",
-		single.Pairs, time.Since(start).Round(time.Millisecond), mb(stop()))
+		single.Pairs, srun.Elapsed.Round(time.Millisecond), mb(stop()))
 
 	// Sharded: 8 halo-padded spatial shards, one at a time, each partial
 	// checkpointed to disk in the versioned binary Result format.
@@ -60,20 +64,24 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	opts := galactos.ShardOptions{
-		NShards:       8,
-		CheckpointDir: dir,
-		Keep:          true, // keep the checkpoints so we can "resume" below
-		Log:           func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) },
+	req := galactos.Request{
+		Catalog: cat, Config: cfg, Label: "sharded-example",
+		Backend: galactos.BackendSpec{
+			Name:          "sharded",
+			Shards:        8,
+			CheckpointDir: dir,
+			Keep:          true, // keep the checkpoints so we can "resume" below
+		},
+		Log: func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) },
 	}
 	stop = heapSampler()
-	start = time.Now()
-	sharded, stats, err := galactos.ComputeSharded(cat, cfg, opts)
+	shrun, err := galactos.Run(context.Background(), req)
 	if err != nil {
 		log.Fatal(err)
 	}
+	sharded, stats := shrun.Result, shrun.Units
 	fmt.Printf("sharded:     %d pairs in %v, peak engine heap %.1f MB\n",
-		sharded.Pairs, time.Since(start).Round(time.Millisecond), mb(stop()))
+		sharded.Pairs, shrun.Elapsed.Round(time.Millisecond), mb(stop()))
 	fmt.Printf("max |aniso difference| vs single shot: %.3e (scale %.3e)\n",
 		sharded.MaxAbsDiff(single), single.MaxAbs())
 	fmt.Println("both peaks include the catalog itself; the sharded path replaces the")
@@ -86,15 +94,17 @@ func main() {
 	// Shards with a surviving checkpoint are loaded, the rest recomputed;
 	// the merged result is identical to the uninterrupted run.
 	for _, s := range stats[len(stats)-3:] {
-		os.Remove(fmt.Sprintf("%s/shard-%04d-of-%04d.gres", dir, s.Shard, opts.NShards))
+		os.Remove(fmt.Sprintf("%s/shard-%04d-of-%04d.gres", dir, s.Unit, req.Backend.Shards))
 	}
-	opts.Resume = true
-	opts.Keep = false
+	req.Backend.Resume = true
+	req.Backend.Keep = false
+	req.Label = "sharded-example-resume"
 	fmt.Println("resume after simulated kill (3 of 8 checkpoints lost):")
-	resumed, rstats, err := galactos.ComputeSharded(cat, cfg, opts)
+	rrun, err := galactos.Run(context.Background(), req)
 	if err != nil {
 		log.Fatal(err)
 	}
+	resumed, rstats := rrun.Result, rrun.Units
 	nres := 0
 	for _, s := range rstats {
 		if s.Resumed {

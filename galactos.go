@@ -4,12 +4,23 @@
 // Correlation Function for 2 Billion Galaxies" (SC '17).
 //
 // The only required input is the 3-D positions of the galaxies (plus
-// optional weights). A minimal computation:
+// optional weights). Every computation goes through the one canonical
+// entrypoint, Run, with a Request describing the job:
 //
 //	cat := galactos.GenerateClustered(100000, 500, galactos.DefaultClusterParams(), 1)
-//	cfg := galactos.DefaultConfig()
-//	res, err := galactos.Compute(cat, cfg)
-//	// res.IsoZeta(l, b1, b2), res.ZetaM(l1, l2, m, b1, b2)
+//	run, err := galactos.Run(ctx, galactos.Request{
+//		Catalog: cat,
+//		Config:  galactos.DefaultConfig(),
+//	})
+//	// run.Result.IsoZeta(l, b1, b2), run.Result.ZetaM(l1, l2, m, b1, b2)
+//
+// The Request's Backend spec scales the same job out-of-core (sharded, with
+// checkpoints and streaming ingestion) or across simulated MPI ranks
+// (dist); serialized to JSON, the identical Request is the wire schema of
+// the galactosd job service (see cmd/galactosd and the client package). The
+// legacy Compute*/ShardedCompute variants remain as deprecated thin
+// wrappers over Run; see DESIGN.md, "Service layer", for the deprecation
+// policy.
 //
 // The package also exposes the distributed pipeline (k-d partitioning, halo
 // exchange, reduction) over an in-process message-passing runtime, the
@@ -51,6 +62,9 @@ type Galaxy = catalog.Galaxy
 type Catalog = catalog.Catalog
 
 // Config holds the 3PCF computation parameters; start from DefaultConfig.
+// Config.Fingerprint is the canonical hash of the normalized configuration
+// — the config half of the service result-cache key, and the scenario pin
+// in perfstat reports.
 type Config = core.Config
 
 // Result holds the accumulated 3PCF multipoles zeta^m_{l1 l2}(r1, r2) and
@@ -156,23 +170,31 @@ func ShardedBackend(nshards int, opts ShardOptions) Backend {
 func DistributedBackend(nranks int) Backend { return exec.Distributed{Ranks: nranks} }
 
 // RunBackend executes a 3PCF job on any backend under the shared timing and
-// perfstat telemetry. Cancelling ctx (deadline, SIGINT, ...) stops the run
-// promptly with ctx.Err(); a cancelled checkpointed sharded run leaves a
-// resumable checkpoint directory.
+// perfstat telemetry.
+//
+// Deprecated: use Run with a Request (set Via for a constructed Backend, or
+// the serializable Backend spec).
 func RunBackend(ctx context.Context, b Backend, src CatalogSource, cfg Config) (*RunResult, error) {
-	return exec.Run(ctx, b, &exec.Job{Source: src, Config: cfg})
+	return Run(ctx, Request{Source: src, Config: cfg, Via: b})
 }
 
 // Compute runs the single-node anisotropic 3PCF over a catalog.
+//
+// Deprecated: use Run with a Request.
 func Compute(cat *Catalog, cfg Config) (*Result, error) {
 	return ComputeContext(context.Background(), cat, cfg)
 }
 
 // ComputeContext is Compute under a context: cancelling ctx stops the
 // worker loop at its next scheduling chunk and returns ctx.Err().
+//
+// Deprecated: use Run with a Request.
 func ComputeContext(ctx context.Context, cat *Catalog, cfg Config) (*Result, error) {
-	res, _, err := exec.Local{}.Run(ctx, &exec.Job{Source: catalog.NewMemorySource(cat), Config: cfg})
-	return res, err
+	run, err := Run(ctx, Request{Catalog: cat, Config: cfg})
+	if err != nil {
+		return nil, err
+	}
+	return run.Result, nil
 }
 
 // ComputeSubset computes with an explicit primary mask (halo copies or
@@ -186,17 +208,22 @@ func ComputeSubset(cat *Catalog, primary []bool, cfg Config) (*Result, error) {
 // exchange, embarrassingly parallel node-local 3PCF, final reduction — on
 // the in-process message-passing runtime. It returns the reduced result and
 // per-rank load statistics.
+//
+// Deprecated: use Run with a Request whose Backend spec names "dist".
 func ComputeDistributed(cat *Catalog, nranks int, cfg Config) (*Result, []RankStats, error) {
-	res, units, err := exec.Distributed{Ranks: nranks}.Run(context.Background(),
-		&exec.Job{Source: catalog.NewMemorySource(cat), Config: cfg})
+	run, err := Run(context.Background(), Request{
+		Catalog: cat,
+		Config:  cfg,
+		Via:     exec.Distributed{Ranks: nranks},
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	st := make([]RankStats, len(units))
-	for i, u := range units {
+	st := make([]RankStats, len(run.Units))
+	for i, u := range run.Units {
 		st[i] = RankStats{Rank: u.Unit, NOwned: u.NOwned, NHalo: u.NHalo, Pairs: u.Pairs, Elapsed: u.Elapsed}
 	}
-	return res, st, nil
+	return run.Result, st, nil
 }
 
 // ShardStats reports per-shard load statistics from a sharded run.
@@ -210,8 +237,10 @@ type ShardOptions = shard.Options
 // "shard"): the catalog is cut into nshards halo-padded spatial shards with
 // the same k-d partitioner as the distributed path, each shard's node-local
 // 3PCF runs in turn, and the partial multipoles are merged. The result
-// matches single-shot Compute to floating-point rounding while the peak
+// matches a single-shot run to floating-point rounding while the peak
 // engine footprint is that of one shard.
+//
+// Deprecated: use Run with a Request whose Backend spec names "sharded".
 func ShardedCompute(cat *Catalog, nshards int, cfg Config) (*Result, []ShardStats, error) {
 	return ComputeSharded(cat, cfg, ShardOptions{NShards: nshards})
 }
@@ -219,6 +248,8 @@ func ShardedCompute(cat *Catalog, nshards int, cfg Config) (*Result, []ShardStat
 // ComputeSharded is ShardedCompute with full options: bounded shard
 // concurrency, per-shard checkpoints of the partial Result in the versioned
 // binary format, and resume-from-checkpoint after a killed run.
+//
+// Deprecated: use Run with a Request whose Backend spec names "sharded".
 func ComputeSharded(cat *Catalog, cfg Config, opts ShardOptions) (*Result, []ShardStats, error) {
 	return ComputeShardedContext(context.Background(), cat, cfg, opts)
 }
@@ -226,32 +257,45 @@ func ComputeSharded(cat *Catalog, cfg Config, opts ShardOptions) (*Result, []Sha
 // ComputeShardedContext is ComputeSharded under a context: cancellation
 // stops the pipeline promptly and leaves completed shards' checkpoints (and
 // the manifest) on disk, so the run is resumable like a killed one.
+//
+// Deprecated: use Run with a Request whose Backend spec names "sharded".
 func ComputeShardedContext(ctx context.Context, cat *Catalog, cfg Config, opts ShardOptions) (*Result, []ShardStats, error) {
-	b := exec.Sharded{
-		NShards:       opts.NShards,
-		MaxConcurrent: opts.MaxConcurrent,
-		CheckpointDir: opts.CheckpointDir,
-		Resume:        opts.Resume,
-		Keep:          opts.Keep,
-	}
-	res, units, err := b.Run(ctx, &exec.Job{Source: catalog.NewMemorySource(cat), Config: cfg, Log: opts.Log})
-	if err != nil {
-		return nil, nil, err
-	}
-	st := make([]ShardStats, len(units))
-	for i, u := range units {
-		st[i] = ShardStats{Shard: u.Unit, NOwned: u.NOwned, NHalo: u.NHalo,
-			Pairs: u.Pairs, Elapsed: u.Elapsed, Resumed: u.Resumed}
-	}
-	return res, st, nil
+	return runSharded(ctx, Request{Catalog: cat, Config: cfg, Log: opts.Log}, opts, false)
 }
 
 // ComputeShardedStream runs the sharded pipeline over a streaming catalog
 // source (e.g. NewFileSource): the catalog is never loaded whole — three
 // sequential passes plan equal-count slabs, spill each slab's galaxies plus
 // halo to disk, and the engine computes one slab at a time.
+//
+// Deprecated: use Run with a Request whose Backend spec names "sharded"
+// with Stream set.
 func ComputeShardedStream(ctx context.Context, src CatalogSource, cfg Config, opts ShardOptions) (*Result, []ShardStats, error) {
-	return shard.ComputeStream(ctx, src, cfg, opts)
+	return runSharded(ctx, Request{Source: src, Config: cfg, Log: opts.Log}, opts, true)
+}
+
+// runSharded routes the deprecated sharded wrappers through Run, mapping
+// the legacy ShardOptions onto the sharded backend and the uniform
+// UnitStats back onto the legacy per-shard form.
+func runSharded(ctx context.Context, req Request, opts ShardOptions, stream bool) (*Result, []ShardStats, error) {
+	req.Via = exec.Sharded{
+		NShards:       opts.NShards,
+		MaxConcurrent: opts.MaxConcurrent,
+		CheckpointDir: opts.CheckpointDir,
+		Resume:        opts.Resume,
+		Keep:          opts.Keep,
+		Stream:        stream,
+	}
+	run, err := Run(ctx, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := make([]ShardStats, len(run.Units))
+	for i, u := range run.Units {
+		st[i] = ShardStats{Shard: u.Unit, NOwned: u.NOwned, NHalo: u.NHalo,
+			Pairs: u.Pairs, Elapsed: u.Elapsed, Resumed: u.Resumed}
+	}
+	return run.Result, st, nil
 }
 
 // SaveResult writes a Result checkpoint in the versioned binary format

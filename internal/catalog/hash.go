@@ -1,0 +1,55 @@
+package catalog
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+	"math"
+)
+
+// hashVersion seeds every catalog hash so a change to the hashed layout can
+// never collide with hashes minted under the old scheme.
+const hashVersion = "GCAT1"
+
+// Hash streams one pass over the source and returns the SHA-256 content
+// hash of the catalog: the packed (x, y, z, w) records in order, followed by
+// the box side and the galaxy count. The hash depends only on the catalog's
+// content — an in-memory catalog, the binary file it was saved to, and a CSV
+// carrying the same galaxies all hash identically — which makes it the
+// catalog half of the service result-cache key. The catalog is never
+// materialized: peak memory is one chunk.
+func Hash(src Source) (string, error) {
+	cur, err := src.Open()
+	if err != nil {
+		return "", err
+	}
+	defer cur.Close()
+
+	h := sha256.New()
+	h.Write([]byte(hashVersion))
+	buf := make([]Galaxy, ChunkSize)
+	rec := make([]byte, RecordSize)
+	var count uint64
+	for {
+		n, err := cur.Next(buf)
+		for _, g := range buf[:n] {
+			PutRecord(rec, g)
+			h.Write(rec)
+		}
+		count += uint64(n)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return "", err
+		}
+	}
+	// The box is read after the drain: CSV cursors only know their L= token
+	// once the pass is complete.
+	var tail [16]byte
+	binary.LittleEndian.PutUint64(tail[0:8], math.Float64bits(cur.Box().L))
+	binary.LittleEndian.PutUint64(tail[8:16], count)
+	h.Write(tail[:])
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,83 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestHashContentAddressed(t *testing.T) {
+	cat := Clustered(500, 200, DefaultClusterParams(), 3)
+
+	mem, err := Hash(NewMemorySource(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Hash(NewMemorySource(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem != again {
+		t.Errorf("hash unstable across passes: %s vs %s", mem, again)
+	}
+
+	// The binary file carrying the same galaxies must hash identically:
+	// the hash addresses content, not representation.
+	path := filepath.Join(t.TempDir(), "cat.glxc")
+	if err := SaveBinary(path, cat); err != nil {
+		t.Fatal(err)
+	}
+	file, err := Hash(NewFileSource(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem != file {
+		t.Errorf("memory and file sources of the same catalog hash differently:\n  %s\n  %s", mem, file)
+	}
+}
+
+func TestHashSeparatesCatalogs(t *testing.T) {
+	base := Clustered(300, 200, DefaultClusterParams(), 3)
+	h0, err := Hash(NewMemorySource(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Different galaxies.
+	other := Clustered(300, 200, DefaultClusterParams(), 4)
+	h1, err := Hash(NewMemorySource(other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0 == h1 {
+		t.Error("different catalogs hash identically")
+	}
+
+	// Same galaxies, different box.
+	reboxed := &Catalog{Galaxies: base.Galaxies, Box: base.Box}
+	reboxed.Box.L = base.Box.L * 2
+	h2, err := Hash(NewMemorySource(reboxed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0 == h2 {
+		t.Error("box change did not change the hash")
+	}
+
+	// Same galaxies, one weight flipped.
+	weighted := &Catalog{Galaxies: append([]Galaxy(nil), base.Galaxies...), Box: base.Box}
+	weighted.Galaxies[7].Weight = -1
+	h3, err := Hash(NewMemorySource(weighted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0 == h3 {
+		t.Error("weight change did not change the hash")
+	}
+}
+
+func TestHashPropagatesOpenError(t *testing.T) {
+	if _, err := Hash(NewFileSource(filepath.Join(t.TempDir(), "missing.glxc"))); !os.IsNotExist(err) {
+		t.Errorf("want not-exist error, got %v", err)
+	}
+}

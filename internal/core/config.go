@@ -10,6 +10,7 @@ import (
 	"runtime"
 
 	"galactos/internal/geom"
+	"galactos/internal/kdtree"
 )
 
 // LOSMode selects how the line of sight is defined.
@@ -124,7 +125,10 @@ type Config struct {
 	// cache-resident (the paper's bucket size, 128). Results are invariant
 	// to it up to floating-point regrouping.
 	BucketSize int
-	// Workers is the number of concurrent workers; <= 0 means GOMAXPROCS.
+	// Workers is the run's total worker budget; <= 0 means GOMAXPROCS.
+	// Backends that run several engine instances concurrently (distributed
+	// ranks, concurrent shards) split this budget across them via
+	// DivideWorkers, so the budget describes the whole run, not one engine.
 	Workers int
 	// Finder selects the neighbor-search substrate.
 	Finder FinderKind
@@ -191,6 +195,9 @@ func (c Config) Normalize() (Config, error) {
 	if c.ChunkSize <= 0 {
 		c.ChunkSize = 64
 	}
+	if c.LeafSize <= 0 {
+		c.LeafSize = kdtree.DefaultLeafSize
+	}
 	if c.GridCell <= 0 {
 		c.GridCell = c.RMax / 4
 	}
@@ -217,16 +224,23 @@ func (c Config) EffectiveWorkers(n int) int {
 	return w
 }
 
-// DivideWorkers returns a copy of the config with the normalized worker
-// budget split across `slots` concurrent engine instances (never below 1 per
-// slot), so running several engines at once does not oversubscribe the host.
-// A config with an explicit Workers value is left untouched: the caller
-// asked for that many workers per engine.
+// DivideWorkers returns a copy of the config with the total worker budget
+// split across `slots` concurrent engine instances (never below 1 per slot),
+// so running several engines at once does not oversubscribe the host. An
+// unset budget (<= 0) divides GOMAXPROCS, exactly as Normalize would resolve
+// it — the division commutes with normalization, which is what lets the
+// execution layer normalize a job's config exactly once at entry and still
+// hand every backend the same per-engine budget it would have derived from
+// the raw config.
 func (c Config) DivideWorkers(slots int) Config {
-	if slots <= 1 || c.Workers > 0 {
+	if slots <= 1 {
 		return c
 	}
-	c.Workers = runtime.GOMAXPROCS(0) / slots
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	c.Workers = w / slots
 	if c.Workers < 1 {
 		c.Workers = 1
 	}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// fingerprintVersion is baked into every fingerprint so a change to the
+// hashed field set (or to Normalize's defaulting rules) can never collide
+// with fingerprints minted under the old scheme.
+const fingerprintVersion = "GCFP1"
+
+// Fingerprint returns the canonical content hash of the configuration: the
+// config is normalized first, then every field is folded into a SHA-256 in
+// fixed declaration order. Two configs that normalize to the same effective
+// configuration — whether tunables were left zero or spelled out explicitly,
+// and regardless of how the caller assembled them — fingerprint identically;
+// any change to an effective field changes the fingerprint.
+//
+// The fingerprint is the config half of the service result-cache key and
+// pins the measured scenario in perfstat reports. Every field that can
+// influence the result's bits is included; that covers Workers, because the
+// engine groups per-worker partial sums and merges them in worker order, so
+// the floating-point grouping (not the values' mathematical content) depends
+// on the worker count. Scheduling is included too, conservatively, even
+// though dynamic and static runs are pinned bitwise-identical at a fixed
+// worker count by the core property tests.
+//
+// A config that does not normalize has no canonical form; the zero-config
+// error is returned unchanged.
+func (c Config) Fingerprint() (string, error) {
+	n, err := c.Normalize()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(fingerprintVersion))
+	var buf [8]byte
+	le := binary.LittleEndian
+	putF := func(v float64) {
+		le.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	putI := func(v int) {
+		le.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	putB := func(v bool) {
+		if v {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	putF(n.RMax)
+	putF(n.RMin)
+	putI(n.NBins)
+	putI(n.LMax)
+	putI(int(n.LOS))
+	putF(n.Observer.X)
+	putF(n.Observer.Y)
+	putF(n.Observer.Z)
+	putB(n.SelfCount)
+	putB(n.IsotropicOnly)
+	putI(n.BucketSize)
+	putI(n.Workers)
+	putI(int(n.Finder))
+	putI(n.LeafSize)
+	putF(n.GridCell)
+	putI(int(n.Scheduling))
+	putI(n.ChunkSize)
+	putF(n.BlockCell)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -79,10 +79,26 @@ type RunResult struct {
 // clock around the whole pipeline and one perfstat collection, identical
 // across backends (this replaces the per-path timing code the three
 // drivers used to carry).
+//
+// Run normalizes the job's config exactly once, here at entry, and hands
+// every backend the normalized form; an invalid config is rejected before
+// any catalog IO. Backends that run several engines concurrently divide the
+// normalized total worker budget across their engine slots
+// (core.Config.DivideWorkers), and that division commutes with
+// normalization — so a job submitted with defaulted tunables and the same
+// job with the normalized config spelled out produce bitwise-identical
+// results on every backend.
 func Run(ctx context.Context, b Backend, job *Job) (*RunResult, error) {
 	if job.Source == nil {
 		return nil, fmt.Errorf("exec: job has no catalog source")
 	}
+	ncfg, err := job.Config.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	j := *job
+	j.Config = ncfg
+	job = &j
 	start := time.Now()
 	res, units, err := b.Run(ctx, job)
 	if err != nil {
@@ -253,7 +269,7 @@ func (b Distributed) Run(ctx context.Context, job *Job) (*core.Result, []UnitSta
 	if err != nil {
 		return nil, nil, err
 	}
-	// All ranks run concurrently as goroutines: split the default worker
+	// All ranks run concurrently as goroutines: split the total worker
 	// budget across them so the host is not oversubscribed Ranks-fold.
 	cfg := job.Config.DivideWorkers(b.Ranks)
 	var (

@@ -59,6 +59,12 @@ type Report struct {
 	// before these fields existed; such reports compare as before.
 	Workers    int    `json:"workers,omitempty"`
 	Scheduling string `json:"scheduling,omitempty"`
+	// ConfigFingerprint is core.Config.Fingerprint of the measured run's
+	// normalized configuration — the same canonical hash the galactosd
+	// result cache keys on. It pins the full scenario, so Compare rejects
+	// any configuration drift the coarser fields above can't see (bucket
+	// size, finder, leaf size, ...). Empty means a legacy report.
+	ConfigFingerprint string `json:"config_fingerprint,omitempty"`
 
 	ElapsedSec        float64 `json:"elapsed_sec"`
 	PairsPerSec       float64 `json:"pairs_per_sec"`
@@ -106,6 +112,9 @@ func Collect(label string, cfg core.Config, res *core.Result, elapsed time.Durat
 	if ncfg, err := cfg.Normalize(); err == nil {
 		r.Workers = ncfg.Workers
 		r.Scheduling = ncfg.Scheduling.String()
+	}
+	if fp, err := cfg.Fingerprint(); err == nil {
+		r.ConfigFingerprint = fp
 	}
 	return r
 }
@@ -164,6 +173,16 @@ func Compare(baseline, fresh *Report, tolerance float64) (string, error) {
 		return "", fmt.Errorf(
 			"perfstat: scheduling policies differ (baseline %q, fresh %q) — rates are not comparable; refresh the baseline",
 			baseline.Scheduling, fresh.Scheduling)
+	}
+	// The fingerprint catches configuration drift the coarser scenario
+	// fields can't (bucket size, finder, leaf size, ...). Checked after
+	// them so the specific messages above win where they apply; legacy
+	// reports (empty fingerprint) are exempt until refreshed.
+	if baseline.ConfigFingerprint != "" && fresh.ConfigFingerprint != "" &&
+		baseline.ConfigFingerprint != fresh.ConfigFingerprint {
+		return "", fmt.Errorf(
+			"perfstat: config fingerprints differ (baseline %s, fresh %s) — the measured configuration changed; refresh the baseline",
+			baseline.ConfigFingerprint[:12], fresh.ConfigFingerprint[:12])
 	}
 	if baseline.PairsPerSec <= 0 {
 		return "", fmt.Errorf("perfstat: baseline has no pairs/sec rate")

@@ -153,18 +153,40 @@ func TestCompareRejectsSchedulingMismatch(t *testing.T) {
 }
 
 func TestCompareToleratesLegacyReports(t *testing.T) {
-	// Reports written before the workers/scheduling fields existed carry
-	// zero values; they must keep comparing so a committed baseline does
-	// not brick the gate the moment the fresh side gains the fields.
+	// Reports written before the workers/scheduling/fingerprint fields
+	// existed carry zero values; they must keep comparing so a committed
+	// baseline does not brick the gate the moment the fresh side gains the
+	// fields.
 	modern := sampleReport(t)
 	legacy := *modern
 	legacy.Workers = 0
 	legacy.Scheduling = ""
+	legacy.ConfigFingerprint = ""
 	if _, err := Compare(&legacy, modern, 0.25); err != nil {
 		t.Errorf("legacy baseline rejected: %v", err)
 	}
 	if _, err := Compare(modern, &legacy, 0.25); err != nil {
 		t.Errorf("legacy fresh report rejected: %v", err)
+	}
+}
+
+func TestCollectPopulatesConfigFingerprint(t *testing.T) {
+	r := sampleReport(t)
+	if len(r.ConfigFingerprint) != 64 {
+		t.Errorf("ConfigFingerprint = %q, want a sha256 hex digest", r.ConfigFingerprint)
+	}
+}
+
+func TestCompareRejectsConfigFingerprintMismatch(t *testing.T) {
+	// The fingerprint pins configuration knobs the coarse scenario fields
+	// miss (bucket size, finder, ...): drift there must not gate silently.
+	base := sampleReport(t)
+	fresh := *base
+	fresh.ConfigFingerprint = strings.Repeat("ab", 32)
+	if _, err := Compare(base, &fresh, 0.25); err == nil {
+		t.Error("different config fingerprints compared")
+	} else if !strings.Contains(err.Error(), "config fingerprints differ") {
+		t.Errorf("unhelpful rejection: %v", err)
 	}
 }
 

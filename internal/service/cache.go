@@ -1,0 +1,70 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the bounded LRU result cache: completed results in the
+// versioned resultio encoding, keyed by (catalog content hash, normalized
+// config fingerprint). The encoding doubles as the wire format of the
+// result endpoint, so a cache hit is served byte-for-byte as the cold run
+// was — which is what makes the "cache hit is bitwise-identical" guarantee
+// trivially true rather than re-proved per release.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// newResultCache builds a cache bounded to max entries; max <= 0 disables
+// caching (every lookup misses, every store is dropped).
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+func (c *resultCache) put(key string, data []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).data = data
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

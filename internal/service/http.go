@@ -1,0 +1,196 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"galactos"
+)
+
+// Handler returns the galactosd HTTP API:
+//
+//	POST   /v1/jobs              submit a galactos.Request (JSON body);
+//	                             with ?stream, respond as an SSE event
+//	                             stream and cancel the job if the client
+//	                             disconnects before it finishes
+//	GET    /v1/jobs              list job statuses in submission order
+//	GET    /v1/jobs/{id}         one job's status
+//	GET    /v1/jobs/{id}/events  SSE event stream (full replay, then live;
+//	                             a watcher's disconnect does NOT cancel)
+//	GET    /v1/jobs/{id}/result  the result in resultio encoding
+//	DELETE /v1/jobs/{id}         cancel the job
+//	GET    /v1/stats             server-wide counters
+//	GET    /healthz              liveness probe
+//
+// Ownership is deliberate: only the ?stream submitter owns its job's
+// lifetime (disconnect cancels, mirroring a ctrl-C'd local run); event
+// watchers observe without owning.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req galactos.Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	j, err := s.Submit(req)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrBadRequest):
+			writeError(w, http.StatusBadRequest, err)
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	if r.URL.Query().Has("stream") {
+		s.streamJob(w, r, j, true)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFor(w, r); ok {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFor(w, r); ok {
+		s.streamJob(w, r, j, false)
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	data, state := j.resultBytes()
+	if state != StateDone {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s, not done", j.id, state))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// streamJob serves a job as a Server-Sent Events stream: first a "job"
+// event carrying the JobStatus (so streaming submitters learn their job
+// id), then the full event history replayed in order, then live events
+// until the job terminalizes. When owner is set (streaming submit), the
+// client's disconnect cancels the job; watchers only stop receiving.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *job, owner bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	// Waiters block on the job's cond; AfterFunc turns the client's
+	// disconnect into a broadcast (and, for owners, a job cancellation) so
+	// the handler goroutine always unblocks and exits — no leaks.
+	var stop func() bool
+	if owner {
+		stop = context.AfterFunc(r.Context(), func() {
+			j.cancel()
+			j.wake()
+		})
+	} else {
+		stop = context.AfterFunc(r.Context(), j.wake)
+	}
+	defer stop()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	writeSSE(w, "job", j.status())
+	fl.Flush()
+
+	next := 0
+	for r.Context().Err() == nil {
+		evs, state := j.waitEvents(r.Context(), next)
+		for _, ev := range evs {
+			writeSSE(w, ev.Type, ev)
+			next = ev.Seq + 1
+		}
+		fl.Flush()
+		if state.Terminal() && len(evs) == 0 {
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}

@@ -1,0 +1,329 @@
+// Package service implements galactosd: the 3PCF-as-a-service job server.
+//
+// A server owns a bounded worker pool draining a bounded job queue. Jobs
+// arrive as galactos.Request values (the facade's one canonical entrypoint
+// doubles as the wire schema), are validated and content-addressed at
+// submission — the cache key joins the catalog's content hash with the
+// normalized config's Fingerprint — and either complete immediately from
+// the LRU result cache or queue for a worker. Workers execute through
+// galactos.Run, inheriting the exec layer's cancellation and perfstat
+// plumbing unchanged; completed results are stored and served in the
+// versioned resultio encoding, so a cache hit is byte-for-byte the cold
+// run's payload.
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"galactos"
+	"galactos/internal/catalog"
+	"galactos/internal/core"
+)
+
+// Sentinel errors Submit returns; the HTTP layer maps them onto status
+// codes (400 / 429 / 503).
+var (
+	// ErrBadRequest wraps request validation failures: no or ambiguous
+	// catalog input, invalid config, contradictory backend spec, unreadable
+	// catalog.
+	ErrBadRequest = errors.New("invalid request")
+	// ErrQueueFull reports a full job queue; the client should back off and
+	// resubmit.
+	ErrQueueFull = errors.New("job queue is full")
+	// ErrDraining reports a server in graceful shutdown, no longer
+	// accepting work.
+	ErrDraining = errors.New("server is draining")
+)
+
+// Options configures a Server. The zero value is usable: defaults are
+// filled by New.
+type Options struct {
+	// Workers is the number of concurrent jobs (default 2). Each job's
+	// engine worker budget comes from its own config; Workers here bounds
+	// how many jobs run at once.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker
+	// (default 64). Submissions beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 256); negative
+	// disables caching.
+	CacheEntries int
+	// Log, when non-nil, receives server-level progress lines.
+	Log func(format string, args ...any)
+}
+
+// Server is the galactosd job server. Create with New, expose with
+// Handler, stop with Shutdown.
+type Server struct {
+	opts  Options
+	cache *resultCache
+	queue chan *job
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []*job // submission order, for listing
+	draining bool
+
+	nextID    atomic.Uint64
+	submitted atomic.Uint64
+	done      atomic.Uint64
+	failed    atomic.Uint64
+	cancelled atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	running   atomic.Int64
+}
+
+// New starts a server: its workers run until Shutdown.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.CacheEntries == 0 {
+		opts.CacheEntries = 256
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		cache:      newResultCache(opts.CacheEntries),
+		queue:      make(chan *job, opts.QueueDepth),
+		rootCtx:    ctx,
+		rootCancel: cancel,
+		jobs:       make(map[string]*job),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		s.opts.Log(format, args...)
+	}
+}
+
+// Submit validates and registers a job. Cache hits complete immediately
+// (state done, CacheHit set) without consuming a worker; misses queue.
+// Errors wrap ErrBadRequest, ErrQueueFull, or ErrDraining.
+func (s *Server) Submit(req galactos.Request) (*job, error) {
+	src, err := req.ResolveSource()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if _, err := req.ResolveBackend(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	fp, err := req.Config.Fingerprint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	catHash, err := catalog.Hash(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading catalog: %v", ErrBadRequest, err)
+	}
+	key := catHash + "+" + fp
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
+	ctx, cancel := context.WithCancel(s.rootCtx)
+	j := newJob(id, req, src, key, ctx, cancel)
+	s.jobs[id] = j
+	s.order = append(s.order, j)
+	s.mu.Unlock()
+	s.submitted.Add(1)
+
+	if data, ok := s.cache.get(key); ok {
+		s.hits.Add(1)
+		s.done.Add(1)
+		j.finish(StateDone, nil, nil, data, true)
+		s.logf("%s: cache hit (%s)", id, key[:12])
+		return j, nil
+	}
+	s.misses.Add(1)
+
+	select {
+	case s.queue <- j:
+		s.logf("%s: queued (%s)", id, key[:12])
+		return j, nil
+	default:
+		s.dropJob(j)
+		return nil, ErrQueueFull
+	}
+}
+
+// dropJob unregisters a job that never entered the queue.
+func (s *Server) dropJob(j *job) {
+	j.cancel()
+	s.mu.Lock()
+	delete(s.jobs, j.id)
+	if n := len(s.order); n > 0 && s.order[n-1] == j {
+		s.order = s.order[:n-1]
+	}
+	s.mu.Unlock()
+	s.submitted.Add(^uint64(0))
+	s.misses.Add(^uint64(0))
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job through the facade's Run, streaming the
+// backend's progress lines into the job's event log and caching the
+// resultio-encoded result on success.
+func (s *Server) runJob(j *job) {
+	if j.ctx.Err() != nil || !j.start() {
+		j.finish(StateCancelled, context.Cause(j.ctx), nil, nil, false)
+		s.cancelled.Add(1)
+		return
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	req := j.req
+	req.Source = j.src
+	req.Catalog = nil
+	req.Path = ""
+	req.Log = func(format string, args ...any) {
+		j.appendLog(fmt.Sprintf(format, args...))
+	}
+
+	run, err := galactos.Run(j.ctx, req)
+	switch {
+	case err != nil && j.ctx.Err() != nil:
+		j.finish(StateCancelled, err, nil, nil, false)
+		s.cancelled.Add(1)
+		s.logf("%s: cancelled", j.id)
+	case err != nil:
+		j.finish(StateFailed, err, nil, nil, false)
+		s.failed.Add(1)
+		s.logf("%s: failed: %v", j.id, err)
+	default:
+		var buf bytes.Buffer
+		if err := core.WriteResult(&buf, run.Result); err != nil {
+			j.finish(StateFailed, fmt.Errorf("encoding result: %w", err), nil, nil, false)
+			s.failed.Add(1)
+			return
+		}
+		s.cache.put(j.key, buf.Bytes())
+		j.finish(StateDone, nil, run, buf.Bytes(), false)
+		s.done.Add(1)
+		s.logf("%s: done in %s (%d pairs)", j.id, run.Elapsed, run.Result.Pairs)
+	}
+}
+
+// Job returns a registered job by id.
+func (s *Server) Job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots every registered job's status in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	order := make([]*job, len(s.order))
+	copy(order, s.order)
+	s.mu.Unlock()
+	out := make([]JobStatus, len(order))
+	for i, j := range order {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Cancel cancels a job by id: queued jobs terminalize immediately, running
+// jobs terminalize when the engine observes the cancellation (promptly —
+// the exec layer's contract). Cancelling a terminal job is a no-op.
+func (s *Server) Cancel(id string) (*job, bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return nil, false
+	}
+	j.cancel()
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.err = context.Canceled
+		j.appendStateLocked(StateCancelled, "cancelled while queued")
+	}
+	j.mu.Unlock()
+	return j, true
+}
+
+// Stats snapshots the server-wide counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	queued := 0
+	for _, j := range s.order {
+		j.mu.Lock()
+		if j.state == StateQueued {
+			queued++
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	return Stats{
+		Workers:      s.opts.Workers,
+		QueueDepth:   s.opts.QueueDepth,
+		Queued:       queued,
+		Running:      int(s.running.Load()),
+		Submitted:    s.submitted.Load(),
+		Done:         s.done.Load(),
+		Failed:       s.failed.Load(),
+		Cancelled:    s.cancelled.Load(),
+		CacheHits:    s.hits.Load(),
+		CacheMisses:  s.misses.Load(),
+		CacheEntries: s.cache.len(),
+	}
+}
+
+// Shutdown drains gracefully: new submissions fail with ErrDraining,
+// queued and running jobs run to completion, workers exit. If ctx expires
+// first, in-flight jobs are cancelled and Shutdown returns ctx.Err() once
+// the workers have wound down.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.rootCancel()
+		<-idle
+		return ctx.Err()
+	}
+}

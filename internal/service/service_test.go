@@ -1,0 +1,470 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"galactos"
+	"galactos/client"
+	"galactos/internal/core"
+	"galactos/internal/service"
+)
+
+// startServer boots a service on a real loopback listener — the tests
+// exercise the full HTTP path through the client package, exactly as a
+// remote galactosd deployment is driven.
+func startServer(t *testing.T, opts service.Options) (*service.Server, *client.Client) {
+	t.Helper()
+	svc := service.New(opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := &http.Client{}
+	go http.Serve(ln, svc.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx)
+		hc.CloseIdleConnections()
+		ln.Close()
+	})
+	return svc, client.New("http://"+ln.Addr().String(), hc)
+}
+
+// testRequest is a small deterministic job; distinct seeds give distinct
+// catalogs, so repeated submissions with the same seed are cache hits and
+// different seeds are misses.
+func testRequest(n int, seed int64) galactos.Request {
+	cfg := galactos.DefaultConfig()
+	cfg.RMax = 40
+	cfg.NBins = 4
+	cfg.LMax = 2
+	cfg.Workers = 1
+	return galactos.Request{
+		Catalog: galactos.GenerateClustered(n, 200, galactos.DefaultClusterParams(), seed),
+		Config:  cfg,
+		Label:   fmt.Sprintf("test-seed-%d", seed),
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	_, cl := startServer(t, service.Options{Workers: 1})
+	ctx := context.Background()
+
+	var events []client.Event
+	st, err := cl.SubmitStream(ctx, testRequest(400, 1), func(ev client.Event) {
+		events = append(events, ev)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("job ended %s (error %q), want done", st.State, st.Error)
+	}
+	if st.CacheHit {
+		t.Error("cold run reported a cache hit")
+	}
+	if st.Key == "" {
+		t.Error("job has no cache key")
+	}
+	if st.StartedAt.IsZero() || st.FinishedAt.IsZero() {
+		t.Error("terminal job missing start/finish timestamps")
+	}
+	if len(st.Units) == 0 || st.Perf == nil {
+		t.Error("fresh done job missing unit stats or perf report")
+	}
+
+	// The event stream must be the full, ordered lifecycle.
+	var states []service.State
+	for i, ev := range events {
+		if ev.Seq != i {
+			t.Errorf("event %d has seq %d; streams must replay densely from 0", i, ev.Seq)
+		}
+		if ev.Type == "state" {
+			states = append(states, ev.State)
+		}
+	}
+	want := []service.State{service.StateQueued, service.StateRunning, service.StateDone}
+	if fmt.Sprint(states) != fmt.Sprint(want) {
+		t.Errorf("lifecycle %v, want %v", states, want)
+	}
+
+	// A late watcher replays the identical history.
+	var replayed []client.Event
+	if _, err := cl.Watch(ctx, st.ID, func(ev client.Event) { replayed = append(replayed, ev) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(events) {
+		t.Errorf("late watcher saw %d events, original stream %d", len(replayed), len(events))
+	}
+
+	res, err := cl.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs == 0 || res.NPrimaries != 400 {
+		t.Errorf("decoded result has %d pairs over %d primaries", res.Pairs, res.NPrimaries)
+	}
+}
+
+func TestCacheHitBitwiseIdenticalToColdRun(t *testing.T) {
+	_, cl := startServer(t, service.Options{Workers: 1})
+	ctx := context.Background()
+	req := testRequest(400, 2)
+
+	cold, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold, err = cl.Wait(ctx, cold.ID); err != nil {
+		t.Fatal(err)
+	}
+	if cold.State != service.StateDone || cold.CacheHit {
+		t.Fatalf("cold run: state %s, cache_hit %v", cold.State, cold.CacheHit)
+	}
+	coldBytes, err := cl.ResultBytes(ctx, cold.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm, err = cl.Wait(ctx, warm.ID); err != nil {
+		t.Fatal(err)
+	}
+	if warm.State != service.StateDone || !warm.CacheHit {
+		t.Fatalf("resubmission: state %s, cache_hit %v; want done from cache", warm.State, warm.CacheHit)
+	}
+	if warm.Key != cold.Key {
+		t.Errorf("same request keyed differently: %s vs %s", warm.Key, cold.Key)
+	}
+	warmBytes, err := cl.ResultBytes(ctx, warm.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldBytes, warmBytes) {
+		t.Error("cache hit served different bytes than the cold run")
+	}
+	// The payload is a valid resultio stream whose channels survive the
+	// round trip bit for bit.
+	a, err := core.ReadResult(bytes.NewReader(coldBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.ReadResult(bytes.NewReader(warmBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Aniso {
+		if math.Float64bits(real(a.Aniso[i])) != math.Float64bits(real(b.Aniso[i])) ||
+			math.Float64bits(imag(a.Aniso[i])) != math.Float64bits(imag(b.Aniso[i])) {
+			t.Fatalf("Aniso[%d] differs between cold and cached run", i)
+		}
+	}
+
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 1 || stats.CacheMisses != 1 || stats.CacheEntries != 1 {
+		t.Errorf("stats: %d hits / %d misses / %d entries, want 1/1/1",
+			stats.CacheHits, stats.CacheMisses, stats.CacheEntries)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, cl := startServer(t, service.Options{Workers: 1})
+	ctx := context.Background()
+	good := testRequest(50, 3)
+
+	cases := []struct {
+		name string
+		mut  func(*galactos.Request)
+	}{
+		{"no catalog", func(r *galactos.Request) { r.Catalog = nil }},
+		{"two catalog inputs", func(r *galactos.Request) { r.Path = "also.glxc" }},
+		{"invalid config", func(r *galactos.Request) { r.Config.RMax = -1 }},
+		{"contradictory backend", func(r *galactos.Request) {
+			r.Backend = galactos.BackendSpec{Name: "local", Shards: 4}
+		}},
+		{"unreadable catalog file", func(r *galactos.Request) {
+			r.Catalog = nil
+			r.Path = "no/such/catalog.glxc"
+		}},
+	}
+	for _, tc := range cases {
+		req := good
+		tc.mut(&req)
+		_, err := cl.Submit(ctx, req)
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: got %v, want HTTP 400", tc.name, err)
+		}
+	}
+	// The server must still be fully operational after rejections.
+	st, err := cl.Submit(ctx, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = cl.Wait(ctx, st.ID); err != nil || st.State != service.StateDone {
+		t.Fatalf("valid job after rejections: %v, state %s", err, st.State)
+	}
+}
+
+// waitForState polls until the job reaches a terminal state or the
+// deadline passes, returning the final status.
+func waitForState(t *testing.T, cl *client.Client, id string, want service.State, deadline time.Duration) client.JobStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	for {
+		st, err := cl.Status(ctx, id)
+		if err != nil {
+			t.Fatalf("status %s: %v", id, err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s terminalized as %s, want %s", id, st.State, want)
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("job %s stuck in %s, want %s", id, st.State, want)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestStreamingSubmitDisconnectCancelsPromptly(t *testing.T) {
+	svc, cl := startServer(t, service.Options{Workers: 1})
+	before := runtime.NumGoroutine()
+
+	// A job big enough that it cannot finish before we disconnect.
+	req := testRequest(30000, 4)
+	req.Config.LMax = 8
+
+	ctx, cancel := context.WithCancel(context.Background())
+	running := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cl.SubmitStream(ctx, req, func(ev client.Event) {
+			if ev.Type == "state" && ev.State == service.StateRunning {
+				close(running)
+			}
+		})
+	}()
+	select {
+	case <-running:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never started running")
+	}
+	// Disconnect the owning stream: the job must cancel promptly.
+	cancel()
+	<-done
+
+	jobs := svc.Jobs()
+	if len(jobs) != 1 {
+		t.Fatalf("expected 1 job, found %d", len(jobs))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := svc.Jobs()[0]
+		if st.State == service.StateCancelled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s 5s after owner disconnect, want cancelled", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// No goroutine leaks: the engine workers, the SSE handler, and the
+	// event waiters must all wind down once the job is cancelled.
+	var leaked int
+	for end := time.Now().Add(5 * time.Second); time.Now().Before(end); {
+		leaked = runtime.NumGoroutine() - before
+		if leaked <= 2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Errorf("%d goroutines leaked after disconnect-cancel", leaked)
+}
+
+func TestWatcherDisconnectDoesNotCancel(t *testing.T) {
+	_, cl := startServer(t, service.Options{Workers: 1})
+	ctx := context.Background()
+
+	req := testRequest(4000, 5)
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attach a watcher and disconnect it mid-run: watching must not own
+	// the job's lifetime.
+	wctx, wcancel := context.WithCancel(ctx)
+	go cl.Watch(wctx, st.ID, func(ev client.Event) {
+		if ev.Type == "state" && ev.State == service.StateRunning {
+			wcancel()
+		}
+	})
+	final := waitForState(t, cl, st.ID, service.StateDone, 60*time.Second)
+	if final.Error != "" {
+		t.Errorf("job failed: %s", final.Error)
+	}
+	wcancel()
+}
+
+func TestExplicitCancel(t *testing.T) {
+	_, cl := startServer(t, service.Options{Workers: 1})
+	ctx := context.Background()
+
+	req := testRequest(30000, 6)
+	req.Config.LMax = 8
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, cl, st.ID, service.StateRunning, 30*time.Second)
+	if _, err := cl.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := cl.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != service.StateCancelled {
+		t.Fatalf("cancelled job ended %s", final.State)
+	}
+	// A cancelled job has no result to serve.
+	if _, err := cl.ResultBytes(ctx, st.ID); err == nil {
+		t.Error("cancelled job served a result")
+	}
+}
+
+func TestCancelWhileQueued(t *testing.T) {
+	_, cl := startServer(t, service.Options{Workers: 1, QueueDepth: 8})
+	ctx := context.Background()
+
+	// Occupy the single worker, then queue a victim behind it.
+	blocker := testRequest(30000, 7)
+	blocker.Config.LMax = 8
+	bst, err := cl.Submit(ctx, blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := cl.Submit(ctx, testRequest(400, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim, err = cl.Cancel(ctx, victim.ID); err != nil {
+		t.Fatal(err)
+	}
+	if victim.State != service.StateCancelled {
+		t.Fatalf("queued job not cancelled immediately: %s", victim.State)
+	}
+	if _, err := cl.Cancel(ctx, bst.ID); err != nil {
+		t.Fatal(err)
+	}
+	cl.Wait(ctx, bst.ID)
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	_, cl := startServer(t, service.Options{Workers: 1, QueueDepth: 1})
+	ctx := context.Background()
+
+	// Fill the worker and the 1-slot queue with slow distinct jobs, then
+	// overflow. Submission order is serialized here, so by the third
+	// submit the first occupies the worker and the second the queue slot.
+	slow := func(seed int64) galactos.Request {
+		r := testRequest(30000, seed)
+		r.Config.LMax = 8
+		return r
+	}
+	first, err := cl.Submit(ctx, slow(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, cl, first.ID, service.StateRunning, 30*time.Second)
+	second, err := cl.Submit(ctx, slow(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Submit(ctx, slow(12))
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: got %v, want HTTP 429", err)
+	}
+	for _, id := range []string{first.ID, second.ID} {
+		cl.Cancel(ctx, id)
+		cl.Wait(ctx, id)
+	}
+}
+
+func TestGracefulShutdownDrainsInFlightJobs(t *testing.T) {
+	svc, cl := startServer(t, service.Options{Workers: 1, QueueDepth: 8})
+	ctx := context.Background()
+
+	// One running job and two queued behind it; Shutdown must finish all
+	// three, not abandon the queue.
+	var ids []string
+	for seed := int64(20); seed < 23; seed++ {
+		st, err := cl.Submit(ctx, testRequest(2000, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	sctx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown did not drain: %v", err)
+	}
+	for _, st := range svc.Jobs() {
+		if st.State != service.StateDone {
+			t.Errorf("job %s ended %s after graceful shutdown, want done", st.ID, st.State)
+		}
+	}
+	// A draining server refuses new work.
+	_, err := cl.Submit(ctx, testRequest(100, 30))
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit during drain: got %v, want HTTP 503", err)
+	}
+}
+
+func TestShutdownDeadlineCancelsInFlight(t *testing.T) {
+	svc, cl := startServer(t, service.Options{Workers: 1})
+	ctx := context.Background()
+
+	req := testRequest(30000, 40)
+	req.Config.LMax = 8
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, cl, st.ID, service.StateRunning, 30*time.Second)
+
+	sctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	if err := svc.Shutdown(sctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown past deadline returned %v, want deadline exceeded", err)
+	}
+	final := svc.Jobs()[0]
+	if final.State != service.StateCancelled {
+		t.Errorf("in-flight job ended %s after deadline shutdown, want cancelled", final.State)
+	}
+}

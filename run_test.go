@@ -1,0 +1,150 @@
+package galactos_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"galactos"
+)
+
+// TestRunNormalizesOnce pins the fix for the old facade's latent
+// inconsistency, where Config.Normalize ran on some paths but not others:
+// Run normalizes exactly once at entry, so a request submitted with
+// defaulted (zero) tunables and the same request with the normalized config
+// spelled out must produce bitwise-identical results — on every backend —
+// and identical fingerprints.
+func TestRunNormalizesOnce(t *testing.T) {
+	cat := galactos.GenerateClustered(500, 200, galactos.DefaultClusterParams(), 9)
+	raw := galactos.DefaultConfig()
+	raw.RMax = 50
+	raw.NBins = 5
+	raw.LMax = 3
+	// Leave Workers, ChunkSize, LeafSize, GridCell, BlockCell zero: the
+	// run must resolve them once, identically on every path.
+	norm, err := raw.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fpRaw, err := raw.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpNorm, err := norm.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpRaw != fpNorm {
+		t.Fatalf("un-normalized and normalized configs fingerprint differently:\n  %s\n  %s", fpRaw, fpNorm)
+	}
+
+	backends := []struct {
+		name string
+		spec galactos.BackendSpec
+	}{
+		{"local", galactos.BackendSpec{}},
+		{"sharded", galactos.BackendSpec{Name: "sharded", Shards: 2}},
+		{"dist", galactos.BackendSpec{Name: "dist", Ranks: 2}},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			rawRun, err := galactos.Run(context.Background(), galactos.Request{
+				Catalog: cat, Config: raw, Backend: b.spec,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			normRun, err := galactos.Run(context.Background(), galactos.Request{
+				Catalog: cat, Config: norm, Backend: b.spec,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, y := rawRun.Result, normRun.Result
+			if x.Pairs != y.Pairs || x.NPrimaries != y.NPrimaries {
+				t.Fatalf("counters differ: %d/%d pairs, %d/%d primaries",
+					x.Pairs, y.Pairs, x.NPrimaries, y.NPrimaries)
+			}
+			for i := range x.Aniso {
+				a, b := x.Aniso[i], y.Aniso[i]
+				if math.Float64bits(real(a)) != math.Float64bits(real(b)) ||
+					math.Float64bits(imag(a)) != math.Float64bits(imag(b)) {
+					t.Fatalf("Aniso[%d] not bitwise identical: %v vs %v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestRequestResolveSource(t *testing.T) {
+	cat := galactos.GenerateUniform(10, 100, 1)
+	cases := []struct {
+		name string
+		req  galactos.Request
+		ok   bool
+	}{
+		{"none", galactos.Request{}, false},
+		{"catalog", galactos.Request{Catalog: cat}, true},
+		{"path", galactos.Request{Path: "x.glxc"}, true},
+		{"source", galactos.Request{Source: galactos.NewMemorySource(cat)}, true},
+		{"catalog+path", galactos.Request{Catalog: cat, Path: "x.glxc"}, false},
+		{"source+catalog", galactos.Request{Source: galactos.NewMemorySource(cat), Catalog: cat}, false},
+	}
+	for _, tc := range cases {
+		_, err := tc.req.ResolveSource()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: want error, got none", tc.name)
+		}
+	}
+}
+
+// TestRequestJSONRoundTrip pins the wire contract: a Request serialized to
+// JSON and deserialized runs the identical job — the job schema of the
+// galactosd service is the Request type itself, not a parallel definition.
+func TestRequestJSONRoundTrip(t *testing.T) {
+	cat := galactos.GenerateClustered(300, 150, galactos.DefaultClusterParams(), 4)
+	cfg := galactos.DefaultConfig()
+	cfg.RMax = 40
+	cfg.NBins = 4
+	cfg.LMax = 2
+	cfg.Workers = 1
+	req := galactos.Request{
+		Catalog: cat,
+		Config:  cfg,
+		Backend: galactos.BackendSpec{Name: "sharded", Shards: 2},
+		Label:   "roundtrip",
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back galactos.Request
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := galactos.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wired, err := galactos.Run(context.Background(), back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wired.Result.Pairs != direct.Result.Pairs {
+		t.Fatalf("pair counts differ after JSON round trip: %d vs %d",
+			wired.Result.Pairs, direct.Result.Pairs)
+	}
+	for i := range direct.Result.Aniso {
+		a, b := direct.Result.Aniso[i], wired.Result.Aniso[i]
+		if math.Float64bits(real(a)) != math.Float64bits(real(b)) ||
+			math.Float64bits(imag(a)) != math.Float64bits(imag(b)) {
+			t.Fatalf("Aniso[%d] not bitwise identical after JSON round trip: %v vs %v", i, a, b)
+		}
+	}
+}
