@@ -174,26 +174,37 @@ func (c *Client) stream(ctx context.Context, method, path string, body io.Reader
 }
 
 // readSSE parses a Server-Sent Events stream, calling handle for each
-// complete event, until the stream ends.
+// complete event, until the stream ends. Field parsing follows the SSE
+// spec: the field value starts after the colon with at most one leading
+// space stripped ("data:x" and "data: x" both carry "x"), and successive
+// data lines of one event are joined with newlines — so events survive a
+// proxy that reflows them.
 func readSSE(r io.Reader, handle func(event string, data []byte) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	event := ""
+	value := func(line, field string) string {
+		return strings.TrimPrefix(strings.TrimPrefix(line, field), " ")
+	}
+	event, hasData := "", false
 	var data []byte
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
 		case line == "":
-			if event != "" || len(data) > 0 {
+			if event != "" || hasData {
 				if err := handle(event, data); err != nil {
 					return err
 				}
 			}
-			event, data = "", nil
-		case strings.HasPrefix(line, "event: "):
-			event = line[len("event: "):]
-		case strings.HasPrefix(line, "data: "):
-			data = append(data, line[len("data: "):]...)
+			event, data, hasData = "", nil, false
+		case strings.HasPrefix(line, "event:"):
+			event = value(line, "event:")
+		case strings.HasPrefix(line, "data:"):
+			if hasData {
+				data = append(data, '\n')
+			}
+			data = append(data, value(line, "data:")...)
+			hasData = true
 		}
 	}
 	return sc.Err()

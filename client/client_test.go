@@ -29,6 +29,35 @@ func TestReadSSE(t *testing.T) {
 	}
 }
 
+func TestReadSSESpecFieldParsing(t *testing.T) {
+	// Per the SSE spec: no space after the field colon is valid, at most
+	// one leading space is stripped, and successive data lines of one
+	// event join with newlines.
+	stream := "event:ping\ndata:line1\ndata: line2\ndata:  spaced\n\n" +
+		"data:solo\n\n"
+	type got struct{ event, data string }
+	var events []got
+	err := readSSE(strings.NewReader(stream), func(event string, data []byte) error {
+		events = append(events, got{event, string(data)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []got{
+		{"ping", "line1\nline2\n spaced"},
+		{"", "solo"},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(events), len(want))
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+}
+
 func TestReadSSEStopsOnHandlerError(t *testing.T) {
 	stream := "event: a\ndata: 1\n\nevent: b\ndata: 2\n\n"
 	calls := 0

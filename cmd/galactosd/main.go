@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	galactosd [-addr :8080] [-workers 2] [-queue 64] [-cache 256] [-quiet]
+//	galactosd [-addr :8080] [-workers 2] [-queue 64] [-cache 256] [-retain 256] [-quiet]
 //
 // SIGINT/SIGTERM starts a graceful shutdown: the listener stops accepting,
 // queued and running jobs drain (bounded by -drain), then the process
@@ -33,12 +33,13 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrent jobs")
 	queue := flag.Int("queue", 64, "job queue depth")
 	cache := flag.Int("cache", 256, "result cache entries (negative disables)")
+	retain := flag.Int("retain", 256, "terminal jobs retained for status queries (negative retains all)")
 	drain := flag.Duration("drain", 2*time.Minute, "graceful shutdown drain deadline")
 	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "galactosd: ", log.LstdFlags)
-	opts := service.Options{Workers: *workers, QueueDepth: *queue, CacheEntries: *cache}
+	opts := service.Options{Workers: *workers, QueueDepth: *queue, CacheEntries: *cache, RetainJobs: *retain}
 	if !*quiet {
 		opts.Log = func(format string, args ...any) { logger.Printf(format, args...) }
 	}

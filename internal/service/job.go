@@ -13,11 +13,12 @@ import (
 // transition), so any number of stream subscribers can follow one job
 // without per-subscriber bookkeeping.
 type job struct {
-	id    string
-	label string
-	key   string
-	req   galactos.Request
-	src   galactos.CatalogSource
+	id      string
+	label   string
+	key     string
+	catHash string // catalog half of key, re-verified at run for Path catalogs
+	req     galactos.Request
+	src     galactos.CatalogSource
 
 	// ctx governs the job's run; cancel works at any point in the
 	// lifecycle — a queued job cancels before a worker ever picks it up.
@@ -125,6 +126,13 @@ func (j *job) finish(s State, err error, run *galactos.RunResult, encoded []byte
 		msg = "served from result cache"
 	}
 	j.appendStateLocked(s, msg)
+}
+
+// terminal reports whether the job has reached a final state.
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal()
 }
 
 // snapshotEvents returns the events from seq onward, plus the current

@@ -53,6 +53,14 @@ type Options struct {
 	// CacheEntries bounds the result cache (default 256); negative
 	// disables caching.
 	CacheEntries int
+	// RetainJobs bounds how many terminal jobs stay registered for
+	// status, event, and result queries (default 256). When new jobs
+	// terminalize past the bound, the oldest terminal jobs are evicted —
+	// their ids answer 404 afterwards — so a long-lived server's memory
+	// is bounded by the queue, the pool, and the caches, not by its
+	// lifetime job count. Negative retains every job forever. Queued and
+	// running jobs are never evicted.
+	RetainJobs int
 	// Log, when non-nil, receives server-level progress lines.
 	Log func(format string, args ...any)
 }
@@ -93,6 +101,9 @@ func New(opts Options) *Server {
 	}
 	if opts.CacheEntries == 0 {
 		opts.CacheEntries = 256
+	}
+	if opts.RetainJobs == 0 {
+		opts.RetainJobs = 256
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -145,41 +156,77 @@ func (s *Server) Submit(req galactos.Request) (*job, error) {
 	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
 	ctx, cancel := context.WithCancel(s.rootCtx)
 	j := newJob(id, req, src, key, ctx, cancel)
-	s.jobs[id] = j
-	s.order = append(s.order, j)
-	s.mu.Unlock()
-	s.submitted.Add(1)
+	j.catHash = catHash
 
 	if data, ok := s.cache.get(key); ok {
+		s.jobs[id] = j
+		s.order = append(s.order, j)
+		s.mu.Unlock()
+		s.submitted.Add(1)
 		s.hits.Add(1)
 		s.done.Add(1)
 		j.finish(StateDone, nil, nil, data, true)
+		s.evictTerminal()
 		s.logf("%s: cache hit (%s)", id, key[:12])
 		return j, nil
 	}
-	s.misses.Add(1)
 
+	// The send happens under s.mu on purpose: Shutdown sets draining and
+	// closes s.queue under the same lock, so the non-draining check above
+	// guarantees the channel is still open here — a submission racing a
+	// shutdown gets ErrDraining, never a send on a closed channel. The
+	// select never blocks, so holding the lock across it is safe. A
+	// rejected job is never registered, so it can't linger in Jobs() or
+	// inflate any counter.
 	select {
 	case s.queue <- j:
+		s.jobs[id] = j
+		s.order = append(s.order, j)
+		s.mu.Unlock()
+		s.submitted.Add(1)
+		s.misses.Add(1)
 		s.logf("%s: queued (%s)", id, key[:12])
 		return j, nil
 	default:
-		s.dropJob(j)
+		s.mu.Unlock()
+		cancel()
 		return nil, ErrQueueFull
 	}
 }
 
-// dropJob unregisters a job that never entered the queue.
-func (s *Server) dropJob(j *job) {
-	j.cancel()
-	s.mu.Lock()
-	delete(s.jobs, j.id)
-	if n := len(s.order); n > 0 && s.order[n-1] == j {
-		s.order = s.order[:n-1]
+// evictTerminal drops the oldest terminal jobs beyond Options.RetainJobs
+// from the registry (called after every terminal transition), releasing
+// their event logs and encoded results. Queued and running jobs are never
+// evicted.
+func (s *Server) evictTerminal() {
+	if s.opts.RetainJobs < 0 {
+		return
 	}
-	s.mu.Unlock()
-	s.submitted.Add(^uint64(0))
-	s.misses.Add(^uint64(0))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	terminal := 0
+	for _, j := range s.order {
+		if j.terminal() {
+			terminal++
+		}
+	}
+	drop := terminal - s.opts.RetainJobs
+	if drop <= 0 {
+		return
+	}
+	keep := s.order[:0]
+	for _, j := range s.order {
+		if drop > 0 && j.terminal() {
+			delete(s.jobs, j.id)
+			drop--
+			continue
+		}
+		keep = append(keep, j)
+	}
+	for i := len(keep); i < len(s.order); i++ {
+		s.order[i] = nil // release for GC
+	}
+	s.order = keep
 }
 
 func (s *Server) worker() {
@@ -193,6 +240,7 @@ func (s *Server) worker() {
 // backend's progress lines into the job's event log and caching the
 // resultio-encoded result on success.
 func (s *Server) runJob(j *job) {
+	defer s.evictTerminal()
 	if j.ctx.Err() != nil || !j.start() {
 		j.finish(StateCancelled, context.Cause(j.ctx), nil, nil, false)
 		s.cancelled.Add(1)
@@ -200,6 +248,23 @@ func (s *Server) runJob(j *job) {
 	}
 	s.running.Add(1)
 	defer s.running.Add(-1)
+
+	// A Path catalog was hashed at submission but is re-read from disk
+	// now; re-verify (one cheap streaming pass) so a file edited while
+	// the job sat queued can never cache its result under the stale
+	// content's key and poison later hits.
+	if j.req.Path != "" {
+		h, err := catalog.Hash(j.src)
+		if err == nil && h != j.catHash {
+			err = fmt.Errorf("catalog %s changed between submission and run (content hash mismatch)", j.req.Path)
+		}
+		if err != nil {
+			j.finish(StateFailed, err, nil, nil, false)
+			s.failed.Add(1)
+			s.logf("%s: failed: %v", j.id, err)
+			return
+		}
+	}
 
 	req := j.req
 	req.Source = j.src
@@ -264,11 +329,16 @@ func (s *Server) Cancel(id string) (*job, bool) {
 	}
 	j.cancel()
 	j.mu.Lock()
+	terminalized := false
 	if j.state == StateQueued {
 		j.err = context.Canceled
 		j.appendStateLocked(StateCancelled, "cancelled while queued")
+		terminalized = true
 	}
 	j.mu.Unlock()
+	if terminalized {
+		s.evictTerminal()
+	}
 	return j, true
 }
 

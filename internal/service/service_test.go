@@ -8,7 +8,10 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"path/filepath"
 	"runtime"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -383,7 +386,7 @@ func TestCancelWhileQueued(t *testing.T) {
 }
 
 func TestQueueFullRejects(t *testing.T) {
-	_, cl := startServer(t, service.Options{Workers: 1, QueueDepth: 1})
+	svc, cl := startServer(t, service.Options{Workers: 1, QueueDepth: 1})
 	ctx := context.Background()
 
 	// Fill the worker and the 1-slot queue with slow distinct jobs, then
@@ -408,9 +411,156 @@ func TestQueueFullRejects(t *testing.T) {
 	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow submit: got %v, want HTTP 429", err)
 	}
+	// The rejected job must leave no trace: it is never registered, so it
+	// can't sit in the listing as a phantom "queued" entry or inflate the
+	// queued/submitted counters.
+	if jobs := svc.Jobs(); len(jobs) != 2 {
+		t.Errorf("after a queue-full rejection the server lists %d jobs, want 2", len(jobs))
+	}
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queued != 1 || stats.Submitted != 2 {
+		t.Errorf("stats after rejection: queued %d, submitted %d; want 1, 2", stats.Queued, stats.Submitted)
+	}
 	for _, id := range []string{first.ID, second.ID} {
 		cl.Cancel(ctx, id)
 		cl.Wait(ctx, id)
+	}
+}
+
+// TestSubmitDuringShutdownNoPanic hammers Submit concurrently with
+// Shutdown. Submissions racing the drain must resolve to accepted,
+// ErrDraining, or ErrQueueFull — never a send on the closed queue (which
+// would panic and fail the test hard) — and accepted jobs must drain.
+func TestSubmitDuringShutdownNoPanic(t *testing.T) {
+	svc := service.New(service.Options{Workers: 2, QueueDepth: 2})
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 25; i++ {
+				_, err := svc.Submit(testRequest(100, int64(60+g*25+i)))
+				if err != nil && !errors.Is(err, service.ErrDraining) && !errors.Is(err, service.ErrQueueFull) {
+					t.Errorf("racing submit: %v", err)
+				}
+			}
+		}(g)
+	}
+	close(start)
+	time.Sleep(2 * time.Millisecond) // let submissions overlap the drain
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	for _, st := range svc.Jobs() {
+		if !st.State.Terminal() {
+			t.Errorf("job %s still %s after shutdown", st.ID, st.State)
+		}
+	}
+}
+
+// TestTerminalJobEviction pins the retention bound: a server with
+// RetainJobs=2 keeps only the two newest terminal jobs registered, and an
+// evicted id answers 404.
+func TestTerminalJobEviction(t *testing.T) {
+	svc, cl := startServer(t, service.Options{Workers: 1, RetainJobs: 2})
+	ctx := context.Background()
+
+	var ids []string
+	for seed := int64(70); seed < 75; seed++ {
+		st, err := cl.Submit(ctx, testRequest(200, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err = cl.Wait(ctx, st.ID); err != nil || st.State != service.StateDone {
+			t.Fatalf("job %s: %v, state %s", st.ID, err, st.State)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	// Eviction runs in the worker just after the terminal event; give it a
+	// moment to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(svc.Jobs()) != 2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	jobs := svc.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("server retains %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].ID != ids[3] || jobs[1].ID != ids[4] {
+		t.Errorf("retained %s, %s; want the newest two %s, %s", jobs[0].ID, jobs[1].ID, ids[3], ids[4])
+	}
+	_, err := cl.Status(ctx, ids[0])
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted job status: got %v, want HTTP 404", err)
+	}
+}
+
+// TestStalePathCatalogFailsInsteadOfPoisoningCache rewrites a Path catalog
+// while its job sits queued. The run must fail on the content-hash
+// re-check — running it would cache the new content's result under the old
+// content's key — and the old content must then still compute fresh.
+func TestStalePathCatalogFailsInsteadOfPoisoningCache(t *testing.T) {
+	_, cl := startServer(t, service.Options{Workers: 1, QueueDepth: 8})
+	ctx := context.Background()
+
+	orig := testRequest(400, 80)
+	changed := testRequest(400, 81)
+	path := filepath.Join(t.TempDir(), "cat.glxc")
+	if err := galactos.SaveCatalog(path, orig.Catalog); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the single worker so the path job sits queued while the file
+	// changes underneath it.
+	blocker := testRequest(30000, 82)
+	blocker.Config.LMax = 8
+	bst, err := cl.Submit(ctx, blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, cl, bst.ID, service.StateRunning, 30*time.Second)
+
+	pathReq := orig
+	pathReq.Catalog = nil
+	pathReq.Path = path
+	pst, err := cl.Submit(ctx, pathReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := galactos.SaveCatalog(path, changed.Catalog); err != nil {
+		t.Fatal(err)
+	}
+	cl.Cancel(ctx, bst.ID)
+	cl.Wait(ctx, bst.ID)
+
+	if pst, err = cl.Wait(ctx, pst.ID); err != nil {
+		t.Fatal(err)
+	}
+	if pst.State != service.StateFailed || !strings.Contains(pst.Error, "hash mismatch") {
+		t.Fatalf("stale-catalog job ended %s (%q), want failed on hash mismatch", pst.State, pst.Error)
+	}
+
+	// Nothing was cached under the original content's key: the original
+	// catalog submitted inline must run fresh, not hit.
+	st, err := cl.Submit(ctx, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = cl.Wait(ctx, st.ID); err != nil || st.State != service.StateDone {
+		t.Fatalf("original catalog after stale failure: %v, state %s", err, st.State)
+	}
+	if st.CacheHit {
+		t.Error("original catalog hit the cache after the stale path job failed; the stale run must not have populated it")
 	}
 }
 
