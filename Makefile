@@ -3,7 +3,8 @@
 GO ?= go
 
 .PHONY: all build test test-race vet fmt-check bench bench-exp \
-	bench-baseline bench-check examples-smoke scenario-smoke \
+	bench-baseline bench-check bench-scaling-baseline scaling-check \
+	test-generic cross-smoke examples-smoke scenario-smoke \
 	service-smoke ci clean
 
 all: build
@@ -55,6 +56,36 @@ bench-check:
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -fresh BENCH_fresh.json \
 		-threshold 0.25 $(if $(BENCHDIFF_SUMMARY),-summary "$(BENCHDIFF_SUMMARY)")
 
+# Refresh the committed scaling baseline: the pinned scenario's 1/2/4/8-worker
+# strong-scaling sweep with GOMAXPROCS pinned per point. Run on a host with
+# >= 4 cores (ideally CI's machine class) and commit the resulting
+# BENCH_scaling_baseline.json.
+bench-scaling-baseline:
+	$(GO) run ./cmd/galactos-bench -exp scaling -scaling-json BENCH_scaling_baseline.json
+
+# The CI scaling gate: remeasure the efficiency curve and fail when the
+# 4-worker parallel efficiency falls below the committed floor. On hosts with
+# fewer than 4 CPUs the floor is reported but not enforced (efficiency is
+# core-starved there by construction, not regressed).
+scaling-check:
+	$(GO) run ./cmd/galactos-bench -exp scaling -scaling-json BENCH_scaling_fresh.json
+	$(GO) run ./cmd/benchdiff -scaling-baseline BENCH_scaling_baseline.json \
+		-scaling-fresh BENCH_scaling_fresh.json -eff-floor 0.40 -eff-floor-workers 4 \
+		$(if $(BENCHDIFF_SUMMARY),-summary "$(BENCHDIFF_SUMMARY)")
+
+# Second pass of the kernel-adjacent test suites with the portable lane
+# primitives forced, so the generic bodies stay correct on AVX-512 CI hosts
+# where the default pass never exercises them.
+test-generic:
+	GALACTOS_LANE_DISPATCH=generic $(GO) test -count=1 ./internal/sphharm/... ./internal/core/...
+
+# Cross-compile smoke: the build must stay portable (arm64 has no asm lane
+# bodies — the generic path must fill in) and legal at the highest amd64
+# feature level. Build-only; no emulation is available to run the result.
+cross-smoke:
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
+	GOOS=linux GOARCH=amd64 GOAMD64=v4 $(GO) build ./...
+
 # Run every documented example entry point at tiny N: facade refactors
 # cannot silently break them. Each example takes a -n flag for exactly this.
 examples-smoke:
@@ -82,4 +113,4 @@ ci: fmt-check build vet test bench
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_fresh.json
+	rm -f BENCH_fresh.json BENCH_scaling_fresh.json

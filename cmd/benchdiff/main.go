@@ -8,6 +8,14 @@
 //	galactos-bench -exp perfstat -perf-json fresh.json
 //	benchdiff -baseline BENCH_baseline.json -fresh fresh.json -threshold 0.25
 //
+// It is also the scaling gate (see `make scaling-check`): given a fresh
+// 1/2/4/8-worker sweep it checks the parallel efficiency at -eff-floor-workers
+// against the committed floor, skipping enforcement on hosts with fewer CPUs
+// than the gated worker count:
+//
+//	galactos-bench -exp scaling -scaling-json fresh_scaling.json
+//	benchdiff -scaling-baseline BENCH_scaling_baseline.json -scaling-fresh fresh_scaling.json
+//
 // With -summary, benchdiff also appends a markdown comparison table to the
 // given file — CI points this at $GITHUB_STEP_SUMMARY so a regression is
 // diagnosable (per-phase, per-rate) straight from the Actions page, pass or
@@ -27,38 +35,69 @@ import (
 func main() {
 	var (
 		baseline  = flag.String("baseline", "BENCH_baseline.json", "committed baseline perfstat report")
-		fresh     = flag.String("fresh", "", "freshly measured perfstat report; required")
+		fresh     = flag.String("fresh", "", "freshly measured perfstat report")
 		threshold = flag.Float64("threshold", 0.25, "fractional pairs/sec regression that fails the gate")
 		summary   = flag.String("summary", "", "append a markdown comparison table to this file (e.g. $GITHUB_STEP_SUMMARY)")
+
+		scalingBaseline = flag.String("scaling-baseline", "BENCH_scaling_baseline.json", "committed baseline scaling sweep")
+		scalingFresh    = flag.String("scaling-fresh", "", "freshly measured scaling sweep (galactos-bench -exp scaling -scaling-json)")
+		effFloor        = flag.Float64("eff-floor", 0.40, "parallel-efficiency floor the scaling gate enforces")
+		effFloorWorkers = flag.Int("eff-floor-workers", 4, "worker count at which the efficiency floor applies")
 	)
 	flag.Parse()
-	if *fresh == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: -fresh report is required")
+	if *fresh == "" && *scalingFresh == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: at least one of -fresh / -scaling-fresh is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *threshold <= 0 || *threshold >= 1 {
 		fatalf("-threshold %v must be in (0, 1)", *threshold)
 	}
+	if *effFloor <= 0 || *effFloor >= 1 {
+		fatalf("-eff-floor %v must be in (0, 1)", *effFloor)
+	}
 
-	base, err := perfstat.ReadJSON(*baseline)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	cur, err := perfstat.ReadJSON(*fresh)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	verdict, cmpErr := perfstat.Compare(base, cur, *threshold)
-	if *summary != "" {
-		if err := appendSummary(*summary, base, cur, verdict, cmpErr); err != nil {
-			fatalf("writing summary: %v", err)
+	if *fresh != "" {
+		base, err := perfstat.ReadJSON(*baseline)
+		if err != nil {
+			fatalf("%v", err)
 		}
+		cur, err := perfstat.ReadJSON(*fresh)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		verdict, cmpErr := perfstat.Compare(base, cur, *threshold)
+		if *summary != "" {
+			if err := appendSummary(*summary, base, cur, verdict, cmpErr); err != nil {
+				fatalf("writing summary: %v", err)
+			}
+		}
+		if cmpErr != nil {
+			fatalf("%v", cmpErr)
+		}
+		fmt.Printf("benchdiff: PASS — %s\n", verdict)
 	}
-	if cmpErr != nil {
-		fatalf("%v", cmpErr)
+
+	if *scalingFresh != "" {
+		base, err := perfstat.ReadScalingJSON(*scalingBaseline)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cur, err := perfstat.ReadScalingJSON(*scalingFresh)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		verdict, cmpErr := perfstat.CompareScaling(base, cur, *effFloorWorkers, *effFloor)
+		if *summary != "" {
+			if err := appendScalingSummary(*summary, base, cur, verdict, cmpErr); err != nil {
+				fatalf("writing summary: %v", err)
+			}
+		}
+		if cmpErr != nil {
+			fatalf("%v", cmpErr)
+		}
+		fmt.Printf("benchdiff: PASS — %s\n", verdict)
 	}
-	fmt.Printf("benchdiff: PASS — %s\n", verdict)
 }
 
 // appendSummary appends the markdown comparison table (written even when the
@@ -93,6 +132,43 @@ func appendSummary(path string, base, fresh *perfstat.Report, verdict string, cm
 	}
 	if base.Host != fresh.Host {
 		fmt.Fprintf(&b, "\nHosts differ: baseline `%s`, fresh `%s`.\n", base.Host, fresh.Host)
+	}
+	b.WriteString("\n")
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString(b.String())
+	return err
+}
+
+// appendScalingSummary appends the efficiency-curve markdown table for the
+// scaling gate (written even when the gate fails).
+func appendScalingSummary(path string, base, fresh *perfstat.ScalingReport, verdict string, cmpErr error) error {
+	var b strings.Builder
+	status := "PASS ✅"
+	if cmpErr != nil {
+		status = "FAIL ❌"
+	}
+	fmt.Fprintf(&b, "### Scaling gate: %s\n\n", status)
+	if cmpErr != nil {
+		fmt.Fprintf(&b, "`%v`\n\n", cmpErr)
+	} else if verdict != "" {
+		fmt.Fprintf(&b, "%s\n\n", verdict)
+	}
+	fmt.Fprintf(&b, "Scenario: %d galaxies · %d bins · l_max %d · %d pairs · host `%s` (%d CPUs)\n\n",
+		fresh.NGalaxies, fresh.NBins, fresh.LMax, fresh.Pairs, fresh.Host, fresh.NumCPU)
+	fmt.Fprintf(&b, "| workers | time (s) | pairs/sec | speedup | efficiency | baseline eff. | busy |\n")
+	fmt.Fprintf(&b, "|---:|---:|---:|---:|---:|---:|---:|\n")
+	for _, p := range fresh.Points {
+		baseEff := "n/a"
+		if e, ok := base.EfficiencyAt(p.Workers); ok {
+			baseEff = fmt.Sprintf("%.3f", e)
+		}
+		fmt.Fprintf(&b, "| %d | %.3f | %.4g | %.2fx | %.3f | %s | %.3f |\n",
+			p.Workers, p.ElapsedSec, p.PairsPerSec, p.Speedup, p.Efficiency, baseEff, p.BusyFraction)
 	}
 	b.WriteString("\n")
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"strings"
@@ -67,6 +68,7 @@ var experiments = []experiment{
 	{"precision", "Sec. 5.4: mixed vs double precision", expPrecision},
 	{"sharded", "Sec. 3.3: sharded out-of-core pipeline vs single shot", expSharded},
 	{"perfstat", "CI regression anchor: pinned-scenario pairs/sec report", expPerfstat},
+	{"scaling", "CI scaling gate: 1/2/4/8-worker efficiency curve", expScaling},
 	{"scenarios", "Sec. 6: survey-science scenario registry sweep", expScenarios},
 }
 
@@ -76,6 +78,8 @@ var experiments = []experiment{
 var (
 	perfJSON  = flag.String("perf-json", "", "write the perfstat experiment's report to this path")
 	perfIters = flag.Int("perf-iters", 3, "timed repetitions of the perfstat experiment (best kept)")
+
+	scalingJSON = flag.String("scaling-json", "", "write the scaling experiment's report to this path")
 )
 
 func main() {
@@ -569,6 +573,12 @@ func expPerfstat(s float64) error {
 	// baseline refreshed on one machine still gates CI runners with a
 	// different core count.
 	cfg.Workers = 4
+	// Pin GOMAXPROCS to the scenario's worker budget: the baseline is then a
+	// statement about 4 scheduler-granted workers everywhere, instead of
+	// silently measuring oversubscription on small hosts and real
+	// parallelism on large ones (perfstat flags the mismatch, but the pinned
+	// budget removes it at the source).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(cfg.Workers))
 	iters := *perfIters
 	if iters < 1 {
 		iters = 1
@@ -594,6 +604,85 @@ func expPerfstat(s float64) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *perfJSON)
+	}
+	return nil
+}
+
+// expScaling measures the strong-scaling efficiency curve of the pinned
+// benchmark scenario at 1/2/4/8 workers, with GOMAXPROCS pinned to each
+// point's worker count so every point measures scheduler-granted
+// parallelism. Like expPerfstat, the scenario is NOT scaled by -scale: the
+// sweep feeds the CI scaling gate (benchdiff -scaling-*), which is only
+// meaningful against the committed BENCH_scaling_baseline.json when the
+// computation is identical.
+func expScaling(s float64) error {
+	cat := densityCatalog(6000, 5)
+	cfg := perfConfig(15)
+	cfg.NBins = 10
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	iters := *perfIters
+	if iters < 1 {
+		iters = 1
+	}
+	rep := &perfstat.ScalingReport{
+		Label:     "bench-scaling",
+		Host:      fmt.Sprintf("%s/%s %d-cpu", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		NumCPU:    runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		NBins:     cfg.NBins,
+		LMax:      cfg.LMax,
+	}
+	// The fingerprint pins the swept configuration with the (varying) worker
+	// budget normalized to 1, so baseline and fresh sweeps compare the same
+	// computation regardless of the worker axis.
+	fpCfg := cfg
+	fpCfg.Workers = 1
+	if fp, err := fpCfg.Fingerprint(); err == nil {
+		rep.ConfigFingerprint = fp
+	}
+	var t1 float64
+	fmt.Println("  workers   time        pairs/sec    speedup   efficiency   busy")
+	for _, w := range []int{1, 2, 4, 8} {
+		c := cfg
+		c.Workers = w
+		runtime.GOMAXPROCS(w)
+		var best *perfstat.Report
+		for it := 0; it < iters; it++ {
+			run, err := facadeRun(cat, c, "bench-scaling")
+			if err != nil {
+				return err
+			}
+			if best == nil || run.Perf.PairsPerSec > best.PairsPerSec {
+				best = run.Perf
+			}
+		}
+		if w == 1 {
+			t1 = best.ElapsedSec
+			rep.NGalaxies = best.NGalaxies
+			rep.Pairs = best.Pairs
+		}
+		p := perfstat.ScalingPoint{
+			Workers:      w,
+			GoMaxProcs:   best.GoMaxProcs,
+			ElapsedSec:   best.ElapsedSec,
+			PairsPerSec:  best.PairsPerSec,
+			Speedup:      t1 / best.ElapsedSec,
+			Efficiency:   t1 / (float64(w) * best.ElapsedSec),
+			BusyFraction: best.ParallelEfficiency,
+		}
+		rep.Points = append(rep.Points, p)
+		fmt.Printf("  %7d   %-9.3fs  %.3e   %6.2fx   %10.3f   %.3f\n",
+			p.Workers, p.ElapsedSec, p.PairsPerSec, p.Speedup, p.Efficiency, p.BusyFraction)
+	}
+	if runtime.NumCPU() < 8 {
+		fmt.Printf("note: host has %d CPUs — points beyond that timeshare cores and their\n", runtime.NumCPU())
+		fmt.Println("efficiency is core-starved by construction (the CI gate skips the floor there).")
+	}
+	if *scalingJSON != "" {
+		if err := rep.WriteJSON(*scalingJSON); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *scalingJSON)
 	}
 	return nil
 }

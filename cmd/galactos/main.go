@@ -50,7 +50,7 @@ func main() {
 		rmin    = flag.Float64("rmin", 0, "minimum triangle side (Mpc/h)")
 		nbins   = flag.Int("nbins", 20, "radial bins")
 		lmax    = flag.Int("lmax", 10, "maximum multipole order")
-		los     = flag.String("los", "plane", "line of sight: plane | radial")
+		los     = flag.String("los", "plane", "line of sight: plane | radial | midpoint")
 		workers = flag.Int("workers", 0, "worker threads (0 = all cores)")
 		finder  = flag.String("finder", "kd32", "neighbor finder: kd32 | kd64 | grid")
 		isoOnly = flag.Bool("iso-only", false, "isotropic-only mode (SE15 baseline)")
@@ -99,6 +99,8 @@ func main() {
 		cfg.LOS = galactos.LOSPlaneParallel
 	case "radial":
 		cfg.LOS = galactos.LOSRadial
+	case "midpoint":
+		cfg.LOS = galactos.LOSMidpoint
 	default:
 		fatalf("unknown -los %q", *los)
 	}

@@ -93,6 +93,11 @@ const (
 	LOSRadial = core.LOSRadial
 	// LOSPlaneParallel uses the global z axis (simulation boxes).
 	LOSPlaneParallel = core.LOSPlaneParallel
+	// LOSMidpoint builds each pair's frame from the unit bisector of the two
+	// position vectors (the Slepian–Eisenstein midpoint convention). The LOS
+	// is invariant under pair swap, so the engine's (-1)^l symmetry fold
+	// applies, unlike LOSRadial.
+	LOSMidpoint = core.LOSMidpoint
 )
 
 // Neighbor-finder substrates.

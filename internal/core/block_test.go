@@ -116,12 +116,33 @@ func TestBlockCancellationPromptNoLeaks(t *testing.T) {
 // (buffer growth is amortized), processing blocks allocates nothing — no
 // neighbor-buffer regrowth, no touched-list churn, no per-primary scratch.
 func TestProcessBlockAllocFree(t *testing.T) {
-	cat := catalog.Clustered(2000, 200, catalog.DefaultClusterParams(), 85)
 	cfg := DefaultConfig()
 	cfg.RMax = 50
 	cfg.NBins = 8
 	cfg.LMax = 6
 	cfg.Workers = 1
+	testProcessBlockAllocFree(t, cfg)
+}
+
+// TestProcessBlockAllocFreeIsoMidpoint is the same steady-state zero-alloc
+// pin for the IsotropicOnly fast ladder under the midpoint LOS: the compact
+// real slab fill, ZetaBatchIso calls, and per-pair midpoint rotations must
+// all run out of the worker arenas with no per-block garbage.
+func TestProcessBlockAllocFreeIsoMidpoint(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RMax = 50
+	cfg.NBins = 8
+	cfg.LMax = 6
+	cfg.Workers = 1
+	cfg.IsotropicOnly = true
+	cfg.LOS = LOSMidpoint
+	cfg.Observer = geom.Vec3{X: -250, Y: -150, Z: -400}
+	testProcessBlockAllocFree(t, cfg)
+}
+
+func testProcessBlockAllocFree(t *testing.T, cfg Config) {
+	t.Helper()
+	cat := catalog.Clustered(2000, 200, catalog.DefaultClusterParams(), 85)
 	cfg, err := cfg.Normalize()
 	if err != nil {
 		t.Fatal(err)

@@ -25,6 +25,13 @@ const (
 	// primaries ("the line of sight ... we here take to be the z-axis"),
 	// the standard convention for periodic simulation boxes.
 	LOSPlaneParallel
+	// LOSMidpoint builds each pair's frame from the unit bisector of the two
+	// galaxy direction vectors (the Slepian–Eisenstein midpoint convention):
+	// the line of sight is a per-pair quantity, symmetric under swapping the
+	// pair's endpoints while the separation vector negates. That symmetry is
+	// what lets the engine's (-1)^l pair fold — previously plane-parallel
+	// only — apply to a survey-realistic (radially varying) line of sight.
+	LOSMidpoint
 )
 
 func (m LOSMode) String() string {
@@ -33,6 +40,8 @@ func (m LOSMode) String() string {
 		return "radial"
 	case LOSPlaneParallel:
 		return "plane-parallel"
+	case LOSMidpoint:
+		return "midpoint"
 	default:
 		return fmt.Sprintf("LOSMode(%d)", int(m))
 	}
@@ -185,6 +194,9 @@ func (c Config) Normalize() (Config, error) {
 	}
 	if c.LMax < 0 || c.LMax > 20 {
 		return c, fmt.Errorf("core: LMax %d out of supported range [0, 20]", c.LMax)
+	}
+	if c.LOS < LOSRadial || c.LOS > LOSMidpoint {
+		return c, fmt.Errorf("core: unknown LOS mode %v", c.LOS)
 	}
 	if c.BucketSize <= 0 {
 		c.BucketSize = 128

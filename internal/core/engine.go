@@ -165,6 +165,12 @@ type engine struct {
 	// images holds periodic image offsets when the finder is not
 	// intrinsically periodic (k-d trees); a single zero offset otherwise.
 	images []geom.Vec3
+	// nhat caches the unit observer→galaxy direction of every point
+	// (LOSMidpoint only). Precomputing it once per run makes the per-pair
+	// bisector nhat[i] + nhat[j] a bitwise-commutative two-add expression —
+	// the swap-invariance the pair-symmetry fold needs — and removes two
+	// normalizations from the pair loop.
+	nhat []geom.Vec3
 
 	mono     *sphharm.MonomialTable
 	ytab     *sphharm.YlmTable
@@ -206,6 +212,12 @@ func (e *engine) buildFinder() error {
 		e.images = e.box.Images(e.cfg.RMax)
 	} else {
 		e.images = []geom.Vec3{{}}
+	}
+	if e.cfg.LOS == LOSMidpoint {
+		e.nhat = make([]geom.Vec3, len(e.pts))
+		for i, p := range e.pts {
+			e.nhat[i] = p.Sub(e.cfg.Observer).Normalized()
+		}
 	}
 	e.mono = sphharm.NewMonomialTable(e.cfg.LMax)
 	e.ytab = sphharm.NewYlmTable(e.cfg.LMax, e.mono)
@@ -405,12 +417,20 @@ func (e *engine) run() (*Result, error) {
 			return nil, err
 		}
 	}
+	total.WorkerPhases = make([]Breakdown, 0, len(states))
 	for _, s := range states {
 		total.Timings.Gather += s.tGather
 		total.Timings.Consume += s.tConsume - s.tSelf // self-count timed inside the consume
 		total.Timings.SelfCount += s.tSelf
 		total.Timings.AlmZeta += s.tAlmZeta
 		total.Timings.WorkerTotal += s.tWorker
+		total.WorkerPhases = append(total.WorkerPhases, Breakdown{
+			Gather:      s.tGather,
+			Consume:     s.tConsume - s.tSelf,
+			SelfCount:   s.tSelf,
+			AlmZeta:     s.tAlmZeta,
+			WorkerTotal: s.tWorker,
+		})
 	}
 	return total, nil
 }
@@ -455,13 +475,25 @@ func (e *engine) worker(w, nw int, partials []*Result, gFor []int32, clock *comm
 }
 
 // commitInto folds the worker's block accumulators into a partial result.
-// Only active channels are touched (IsotropicOnly leaves the rest zero).
+// Only active channels are touched; IsotropicOnly leaves the rest zero and
+// commits its real tiles with zero imaginary parts (the iso fast ladder
+// never accumulates the imaginary components, which no isotropic consumer
+// reads — IsoZeta and the estimator take real parts only).
 func (e *engine) commitInto(dst *Result, s *workerState) {
 	nb2 := e.bins.N * e.bins.N
-	for _, ch := range e.channels {
-		dstc := dst.Aniso[ch.base : ch.base+nb2]
-		for i, v := range s.blockAniso[ch.base : ch.base+nb2] {
-			dstc[i] += v
+	if e.cfg.IsotropicOnly {
+		for _, ch := range e.channels {
+			dstc := dst.Aniso[ch.base : ch.base+nb2]
+			for i, v := range s.blockIso[int(ch.i1)*nb2 : int(ch.i1)*nb2+nb2] {
+				dstc[i] += complex(v, 0)
+			}
+		}
+	} else {
+		for _, ch := range e.channels {
+			dstc := dst.Aniso[ch.base : ch.base+nb2]
+			for i, v := range s.blockAniso[ch.base : ch.base+nb2] {
+				dstc[i] += v
+			}
 		}
 	}
 	dst.Pairs += s.blockPairs
@@ -529,6 +561,17 @@ type workerState struct {
 	blockAniso []complex128 // per-block zeta accumulator (committed per block)
 	selfT      []complex128 // [a][bin][channel] self-pair tensor (SelfCount only)
 
+	// IsotropicOnly fast-ladder arenas, replacing blockAniso/wXY/selfT: the
+	// iso channels are in bijection with the pc (l, m) slots, their zeta
+	// tiles are real (downstream consumers read only the real parts), and
+	// the primary-weight scaling folds into the zeta primitive — so the iso
+	// path carries a pc*nb*nb float64 accumulator instead of a 286-channel
+	// complex one, fills one slab instead of two, and never materializes the
+	// channels IsotropicOnly filters out. aSlab switches to split re/im
+	// halves per (slot, primary) in this mode (see processBlock).
+	blockIso []float64 // per-block real zeta accumulator, indexed by (l,m) slot
+	selfIso  []float64 // [a][bin][slot] real self-pair tensor (SelfCount only)
+
 	yScr []float64    // monomial scratch for point evaluation
 	yPt  []complex128 // per-point Y_lm scratch
 
@@ -553,19 +596,23 @@ func (e *engine) newWorkerState() *workerState {
 		msums:      make([]float64, e.mono.Len()),
 		reScr:      make([]float64, pc),
 		imScr:      make([]float64, pc),
-		wXY:        make([]float64, K*pc*2*nb),
 		aSlab:      make([]float64, K*pc*2*nb),
 		blockTl:    make([]int32, K*nb),
 		blockTlOff: make([]int32, K+1),
 		blockPw:    make([]float64, K),
-		blockAniso: make([]complex128, e.combos.Len()*nb*nb),
 		yScr:       make([]float64, e.mono.Len()),
 		yPt:        make([]complex128, pc),
+	}
+	if e.cfg.IsotropicOnly {
+		s.blockIso = make([]float64, pc*nb*nb)
+	} else {
+		s.wXY = make([]float64, K*pc*2*nb)
+		s.blockAniso = make([]complex128, e.combos.Len()*nb*nb)
 	}
 	for b := 0; b < nb; b++ {
 		s.acc[b] = make([]float64, sphharm.AccumulatorLen(e.mono))
 	}
-	if e.cfg.LOS == LOSPlaneParallel && !e.modes.refGather {
+	if (e.cfg.LOS == LOSPlaneParallel || e.cfg.LOS == LOSMidpoint) && !e.modes.refGather {
 		m := 4
 		for m < 4*K {
 			m *= 2
@@ -579,7 +626,11 @@ func (e *engine) newWorkerState() *workerState {
 		s.cpz = make([]float64, K*K)
 	}
 	if e.cfg.SelfCount {
-		s.selfT = make([]complex128, K*nb*e.combos.Len())
+		if e.cfg.IsotropicOnly {
+			s.selfIso = make([]float64, K*nb*pc)
+		} else {
+			s.selfT = make([]complex128, K*nb*e.combos.Len())
+		}
 	}
 	return s
 }
@@ -601,8 +652,12 @@ func (e *engine) processBlock(s *workerState, b int) {
 	nb := e.bins.N
 	pc := e.pc
 
-	for _, ch := range e.channels {
-		clear(s.blockAniso[ch.base : ch.base+nb*nb])
+	if e.cfg.IsotropicOnly {
+		clear(s.blockIso) // the iso channels cover every (l, m) slot
+	} else {
+		for _, ch := range e.channels {
+			clear(s.blockAniso[ch.base : ch.base+nb*nb])
+		}
 	}
 	s.blockPairs, s.blockNP, s.blockSumW = 0, 0, 0
 
@@ -623,7 +678,13 @@ func (e *engine) processBlock(s *workerState, b int) {
 	}
 	s.tGather += time.Since(t0)
 
-	useSym := e.cfg.LOS == LOSPlaneParallel && !e.modes.refGather && K > 1
+	// The pair fold needs a swap-invariant line of sight: plane-parallel
+	// (shared global frame) and midpoint (per-pair bisector frame, bitwise
+	// identical from both endpoints) qualify; radial does not — its frame
+	// follows the primary, so the two directions of a pair see different
+	// rotations.
+	useSym := (e.cfg.LOS == LOSPlaneParallel || e.cfg.LOS == LOSMidpoint) &&
+		!e.modes.refGather && K > 1
 	if useSym {
 		clear(s.cbin[:K*K])
 		for i := range s.symKeys {
@@ -657,7 +718,7 @@ func (e *engine) processBlock(s *workerState, b int) {
 			zs := s.tz[beg:end]
 			ws := s.tw[beg:end]
 			s.kern.AccumulateTile(xs, ys, zs, ws, s.acc[bb])
-			if s.selfT != nil {
+			if s.selfT != nil || s.selfIso != nil {
 				e.accumulateSelfPairs(s, a, bb, xs, ys, zs, ws)
 			}
 		}
@@ -688,17 +749,35 @@ func (e *engine) processBlock(s *workerState, b int) {
 		stride2 := K * 2 * nb
 		wXY, aS := s.wXY, s.aSlab
 		reScr, imScr := s.reScr, s.imScr
-		for t, bb := range tl {
-			sphharm.Reduce(s.acc[bb], s.msums)
-			e.ytab.AlmRI(s.msums, reScr, imScr)
-			o := a*2*nb + 2*t
-			for i := 0; i < pc; i++ {
-				re, im := reScr[i], imScr[i]
-				wXY[o] = pw * re
-				wXY[o+1] = pw * im
-				aS[o] = re
-				aS[o+1] = im
-				o += stride2
+		if e.cfg.IsotropicOnly {
+			// Iso slab layout: split re/im halves per (slot, primary) — re
+			// at [o, o+nb), im at [o+nb, o+2nb), same per-primary stride —
+			// so the iso zeta primitive streams each half contiguously with
+			// no deinterleave, and the weighted leg (wXY) is never built:
+			// the primary weight folds into the primitive instead.
+			for t, bb := range tl {
+				sphharm.Reduce(s.acc[bb], s.msums)
+				e.ytab.AlmRI(s.msums, reScr, imScr)
+				o := a*2*nb + t
+				for i := 0; i < pc; i++ {
+					aS[o] = reScr[i]
+					aS[o+nb] = imScr[i]
+					o += stride2
+				}
+			}
+		} else {
+			for t, bb := range tl {
+				sphharm.Reduce(s.acc[bb], s.msums)
+				e.ytab.AlmRI(s.msums, reScr, imScr)
+				o := a*2*nb + 2*t
+				for i := 0; i < pc; i++ {
+					re, im := reScr[i], imScr[i]
+					wXY[o] = pw * re
+					wXY[o+1] = pw * im
+					aS[o] = re
+					aS[o+1] = im
+					o += stride2
+				}
 			}
 		}
 		// Reset per-primary state (touched bins only, so sparse primaries
@@ -721,6 +800,11 @@ func (e *engine) processBlock(s *workerState, b int) {
 	// channel's nb x nb tile and the Aniso write target cache-hot across
 	// all K primaries.
 	t0 = time.Now()
+	if e.cfg.IsotropicOnly {
+		e.zetaIsoBlock(s, K)
+		s.tAlmZeta += time.Since(t0)
+		return
+	}
 	nchan := e.combos.Len()
 	stride2 := K * 2 * nb
 	allDense := int(s.blockTlOff[K]) == K*nb
@@ -780,6 +864,74 @@ func (e *engine) processBlock(s *workerState, b int) {
 	s.tAlmZeta += time.Since(t0)
 }
 
+// zetaIsoBlock is processBlock's stage 3 for IsotropicOnly: the zeta outer
+// products over the compacted real ladder. Each iso channel (l, l, m) maps
+// one-to-one onto an (l, m) slot, its tile update is real —
+//
+//	dst[b1*nb+b2] += (pw*re[b1])*re[b2] + (pw*im[b1])*im[b2]
+//
+// — and the slabs carry split re/im halves (see the stage-2 fill), so the
+// dense case folds a whole block through sphharm.ZetaBatchIso at half the
+// flops and half the tile traffic of the complex path. The loop structure
+// (channel-major, ascending local-primary order, dense/single/sparse split)
+// mirrors the anisotropic stage exactly, so the blocked, reference-gather,
+// and dense-scan traversals stay bitwise interchangeable.
+func (e *engine) zetaIsoBlock(s *workerState, K int) {
+	nb := e.bins.N
+	pc := e.pc
+	nb2 := nb * nb
+	stride2 := K * 2 * nb
+	allDense := int(s.blockTlOff[K]) == K*nb
+	for _, ch := range e.channels {
+		slot := int(ch.i1)
+		dst := s.blockIso[slot*nb2 : slot*nb2+nb2]
+		base := slot * stride2
+		if allDense {
+			sphharm.ZetaBatchIso(dst, s.aSlab[base:base+K*2*nb], s.blockPw[:K], nb, K)
+		} else {
+			for a := 0; a < K; a++ {
+				tlo, thi := int(s.blockTlOff[a]), int(s.blockTlOff[a+1])
+				nt := thi - tlo
+				if nt == 0 {
+					continue
+				}
+				o := base + a*2*nb
+				if nt == nb {
+					sphharm.ZetaBatchIso(dst, s.aSlab[o:o+2*nb], s.blockPw[a:a+1], nb, 1)
+					continue
+				}
+				pw := s.blockPw[a]
+				tl := s.blockTl[tlo:thi]
+				for t1 := 0; t1 < nt; t1++ {
+					x := pw * s.aSlab[o+t1]
+					y := pw * s.aSlab[o+nb+t1]
+					row := dst[int(tl[t1])*nb : int(tl[t1])*nb+nb]
+					for t2, b2 := range tl {
+						row[b2] += x*s.aSlab[o+t2] + y*s.aSlab[o+nb+t2]
+					}
+				}
+			}
+		}
+		if s.selfIso != nil {
+			for a := 0; a < K; a++ {
+				pw := s.blockPw[a]
+				st := s.selfIso[a*nb*pc:]
+				for _, bb := range s.blockTl[s.blockTlOff[a]:s.blockTlOff[a+1]] {
+					dst[int(bb)*nb+int(bb)] -= pw * st[int(bb)*pc+slot]
+				}
+			}
+		}
+	}
+	if s.selfIso != nil {
+		for a := 0; a < K; a++ {
+			for _, bb := range s.blockTl[s.blockTlOff[a]:s.blockTlOff[a+1]] {
+				o := (a*nb + int(bb)) * pc
+				clear(s.selfIso[o : o+pc])
+			}
+		}
+	}
+}
+
 // assembleTiles builds one primary's bin-sorted SoA pair tiles from its
 // gathered neighbor list and returns the pair count. One branch-light pass
 // normalizes separations, assigns radial bins (hoisted inverse width —
@@ -788,18 +940,27 @@ func (e *engine) processBlock(s *workerState, b int) {
 // at once; and a counting-sort scatter groups the unit vectors by bin. The
 // touched-bin list falls out of the counts in ascending order.
 //
-// On the plane-parallel pair-symmetric path (useSym), each intra-block pair
-// is enumerated once: the endpoint with the lower block-local index
-// computes separation, norm, and bin, scatters the pair into its own tile,
-// and caches the unit vector; the higher endpoint fetches the cached entry
-// and applies the (-1)^ell parity fold of Y_lm(-rhat) = (-1)^ell
-// Y_lm(rhat) by negating the cached components — IEEE negation is exact,
-// and minimal-image separations are antisymmetric bitwise, so the fetched
-// entry is bit-for-bit the value the reference per-primary path computes
-// (the 0-x form keeps even the sign of zero components identical). The
-// multipole ladder then consumes the folded components unchanged. A cache
-// miss (the finder admitted the pair in one direction only, possible at
-// the float32 radius boundary) falls back to the full computation.
+// On the pair-symmetric path (useSym), each intra-block pair is enumerated
+// once: the endpoint with the lower block-local index computes separation,
+// norm, and bin, scatters the pair into its own tile, and caches the unit
+// vector; the higher endpoint fetches the cached entry and applies the
+// (-1)^ell parity fold of Y_lm(-rhat) = (-1)^ell Y_lm(rhat) by negating
+// the cached components — IEEE negation is exact, and minimal-image
+// separations are antisymmetric bitwise, so the fetched entry is
+// bit-for-bit the value the reference per-primary path computes (the 0-x
+// form keeps even the sign of zero components identical). The multipole
+// ladder then consumes the folded components unchanged. A cache miss (the
+// finder admitted the pair in one direction only, possible at the float32
+// radius boundary) falls back to the full computation.
+//
+// The fold extends to LOSMidpoint because the bisector frame is the same
+// from both endpoints: the cached entry is the *rotated* unit vector, the
+// rotation is MidpointLOS(nhat[i], nhat[j]) — bitwise swap-invariant — and
+// a rotation applied to a negated vector is the negation of the rotated
+// vector up to the sign of exactly-zero components, which the 0-x fetch
+// canonicalizes identically on both paths. LOSRadial frames follow the
+// primary, so no fold applies and the rotation stays column-wise after the
+// pair loop.
 func (e *engine) assembleTiles(s *workerState, a int, prim []int32, pi int32, nbrs []int32, useSym bool) int {
 	if s.tileCap == 0 {
 		e.growTiles(s, 4096)
@@ -829,6 +990,11 @@ func (e *engine) tryAssembleTiles(s *workerState, a int, prim []int32, pi int32,
 	cnt := s.cnt
 	pts, ws := e.pts, e.ws
 	symKeys, symVals, symMask := s.symKeys, s.symVals, s.symMask
+	mid := e.cfg.LOS == LOSMidpoint
+	var pn geom.Vec3
+	if mid {
+		pn = e.nhat[pi]
+	}
 	n := 0
 	for _, j := range nbrs {
 		if j == pi {
@@ -887,6 +1053,15 @@ func (e *engine) tryAssembleTiles(s *workerState, a int, prim []int32, pi int32,
 		ux := sep.X * inv
 		uy := sep.Y * inv
 		uz := sep.Z * inv
+		if mid {
+			// Midpoint frames are per pair, so the rotation fuses into the
+			// pair loop (plane-parallel needs none; radial rotates
+			// column-wise below). Rotating before the scatter means the
+			// cached entry is already in the pair's frame — exactly what the
+			// parity fold negates.
+			v := geom.MidpointLOS(pn, e.nhat[j]).Apply(geom.Vec3{X: ux, Y: uy, Z: uz})
+			ux, uy, uz = v.X, v.Y, v.Z
+		}
 		if cnt[bin] == cap32 {
 			clear(cnt)
 			return 0, false
@@ -914,9 +1089,9 @@ func (e *engine) tryAssembleTiles(s *workerState, a int, prim []int32, pi int32,
 	}
 	// Rotation to the line of sight (Fig. 2), column-wise per tile segment.
 	// For plane-parallel mode the z axis is already the line of sight
-	// (which is what makes the shared-frame parity fold valid). Rotating
-	// unit vectors after normalization is exact: the rotation preserves
-	// the norm.
+	// (which is what makes the shared-frame parity fold valid), and
+	// midpoint frames were applied per pair above. Rotating unit vectors
+	// after normalization is exact: the rotation preserves the norm.
 	if e.cfg.LOS == LOSRadial {
 		rot := geom.ToLineOfSight(ppos.Sub(e.cfg.Observer))
 		for _, bb := range s.tl {
@@ -976,6 +1151,24 @@ func (e *engine) growTiles(s *workerState, n int) {
 // build).
 func (e *engine) accumulateSelfPairs(s *workerState, a int, bin int32, xs, ys, zs, ws []float64) {
 	t0 := time.Now()
+	if e.cfg.IsotropicOnly {
+		// Iso channels pair a slot with itself, so the self term is the real
+		// |Y_lm|^2 — accumulated with the same x*re + y*im shape the iso
+		// zeta primitive uses.
+		pc := e.pc
+		st := s.selfIso[(a*e.bins.N+int(bin))*pc:]
+		for j := range xs {
+			e.ytab.EvalPoint(xs[j], ys[j], zs[j], s.yScr, s.yPt)
+			w2 := ws[j] * ws[j]
+			for _, ch := range e.channels {
+				y := s.yPt[ch.i1]
+				re, im := real(y), imag(y)
+				st[ch.i1] += (w2*re)*re + (w2*im)*im
+			}
+		}
+		s.tSelf += time.Since(t0)
+		return
+	}
 	nchan := e.combos.Len()
 	st := s.selfT[(a*e.bins.N+int(bin))*nchan:]
 	for j := range xs {

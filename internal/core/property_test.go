@@ -135,6 +135,15 @@ func TestTouchedListMatchesDenseScanBitwise(t *testing.T) {
 			c.LOS = LOSRadial
 			c.Observer = geom.Vec3{X: -300, Y: -250, Z: -400}
 		}},
+		{"los-midpoint", func(c *Config) {
+			c.LOS = LOSMidpoint
+			c.Observer = geom.Vec3{X: -300, Y: -250, Z: -400}
+		}},
+		{"los-midpoint-isotropic", func(c *Config) {
+			c.LOS = LOSMidpoint
+			c.Observer = geom.Vec3{X: -300, Y: -250, Z: -400}
+			c.IsotropicOnly = true
+		}},
 		{"no-selfcount", func(c *Config) { c.SelfCount = false }},
 		{"sparse-bins", func(c *Config) {
 			// RMin pushes many primaries to touch only a few outer bins,
@@ -195,6 +204,36 @@ func TestBlockedMatchesPerPrimaryBitwise(t *testing.T) {
 		{"los-radial-isotropic", func(c *Config) {
 			c.LOS = LOSRadial
 			c.IsotropicOnly = true
+		}},
+		{"los-midpoint", func(c *Config) {
+			c.LOS = LOSMidpoint
+			c.Observer = geom.Vec3{X: -300, Y: -250, Z: -400}
+		}},
+		{"los-midpoint-no-selfcount", func(c *Config) {
+			c.LOS = LOSMidpoint
+			c.Observer = geom.Vec3{X: -300, Y: -250, Z: -400}
+			c.SelfCount = false
+		}},
+		{"los-midpoint-isotropic", func(c *Config) {
+			c.LOS = LOSMidpoint
+			c.Observer = geom.Vec3{X: -300, Y: -250, Z: -400}
+			c.IsotropicOnly = true
+		}},
+		{"los-midpoint-grid", func(c *Config) {
+			c.LOS = LOSMidpoint
+			c.Observer = geom.Vec3{X: -300, Y: -250, Z: -400}
+			c.Finder = FinderGrid
+		}},
+		{"los-midpoint-kd64", func(c *Config) {
+			c.LOS = LOSMidpoint
+			c.Observer = geom.Vec3{X: -300, Y: -250, Z: -400}
+			c.Finder = FinderKD64
+		}},
+		{"los-midpoint-small-blocks", func(c *Config) {
+			c.LOS = LOSMidpoint
+			c.Observer = geom.Vec3{X: -300, Y: -250, Z: -400}
+			c.ChunkSize = 3
+			c.BlockCell = 9
 		}},
 		{"kd64", func(c *Config) { c.Finder = FinderKD64 }},
 		{"grid", func(c *Config) { c.Finder = FinderGrid }},

@@ -108,6 +108,13 @@ type Result struct {
 	// SumWeight is the summed primary weight (normalization).
 	SumWeight float64
 	Timings   Breakdown
+	// WorkerPhases holds each engine worker's own phase breakdown (the
+	// rows Timings sums). It is a scheduling diagnostic for perfstat's
+	// parallel-efficiency reporting: per-worker skew is invisible in the
+	// summed Timings. Node-local only — the binary result encoding
+	// (resultio) does not carry it, so results read back from disk or the
+	// wire have it empty.
+	WorkerPhases []Breakdown
 }
 
 // NewResult allocates an empty result for the given configuration.
@@ -184,6 +191,7 @@ func (r *Result) Add(o *Result) error {
 	r.Pairs += o.Pairs
 	r.SumWeight += o.SumWeight
 	r.Timings.Add(o.Timings)
+	r.WorkerPhases = append(r.WorkerPhases, o.WorkerPhases...)
 	return nil
 }
 

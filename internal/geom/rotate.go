@@ -102,6 +102,24 @@ func ToLineOfSight(p Vec3) Rotation {
 	}
 }
 
+// MidpointLOS builds the rotation onto the pair's bisector line of sight:
+// the frame whose z axis is the unit bisector of the two (already
+// normalized) galaxy direction vectors na and nb. The bisector of two unit
+// vectors points along their angular midpoint, so this is the standard
+// midpoint line-of-sight convention for wide-angle pair statistics.
+//
+// The construction is bitwise symmetric in its arguments: IEEE addition is
+// commutative, so na + nb and nb + na are the same vector bit for bit, and
+// ToLineOfSight of that vector is one deterministic function of its input.
+// That exact swap-invariance is what the engine's pair-symmetry fold relies
+// on — both endpoints of a pair derive the identical rotation, while the
+// separation they rotate negates. Antipodal directions (na = -nb) have no
+// bisector; ToLineOfSight maps the zero sum to the identity frame, keeping
+// the function total and still swap-invariant.
+func MidpointLOS(na, nb Vec3) Rotation {
+	return ToLineOfSight(na.Add(nb))
+}
+
 // IsOrthonormal reports whether r is orthonormal to within tol, i.e.
 // r * r^T = I component-wise.
 func (r Rotation) IsOrthonormal(tol float64) bool {

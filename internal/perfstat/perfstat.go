@@ -75,6 +75,21 @@ type Report struct {
 	// gather, consume, self_count, alm_zeta, worker_total. Worker
 	// phases are summed across workers, so they can exceed ElapsedSec.
 	PhaseSec map[string]float64 `json:"phase_sec"`
+
+	// ParallelEfficiency is the worker-busy fraction of the run:
+	// worker_total / (workers × elapsed). 1.0 means every worker computed
+	// for the whole wall clock; the shortfall is scheduler idle, commit-clock
+	// waits, and the serial tree build. Zero for legacy reports or when the
+	// worker budget is unknown. On oversubscribed hosts (Workers >
+	// GoMaxProcs) the fraction also absorbs timeslice waits and is not a
+	// scaling statement.
+	ParallelEfficiency float64 `json:"parallel_efficiency,omitempty"`
+	// WorkerPhaseSec is the per-worker phase breakdown (one map per worker,
+	// same keys as PhaseSec minus tree_build): the spread across entries
+	// shows scheduling imbalance that the summed PhaseSec hides. Present
+	// only when the engine reported per-worker phases (local runs; the
+	// binary result format does not carry them).
+	WorkerPhaseSec []map[string]float64 `json:"worker_phase_sec,omitempty"`
 }
 
 // Collect builds a report from the run's configuration, its computed result,
@@ -115,6 +130,18 @@ func Collect(label string, cfg core.Config, res *core.Result, elapsed time.Durat
 	}
 	if fp, err := cfg.Fingerprint(); err == nil {
 		r.ConfigFingerprint = fp
+	}
+	if r.Workers > 0 && sec > 0 {
+		r.ParallelEfficiency = res.Timings.WorkerTotal.Seconds() / (float64(r.Workers) * sec)
+	}
+	for _, wp := range res.WorkerPhases {
+		r.WorkerPhaseSec = append(r.WorkerPhaseSec, map[string]float64{
+			"gather":       wp.Gather.Seconds(),
+			"consume":      wp.Consume.Seconds(),
+			"self_count":   wp.SelfCount.Seconds(),
+			"alm_zeta":     wp.AlmZeta.Seconds(),
+			"worker_total": wp.WorkerTotal.Seconds(),
+		})
 	}
 	return r
 }

@@ -1,0 +1,131 @@
+package perfstat
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ScalingPoint is one worker count of a strong-scaling sweep over a pinned
+// scenario: the same catalog and configuration timed at Workers = w with
+// GOMAXPROCS pinned to w, so the point measures scheduler-granted
+// parallelism rather than oversubscription noise.
+type ScalingPoint struct {
+	Workers     int     `json:"workers"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	PairsPerSec float64 `json:"pairs_per_sec"`
+	// Speedup is T(1)/T(w) against the sweep's own 1-worker point.
+	Speedup float64 `json:"speedup"`
+	// Efficiency is the parallel efficiency T(1)/(w·T(w)) — the scaling
+	// gate's number. 1.0 is ideal strong scaling.
+	Efficiency float64 `json:"efficiency"`
+	// BusyFraction is the worker-busy fraction worker_total/(w·elapsed) of
+	// this point's own run (Report.ParallelEfficiency): it separates
+	// scheduler idle from per-worker slowdown when Efficiency drops.
+	BusyFraction float64 `json:"busy_fraction,omitempty"`
+}
+
+// ScalingReport is the machine-readable result of one scaling sweep. Like
+// Report, two of them are comparable only when the scenario fields match;
+// CompareScaling enforces that before gating on the efficiency floor.
+type ScalingReport struct {
+	Label     string `json:"label"`
+	Host      string `json:"host"`
+	NumCPU    int    `json:"num_cpu"`
+	Timestamp string `json:"timestamp"`
+
+	NGalaxies int    `json:"n_galaxies"`
+	NBins     int    `json:"n_bins"`
+	LMax      int    `json:"l_max"`
+	Pairs     uint64 `json:"pairs"`
+	// ConfigFingerprint pins the swept configuration at Workers = 1 (the
+	// worker budget itself varies across points, so the fingerprint is
+	// taken with it normalized out of the comparison by fixing 1).
+	ConfigFingerprint string `json:"config_fingerprint,omitempty"`
+
+	Points []ScalingPoint `json:"points"`
+}
+
+// EfficiencyAt returns the parallel efficiency measured at the given worker
+// count, or (0, false) when the sweep has no such point.
+func (r *ScalingReport) EfficiencyAt(workers int) (float64, bool) {
+	for _, p := range r.Points {
+		if p.Workers == workers {
+			return p.Efficiency, true
+		}
+	}
+	return 0, false
+}
+
+// WriteJSON writes the scaling report, indented, to path.
+func (r *ScalingReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadScalingJSON loads a scaling report written by WriteJSON.
+func ReadScalingJSON(path string) (*ScalingReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r ScalingReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perfstat: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareScaling checks a fresh scaling sweep against a baseline and
+// enforces the committed parallel-efficiency floor at floorWorkers. It
+// returns a human-readable summary and an error when the sweeps measure
+// different scenarios or the fresh efficiency at floorWorkers falls below
+// floor.
+//
+// The floor is only enforceable where the host can actually grant the
+// parallelism: when the fresh sweep's measuring host has fewer CPUs than
+// floorWorkers, every worker beyond NumCPU timeshares a core and efficiency
+// collapses by construction, not by regression. In that case the gate
+// reports the skip in the summary and passes — the floor binds on CI
+// runners with >= floorWorkers cores.
+func CompareScaling(baseline, fresh *ScalingReport, floorWorkers int, floor float64) (string, error) {
+	if baseline.NGalaxies != fresh.NGalaxies || baseline.NBins != fresh.NBins ||
+		baseline.LMax != fresh.LMax {
+		return "", fmt.Errorf(
+			"perfstat: scaling sweeps measure different scenarios (baseline %d galaxies / %d bins / lmax %d, fresh %d / %d / %d); refresh the baseline",
+			baseline.NGalaxies, baseline.NBins, baseline.LMax,
+			fresh.NGalaxies, fresh.NBins, fresh.LMax)
+	}
+	if baseline.Pairs != fresh.Pairs {
+		return "", fmt.Errorf(
+			"perfstat: scaling pair counts differ (baseline %d, fresh %d) — the measured computation changed; refresh the baseline",
+			baseline.Pairs, fresh.Pairs)
+	}
+	if baseline.ConfigFingerprint != "" && fresh.ConfigFingerprint != "" &&
+		baseline.ConfigFingerprint != fresh.ConfigFingerprint {
+		return "", fmt.Errorf(
+			"perfstat: scaling config fingerprints differ (baseline %s, fresh %s); refresh the baseline",
+			baseline.ConfigFingerprint[:12], fresh.ConfigFingerprint[:12])
+	}
+	eff, ok := fresh.EfficiencyAt(floorWorkers)
+	if !ok {
+		return "", fmt.Errorf("perfstat: fresh scaling sweep has no %d-worker point", floorWorkers)
+	}
+	baseEff, _ := baseline.EfficiencyAt(floorWorkers)
+	summary := fmt.Sprintf("%d-worker efficiency %.3f vs baseline %.3f (floor %.2f)",
+		floorWorkers, eff, baseEff, floor)
+	if fresh.NumCPU > 0 && fresh.NumCPU < floorWorkers {
+		summary += fmt.Sprintf("; floor not enforced: host has %d CPUs < %d workers (efficiency is core-starved, not regressed)",
+			fresh.NumCPU, floorWorkers)
+		return summary, nil
+	}
+	if eff < floor {
+		return summary, fmt.Errorf("perfstat: %d-worker parallel efficiency %.3f fell below the committed floor %.2f: %s",
+			floorWorkers, eff, floor, summary)
+	}
+	return summary, nil
+}

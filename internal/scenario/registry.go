@@ -23,6 +23,7 @@ import (
 
 var registry = []*Scenario{
 	periodicIso(),
+	isoMidpoint(),
 	anisoLOSRadial(),
 	periodicAnisoRSD(),
 	surveyEstimator(),
@@ -229,6 +230,43 @@ func periodicIso() *Scenario {
 		Run: func(ctx context.Context, b exec.Backend, n int, seed int64) (*Outcome, error) {
 			n = clampN(n, 300)
 			cat := catalog.Clustered(n, 240, catalog.DefaultClusterParams(), seed)
+			o, _, err := runOne(ctx, b, name, cat, cfg, n, seed)
+			return o, err
+		},
+		Invariants: []Invariant{
+			invPairsPositive(), invUnitWeights(), invM0Real(), invIsoBinSymmetry(),
+		},
+	}
+}
+
+// isoMidpoint runs the isotropic 3PCF under the midpoint line of sight: the
+// pair-swap-symmetric survey convention whose frames admit the engine's
+// (-1)^l fold, on the IsotropicOnly fast ladder. Together the row pins the
+// two new hot paths end-to-end (golden hashes under both dispatch tags,
+// cross-backend equivalence via the shared harnesses).
+func isoMidpoint() *Scenario {
+	const name = "iso-midpoint"
+	cfg := core.Config{
+		RMax: 40, NBins: 5, LMax: 4,
+		LOS: core.LOSMidpoint, Observer: geom.Vec3{X: -400, Y: -500, Z: -600},
+		SelfCount: true, IsotropicOnly: true,
+		Workers: 1,
+	}
+	return &Scenario{
+		Name:       name,
+		Desc:       "isotropic 3PCF under the swap-symmetric midpoint line of sight",
+		GoldenN:    1500,
+		GoldenSeed: 108,
+		MinN:       300,
+		Run: func(ctx context.Context, b exec.Backend, n int, seed int64) (*Outcome, error) {
+			n = clampN(n, 300)
+			// Open boundaries: the midpoint frame depends on both galaxies'
+			// absolute positions, so the periodic image shifts the sharded
+			// and distributed backends apply to halo copies would move the
+			// LOS. A survey-like open volume (midpoint's natural geometry)
+			// keeps every backend on the same coordinates.
+			boxed := catalog.Clustered(n, 240, catalog.DefaultClusterParams(), seed)
+			cat := &catalog.Catalog{Galaxies: boxed.Galaxies}
 			o, _, err := runOne(ctx, b, name, cat, cfg, n, seed)
 			return o, err
 		},

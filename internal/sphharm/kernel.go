@@ -187,14 +187,15 @@ func (k *Kernel) accumulateChunk(xs, ys, zs, ws []float64, acc []float64) {
 // All callers pass matched column lengths — the vector bodies trust the
 // driving slice's length the same way the generic bodies do.
 var (
-	addLanes  = addLanesGeneric
-	fmaLanes  = fmaLanesGeneric
-	rowLanes  = rowLanesGeneric
-	mulInto   = mulIntoGeneric
-	mulCols   = mulColsGeneric
-	zetaBlock = zetaBlockGeneric
-	zetaBatch = zetaBatchGeneric
-	reduce    = reduceGeneric
+	addLanes     = addLanesGeneric
+	fmaLanes     = fmaLanesGeneric
+	rowLanes     = rowLanesGeneric
+	mulInto      = mulIntoGeneric
+	mulCols      = mulColsGeneric
+	zetaBlock    = zetaBlockGeneric
+	zetaBatch    = zetaBatchGeneric
+	zetaBatchIso = zetaBatchIsoGeneric
+	reduce       = reduceGeneric
 )
 
 // laneDispatchVector tracks which bodies the lane-primitive variables are
@@ -212,6 +213,7 @@ func bindGenericLanes() {
 	mulCols = mulColsGeneric
 	zetaBlock = zetaBlockGeneric
 	zetaBatch = zetaBatchGeneric
+	zetaBatchIso = zetaBatchIsoGeneric
 	reduce = reduceGeneric
 	laneDispatchVector = false
 }
@@ -509,6 +511,47 @@ func zetaBatchGeneric(dst []complex128, a2, xy []float64, nb, k int) {
 				re2 := a2[ao+2*t2]
 				im2 := a2[ao+2*t2+1]
 				row[t2] += complex(x*re2+y*im2, y*re2-x*im2)
+			}
+		}
+	}
+}
+
+// ZetaBatchIso is ZetaBatch's compacted real form for the engine's
+// IsotropicOnly fast ladder. Isotropic channels pair an (l, m) slot with
+// itself, and every isotropic consumer reads only the real part of the
+// resulting zeta, so the update per primary a and row t1 collapses to
+//
+//	dst[t1*nb+t2] += x*re[t2] + y*im[t2],  x = w[a]*re[t1], y = w[a]*im[t1]
+//
+// over a real nb x nb tile — half the arithmetic and half the tile traffic
+// of the complex batch. a2 carries split halves per primary (re at
+// [a*2nb, a*2nb+nb), im at [a*2nb+nb, a*2nb+2nb)) so both legs stream
+// contiguously with no deinterleave, and w carries the k primary weights —
+// the weighted leg is derived in-register instead of materialized by the
+// caller. dst must hold nb*nb values, a2 at least k*2*nb, w at least k.
+func ZetaBatchIso(dst, a2, w []float64, nb, k int) {
+	if nb <= 0 || k <= 0 {
+		return
+	}
+	if len(dst) != nb*nb || len(a2) < k*2*nb || len(w) < k {
+		panic("sphharm: ZetaBatchIso shape mismatch")
+	}
+	zetaBatchIso(dst, a2, w, nb, k)
+}
+
+// zetaBatchIsoGeneric is the pure-Go body of ZetaBatchIso.
+func zetaBatchIsoGeneric(dst, a2, w []float64, nb, k int) {
+	for a := 0; a < k; a++ {
+		ao := a * 2 * nb
+		pw := w[a]
+		re2 := a2[ao : ao+nb]
+		im2 := a2[ao+nb : ao+2*nb]
+		for t1 := 0; t1 < nb; t1++ {
+			x := pw * re2[t1]
+			y := pw * im2[t1]
+			row := dst[t1*nb : t1*nb+nb]
+			for t2 := range row {
+				row[t2] += x*re2[t2] + y*im2[t2]
 			}
 		}
 	}

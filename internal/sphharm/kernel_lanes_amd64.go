@@ -2,6 +2,8 @@
 
 package sphharm
 
+import "os"
+
 // AVX-512 dispatch for the lane primitives. The kernel's Lanes = 8 float64
 // sub-accumulator is exactly one 512-bit ZMM register — the vector shape the
 // paper's Xeon Phi kernel was designed around — so the hot loops map onto
@@ -32,6 +34,7 @@ func mulColsAsm(dst, a, b []float64)
 func zetaBlockAsm(dst []complex128, u, v, xs, ys []float64)
 func rowLanesAsm(acc, xy, zpow []float64, zcap int)
 func zetaBatchAsm(dst []complex128, a2, xy []float64, nb, k int)
+func zetaBatchIsoAsm(dst, a2, w []float64, nb, k int)
 func reduceAsm(acc, out []float64)
 
 var useAVX512 = detectAVX512()
@@ -39,6 +42,13 @@ var useAVX512 = detectAVX512()
 func init() {
 	if useAVX512 {
 		bindVectorLanes()
+	}
+	// GALACTOS_LANE_DISPATCH=generic forces the portable bodies at process
+	// start even on AVX-512 hosts — CI's second test pass pins the pure-Go
+	// fallback with it. SetLaneDispatch can still rebind later (the scenario
+	// golden harness exercises both tags in one process).
+	if os.Getenv("GALACTOS_LANE_DISPATCH") == "generic" {
+		bindGenericLanes()
 	}
 }
 
@@ -53,6 +63,7 @@ func bindVectorLanes() {
 	mulCols = mulColsAsm
 	zetaBlock = zetaBlockAsm
 	zetaBatch = zetaBatchAsm
+	zetaBatchIso = zetaBatchIsoAsm
 	reduce = reduceAsm
 	laneDispatchVector = true
 }

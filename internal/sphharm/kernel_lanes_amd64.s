@@ -640,6 +640,133 @@ stripnext:
 	JB   striploop
 	RET
 
+// func zetaBatchIsoAsm(dst, a2, w []float64, nb, k int)
+// The real-valued IsotropicOnly variant of zetaBatchAsm: dst is a real
+// nb x nb tile and a2 carries split re/im halves per primary (re row then
+// im row, per-primary stride 2*nb floats), so both legs load as plain
+// contiguous strips — no conjugate sign flip, no pair swap. The tile is
+// walked in 8-float column strips x 2-row groups held in registers across
+// all K primaries; per (primary, row) the weighted scalars x = w[a]*re[t1]
+// and y = w[a]*im[t1] are formed by broadcast + multiply and folded in with
+// two FMAs per row.
+TEXT ·zetaBatchIsoAsm(SB), NOSPLIT, $0-88
+	MOVQ dst_base+0(FP), DI
+	MOVQ a2_base+24(FP), SI
+	MOVQ w_base+48(FP), BX
+	MOVQ nb+72(FP), R10
+	MOVQ k+80(FP), R11
+	MOVQ R10, R12
+	SHLQ $4, R12 // a2 per-primary stride: 2*nb floats = 16*nb bytes
+	MOVQ R10, R9
+	SHLQ $3, R9  // dst row stride and re->im half offset: nb floats = 8*nb bytes
+
+	XORQ R13, R13 // column strip byte offset within a row
+
+isostriploop:
+	// Strip mask: full 8 floats, or the row-width remainder.
+	MOVQ R9, AX
+	SUBQ R13, AX
+	SHRQ $3, AX
+	CMPQ AX, $8
+	JBE  isostripmask
+	MOVQ $8, AX
+
+isostripmask:
+	MOVQ AX, CX
+	MOVL $1, DX
+	SHLL CX, DX
+	DECL DX
+	KMOVW DX, K1
+
+	XORQ R14, R14 // row index
+
+isorowloop:
+	MOVQ R10, AX
+	SUBQ R14, AX
+	CMPQ AX, $2
+	JB   isorowsingle
+
+	// Two-row tile: dst rows R14, R14+1 at this strip.
+	MOVQ R14, AX
+	IMULQ R9, AX
+	LEAQ (DI)(AX*1), DX
+	ADDQ R13, DX
+	VMOVUPD.Z (DX), K1, Z16
+	VMOVUPD.Z (DX)(R9*1), K1, Z17
+	LEAQ (SI)(R13*1), AX // a2 re-strip cursor, primary 0
+	MOVQ R14, CX
+	SHLQ $3, CX
+	LEAQ (SI)(CX*1), CX  // a2 scalar cursor: re[row] of primary 0
+	MOVQ BX, R8          // w cursor
+	MOVQ R11, R15
+
+isopairloop2:
+	VMOVUPD.Z (AX), K1, Z20       // re strip
+	VMOVUPD.Z (AX)(R9*1), K1, Z21 // im strip
+	VBROADCASTSD (R8), Z23        // w[a]
+	VBROADCASTSD (CX), Z24
+	VMULPD Z23, Z24, Z24          // x = w[a]*re[row]
+	VFMADD231PD Z20, Z24, Z16
+	VBROADCASTSD (CX)(R9*1), Z25
+	VMULPD Z23, Z25, Z25          // y = w[a]*im[row]
+	VFMADD231PD Z21, Z25, Z16
+	VBROADCASTSD 8(CX), Z24
+	VMULPD Z23, Z24, Z24
+	VFMADD231PD Z20, Z24, Z17
+	VBROADCASTSD 8(CX)(R9*1), Z25
+	VMULPD Z23, Z25, Z25
+	VFMADD231PD Z21, Z25, Z17
+	ADDQ R12, AX
+	ADDQ R12, CX
+	ADDQ $8, R8
+	DECQ R15
+	JNZ  isopairloop2
+
+	VMOVUPD Z16, K1, (DX)
+	VMOVUPD Z17, K1, (DX)(R9*1)
+	ADDQ $2, R14
+	CMPQ R14, R10
+	JB   isorowloop
+	JMP  isostripnext
+
+isorowsingle:
+	// Last odd row.
+	MOVQ R14, AX
+	IMULQ R9, AX
+	LEAQ (DI)(AX*1), DX
+	ADDQ R13, DX
+	VMOVUPD.Z (DX), K1, Z16
+	LEAQ (SI)(R13*1), AX
+	MOVQ R14, CX
+	SHLQ $3, CX
+	LEAQ (SI)(CX*1), CX
+	MOVQ BX, R8
+	MOVQ R11, R15
+
+isopairloop1:
+	VMOVUPD.Z (AX), K1, Z20
+	VMOVUPD.Z (AX)(R9*1), K1, Z21
+	VBROADCASTSD (R8), Z23
+	VBROADCASTSD (CX), Z24
+	VMULPD Z23, Z24, Z24
+	VFMADD231PD Z20, Z24, Z16
+	VBROADCASTSD (CX)(R9*1), Z25
+	VMULPD Z23, Z25, Z25
+	VFMADD231PD Z21, Z25, Z16
+	ADDQ R12, AX
+	ADDQ R12, CX
+	ADDQ $8, R8
+	DECQ R15
+	JNZ  isopairloop1
+
+	VMOVUPD Z16, K1, (DX)
+
+isostripnext:
+	ADDQ $64, R13
+	CMPQ R13, R9
+	JB   isostriploop
+	RET
+
 // func reduceAsm(acc, out []float64)
 // Lane-striped accumulator fold, two monomials per iteration. Each group's
 // pairwise tree — (a0+a1)+(a2+a3) then +((a4+a5)+(a6+a7)) — is performed

@@ -490,3 +490,96 @@ func TestReduceDispatchBitwiseGeneric(t *testing.T) {
 		}
 	}
 }
+
+func TestZetaBatchIsoMatchesReference(t *testing.T) {
+	// ZetaBatchIso over K packed split-half primaries must agree with the
+	// scalar real update it compacts — x*re2 + y*im2 with the weighted leg
+	// derived from the per-primary weight — for every nb strip/row shape
+	// and K, under whichever dispatch is active.
+	rng := rand.New(rand.NewSource(95))
+	for _, nb := range []int{1, 2, 3, 4, 7, 8, 10, 16, 20} {
+		for _, k := range []int{1, 2, 5, 31} {
+			a2 := make([]float64, k*2*nb)
+			w := make([]float64, k)
+			for j := range a2 {
+				a2[j] = rng.NormFloat64()
+			}
+			for j := range w {
+				w[j] = rng.ExpFloat64()
+			}
+			got := make([]float64, nb*nb)
+			want := make([]float64, nb*nb)
+			for i := range got {
+				v := rng.NormFloat64()
+				got[i] = v
+				want[i] = v
+			}
+			ZetaBatchIso(got, a2, w, nb, k)
+			for a := 0; a < k; a++ {
+				ao := a * 2 * nb
+				for t1 := 0; t1 < nb; t1++ {
+					x := w[a] * a2[ao+t1]
+					y := w[a] * a2[ao+nb+t1]
+					for t2 := 0; t2 < nb; t2++ {
+						want[t1*nb+t2] += x*a2[ao+t2] + y*a2[ao+nb+t2]
+					}
+				}
+			}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+					t.Fatalf("nb=%d k=%d elem %d: %v vs %v", nb, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestZetaBatchIsoDispatchAgreesWithGeneric(t *testing.T) {
+	// The vector body regroups the two multiply-adds into FMAs, so agreement
+	// with the generic body is to rounding, not bits (same contract as
+	// ZetaBatch).
+	if !HasAVX512() {
+		t.Skip("no vector path on this host; dispatch is the generic code")
+	}
+	rng := rand.New(rand.NewSource(96))
+	for _, nb := range []int{1, 3, 8, 9, 17} {
+		k := 6
+		a2 := make([]float64, k*2*nb)
+		w := make([]float64, k)
+		for j := range a2 {
+			a2[j] = rng.NormFloat64()
+		}
+		for j := range w {
+			w[j] = rng.ExpFloat64()
+		}
+		got := make([]float64, nb*nb)
+		want := make([]float64, nb*nb)
+		zetaBatchIso(got, a2, w, nb, k)
+		zetaBatchIsoGeneric(want, a2, w, nb, k)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatalf("nb=%d elem %d: %v vs %v", nb, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestZetaBatchIsoPanicsOnMismatch(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("short dst", func() {
+		ZetaBatchIso(make([]float64, 3), make([]float64, 8), make([]float64, 2), 2, 2)
+	})
+	mustPanic("short a2", func() {
+		ZetaBatchIso(make([]float64, 4), make([]float64, 7), make([]float64, 2), 2, 2)
+	})
+	mustPanic("short w", func() {
+		ZetaBatchIso(make([]float64, 4), make([]float64, 8), make([]float64, 1), 2, 2)
+	})
+}
