@@ -5,7 +5,7 @@ GO ?= go
 .PHONY: all build test test-race vet fmt-check bench bench-exp \
 	bench-baseline bench-check bench-scaling-baseline scaling-check \
 	test-generic cross-smoke examples-smoke scenario-smoke \
-	service-smoke ci clean
+	service-smoke chaos-smoke ci clean
 
 all: build
 
@@ -17,11 +17,14 @@ test:
 
 # Race detector over the concurrency surfaces: the engine worker pool, the
 # sharded checkpointing pipeline, the execution layer's cancellation paths,
-# the scenario registry's multi-stage workloads, and the galactosd job
-# server (worker pool, SSE streaming, disconnect-cancel) with its client.
+# the scenario registry's multi-stage workloads, the galactosd job server
+# (worker pool, SSE streaming, disconnect-cancel) with its client, and the
+# fault-injection/retry layers whose counters and plans are hit from every
+# worker goroutine.
 test-race:
 	$(GO) test -race ./internal/core/... ./internal/shard/... ./internal/exec/... \
-		./internal/scenario/... ./internal/service/... ./client/...
+		./internal/scenario/... ./internal/service/... ./client/... \
+		./internal/faultpoint/... ./internal/retry/...
 
 vet:
 	$(GO) vet ./...
@@ -108,6 +111,16 @@ scenario-smoke:
 	$(GO) run -race ./cmd/galactos -scenario all -n 900 -seed 1 \
 		-backend sharded -shards 2 \
 		$(if $(SCENARIO_SUMMARY),-scenario-summary "$(SCENARIO_SUMMARY)")
+
+# Chaos sweep under the race detector: every case pins a clean run's bitwise
+# hash, re-runs under a fixed-seed fault plan (injected errors, delays, and
+# panics at every registered faultpoint), and must reproduce the hash
+# exactly; the sweep also fails if any registered faultpoint never fired.
+# Set CHAOS_SUMMARY to a file path (CI uses $GITHUB_STEP_SUMMARY) to also
+# append the per-case and injected-vs-recovered markdown tables there.
+chaos-smoke:
+	$(GO) run -race ./cmd/galactos -chaos -n 500 -seed 1 \
+		$(if $(CHAOS_SUMMARY),-chaos-summary "$(CHAOS_SUMMARY)")
 
 ci: fmt-check build vet test bench
 

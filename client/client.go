@@ -11,13 +11,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"galactos"
 	"galactos/internal/core"
+	"galactos/internal/retry"
 	"galactos/internal/service"
 )
 
@@ -103,20 +107,80 @@ func (c *Client) Submit(ctx context.Context, req galactos.Request) (JobStatus, e
 // SubmitStream submits a request and follows its event stream to
 // completion, invoking onEvent (when non-nil) for each event. The
 // submitting connection owns the job: cancelling ctx (or disconnecting)
-// cancels the job on the server. Returns the job's final status.
+// cancels the job on the server — which is exactly why this call does NOT
+// auto-reconnect (the job is gone the moment the stream drops; resubmission
+// is a policy decision the caller owns). Returns the job's final status.
 func (c *Client) SubmitStream(ctx context.Context, req galactos.Request, onEvent func(Event)) (JobStatus, error) {
 	data, err := json.Marshal(req)
 	if err != nil {
 		return JobStatus{}, err
 	}
-	return c.stream(ctx, http.MethodPost, "/v1/jobs?stream", bytes.NewReader(data), onEvent)
+	cur := streamCursor{lastSeq: -1}
+	if err := c.streamOnce(ctx, http.MethodPost, "/v1/jobs?stream", bytes.NewReader(data), &cur, onEvent); err != nil {
+		return cur.st, err
+	}
+	if cur.id == "" {
+		return cur.st, fmt.Errorf("galactosd: stream ended without a job event")
+	}
+	return c.Status(ctx, cur.id)
 }
+
+// reconnectAttempts bounds consecutive failed Watch reconnects (attempts
+// that deliver no new event); any delivered event resets the budget, so a
+// long job under a flaky network keeps its watcher as long as progress
+// trickles through.
+const reconnectAttempts = 5
 
 // Watch follows an existing job's event stream to completion, replaying
 // history first. Watching does not own the job: cancelling ctx stops
-// watching, not the job. Returns the job's final status.
+// watching, not the job — which is why Watch may transparently reconnect.
+// A dropped stream (server restart of the HTTP layer, injected severance,
+// proxy timeout) is resumed from the last received event's sequence number
+// via the ?from= cursor, with bounded backoff between attempts; events are
+// deduplicated by sequence number, so the caller observes each exactly
+// once even when a reconnect replays overlap. Returns the job's final
+// status.
 func (c *Client) Watch(ctx context.Context, id string, onEvent func(Event)) (JobStatus, error) {
-	return c.stream(ctx, http.MethodGet, "/v1/jobs/"+id+"/events", nil, onEvent)
+	cur := streamCursor{lastSeq: -1}
+	pol := retry.Policy{}
+	failures := 0
+	for {
+		before := cur.lastSeq
+		path := "/v1/jobs/" + id + "/events"
+		if cur.lastSeq >= 0 {
+			path += "?from=" + strconv.Itoa(cur.lastSeq+1)
+		}
+		err := c.streamOnce(ctx, http.MethodGet, path, nil, &cur, onEvent)
+		if cur.terminal {
+			return c.Status(ctx, id)
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cur.st, cerr
+		}
+		// The server answered coherently (4xx/5xx): reconnecting cannot
+		// help — the job was evicted, or the server is draining.
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			return cur.st, err
+		}
+		if cur.lastSeq > before {
+			failures = 0
+		}
+		failures++
+		if failures >= reconnectAttempts {
+			if err == nil {
+				err = fmt.Errorf("stream ended before the job terminalized")
+			}
+			return cur.st, fmt.Errorf("galactosd: giving up after %d reconnects: %w", failures, err)
+		}
+		timer := time.NewTimer(pol.Backoff("watch "+id, failures))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return cur.st, ctx.Err()
+		case <-timer.C:
+		}
+	}
 }
 
 // Wait blocks until the job terminalizes and returns its final status.
@@ -124,39 +188,60 @@ func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
 	return c.Watch(ctx, id, nil)
 }
 
-// stream runs one SSE request, dispatching events until the job
-// terminalizes, then fetches and returns the final status.
-func (c *Client) stream(ctx context.Context, method, path string, body io.Reader, onEvent func(Event)) (JobStatus, error) {
-	var st JobStatus
+// streamCursor carries resume state across a watch's reconnects.
+type streamCursor struct {
+	st       JobStatus
+	id       string // job id from the stream preamble
+	lastSeq  int    // highest event sequence delivered; -1 before the first
+	terminal bool   // a terminal state event was delivered
+}
+
+// streamOnce runs one SSE connection, dispatching events into the cursor
+// until the stream ends (job terminal, connection severed, or ctx done).
+// Events at or below the cursor's sequence are duplicates from replay
+// overlap and are dropped; frames that fail to parse are skipped, not
+// fatal — one corrupt frame must not kill a resumable stream.
+func (c *Client) streamOnce(ctx context.Context, method, path string, body io.Reader, cur *streamCursor, onEvent func(Event)) error {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return st, err
+		return err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if cur.lastSeq >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(cur.lastSeq))
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return st, err
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return st, apiError(resp)
+		return apiError(resp)
 	}
 
-	id := ""
-	err = readSSE(resp.Body, func(event string, data []byte) error {
+	return readSSE(resp.Body, func(event string, data []byte) error {
 		switch event {
 		case "job":
+			var st JobStatus
 			if err := json.Unmarshal(data, &st); err != nil {
-				return err
+				return nil // malformed preamble frame: skip
 			}
-			id = st.ID
+			cur.st = st
+			cur.id = st.ID
 		case "state", "log":
 			var ev Event
 			if err := json.Unmarshal(data, &ev); err != nil {
-				return err
+				return nil // malformed frame: skip
+			}
+			if ev.Seq <= cur.lastSeq {
+				return nil // replay overlap after a resume: already delivered
+			}
+			cur.lastSeq = ev.Seq
+			if ev.Type == "state" && ev.State.Terminal() {
+				cur.terminal = true
 			}
 			if onEvent != nil {
 				onEvent(ev)
@@ -164,13 +249,6 @@ func (c *Client) stream(ctx context.Context, method, path string, body io.Reader
 		}
 		return nil
 	})
-	if err != nil {
-		return st, err
-	}
-	if id == "" {
-		return st, fmt.Errorf("galactosd: stream ended without a job event")
-	}
-	return c.Status(ctx, id)
 }
 
 // readSSE parses a Server-Sent Events stream, calling handle for each

@@ -1,7 +1,13 @@
 package client
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -74,3 +80,163 @@ func TestReadSSEStopsOnHandlerError(t *testing.T) {
 }
 
 var errTest = &APIError{StatusCode: 418, Message: "test"}
+
+// sse builds one well-formed job event frame with its id: cursor.
+func sse(typ string, seq int, payload string) string {
+	return fmt.Sprintf("event: %s\nid: %d\ndata: %s\n\n", typ, seq, payload)
+}
+
+func logFrame(seq int) string {
+	return sse("log", seq, fmt.Sprintf(`{"seq":%d,"type":"log","message":"line %d"}`, seq, seq))
+}
+
+func doneFrame(seq int) string {
+	return sse("state", seq, fmt.Sprintf(`{"seq":%d,"type":"state","state":"done"}`, seq))
+}
+
+const jobFrame = "event: job\ndata: {\"id\":\"job-000001\",\"state\":\"running\"}\n\n"
+
+// TestWatchStreamResilience drives Watch against a scripted server: each
+// entry of conns is the raw SSE body one connection attempt receives before
+// the server severs it. The client must survive mid-event disconnects
+// (resuming via ?from=), deduplicate replay overlap by sequence number, and
+// skip malformed frames — delivering every event exactly once in order.
+func TestWatchStreamResilience(t *testing.T) {
+	cases := []struct {
+		name string
+		// conns are the scripted SSE bodies, one per connection attempt.
+		conns []string
+		// wantFrom records the expected from= query of each connection
+		// ("" = no from parameter).
+		wantFrom []string
+		wantSeqs []int
+	}{
+		{
+			name: "mid-event disconnect resumes from last id",
+			conns: []string{
+				jobFrame + logFrame(0) + "event: log\nid: 1\ndata: {\"seq\":1,", // severed mid-frame
+				jobFrame + logFrame(1) + doneFrame(2),
+			},
+			wantFrom: []string{"", "1"},
+			wantSeqs: []int{0, 1, 2},
+		},
+		{
+			name: "replay overlap deduplicated by seq",
+			conns: []string{
+				jobFrame + logFrame(0) + logFrame(1), // severed between frames
+				// This server ignores the resume cursor and replays from 0.
+				jobFrame + logFrame(0) + logFrame(1) + logFrame(2) + doneFrame(3),
+			},
+			wantFrom: []string{"", "2"},
+			wantSeqs: []int{0, 1, 2, 3},
+		},
+		{
+			name: "malformed frame skipped",
+			conns: []string{
+				jobFrame + logFrame(0) +
+					"event: log\nid: 1\ndata: {not json at all\n\n" +
+					"event: state\ndata: []\n\n" +
+					logFrame(1) + doneFrame(2),
+			},
+			wantFrom: []string{""},
+			wantSeqs: []int{0, 1, 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var (
+				mu    sync.Mutex
+				conn  int
+				froms []string
+			)
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/v1/jobs/job-000001" {
+					w.Header().Set("Content-Type", "application/json")
+					fmt.Fprint(w, `{"id":"job-000001","state":"done"}`)
+					return
+				}
+				mu.Lock()
+				i := conn
+				conn++
+				froms = append(froms, r.URL.Query().Get("from"))
+				mu.Unlock()
+				if i >= len(tc.conns) {
+					http.Error(w, "script exhausted", http.StatusTeapot)
+					return
+				}
+				w.Header().Set("Content-Type", "text/event-stream")
+				fmt.Fprint(w, tc.conns[i])
+				// Returning severs the connection (possibly mid-frame).
+			}))
+			defer srv.Close()
+
+			var seqs []int
+			st, err := New(srv.URL, srv.Client()).Watch(context.Background(), "job-000001", func(ev Event) {
+				seqs = append(seqs, ev.Seq)
+			})
+			if err != nil {
+				t.Fatalf("Watch: %v", err)
+			}
+			if st.State != "done" {
+				t.Errorf("final state = %s, want done", st.State)
+			}
+			if len(seqs) != len(tc.wantSeqs) {
+				t.Fatalf("delivered seqs %v, want %v", seqs, tc.wantSeqs)
+			}
+			for i := range seqs {
+				if seqs[i] != tc.wantSeqs[i] {
+					t.Fatalf("delivered seqs %v, want %v", seqs, tc.wantSeqs)
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if len(froms) != len(tc.wantFrom) {
+				t.Fatalf("made %d connections (from= %v), want %d", len(froms), froms, len(tc.wantFrom))
+			}
+			for i := range froms {
+				if froms[i] != tc.wantFrom[i] {
+					t.Errorf("connection %d resumed with from=%q, want %q", i, froms[i], tc.wantFrom[i])
+				}
+			}
+		})
+	}
+}
+
+// TestWatchGivesUpAfterRepeatedFailures: a server that always severs the
+// stream without progress exhausts the bounded reconnect budget instead of
+// looping forever.
+func TestWatchGivesUpAfterRepeatedFailures(t *testing.T) {
+	conns := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns++
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, jobFrame) // preamble only, then sever: no progress
+	}))
+	defer srv.Close()
+	_, err := New(srv.URL, srv.Client()).Watch(context.Background(), "job-000001", nil)
+	if err == nil || !strings.Contains(err.Error(), "giving up after") {
+		t.Fatalf("Watch = %v, want a bounded give-up error", err)
+	}
+	if conns < 2 {
+		t.Errorf("only %d connections; the client should have retried", conns)
+	}
+}
+
+// TestWatchStopsOnAPIError: a coherent HTTP error (job evicted: 404) is
+// fatal — no reconnect storm against a server that answered decisively.
+func TestWatchStopsOnAPIError(t *testing.T) {
+	conns := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns++
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer srv.Close()
+	_, err := New(srv.URL, srv.Client()).Watch(context.Background(), "job-gone", nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("Watch = %v, want a 404 APIError", err)
+	}
+	if conns != 1 {
+		t.Errorf("%d connections for a 404, want 1 (no retries)", conns)
+	}
+}

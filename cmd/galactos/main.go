@@ -14,12 +14,18 @@
 //	galactos -in huge.glxc -backend sharded -shards 16 -stream -checkpoint-dir ckpt -resume -out zeta
 //	galactos -scenario list
 //	galactos -scenario all -n 900 -seed 1 -backend sharded -shards 2
+//	galactos -chaos -n 500 -seed 1
 //
 // Scenario mode (-scenario) runs the survey-science scenario registry
 // instead of a catalog file: each registry entry generates its pinned seeded
 // catalog, runs end-to-end through the selected backend, and is checked
 // against its invariants; -scenario-summary appends a markdown pass/fail
 // table (for $GITHUB_STEP_SUMMARY).
+//
+// Chaos mode (-chaos) runs the fault-injection sweep (internal/chaos): every
+// case pins a clean run's bitwise hash, re-runs under a seeded faultpoint
+// plan, and must reproduce the hash exactly; the sweep fails if any
+// registered faultpoint never fired. See DESIGN.md, "Failure semantics".
 //
 // Outputs <out>.aniso.csv (channels zeta^m_{l1 l2}(r1, r2)) and
 // <out>.iso.csv (isotropic multipoles zeta_l(r1, r2)), plus a run summary
@@ -70,13 +76,22 @@ func main() {
 		keepCkpts = flag.Bool("keep-checkpoints", false, "keep per-shard checkpoints after a successful merge")
 
 		scen        = flag.String("scenario", "", "run the scenario registry instead of a catalog: list | all | <name>")
-		scenN       = flag.Int("n", 900, "scenario catalog size (scenario mode)")
-		scenSeed    = flag.Int64("seed", 1, "scenario catalog seed (scenario mode)")
+		scenN       = flag.Int("n", 900, "scenario catalog size (scenario/chaos mode)")
+		scenSeed    = flag.Int64("seed", 1, "scenario catalog seed (scenario/chaos mode)")
 		scenSummary = flag.String("scenario-summary", "", "append a markdown pass/fail table to this file (scenario mode)")
+
+		chaosMode    = flag.Bool("chaos", false, "run the chaos sweep: fault-injected runs must reproduce clean runs bitwise")
+		chaosSummary = flag.String("chaos-summary", "", "append the chaos sweep's markdown tables to this file (chaos mode)")
 	)
 	flag.Parse()
 	if *scen == "list" {
 		listScenarios()
+		return
+	}
+	if *chaosMode {
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer cancel()
+		runChaos(ctx, *scenN, *scenSeed, *chaosSummary)
 		return
 	}
 	if *scen == "" && *in == "" {

@@ -35,17 +35,28 @@ func main() {
 	cache := flag.Int("cache", 256, "result cache entries (negative disables)")
 	retain := flag.Int("retain", 256, "terminal jobs retained for status queries (negative retains all)")
 	drain := flag.Duration("drain", 2*time.Minute, "graceful shutdown drain deadline")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job run deadline (0 = unlimited)")
 	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "galactosd: ", log.LstdFlags)
-	opts := service.Options{Workers: *workers, QueueDepth: *queue, CacheEntries: *cache, RetainJobs: *retain}
+	opts := service.Options{Workers: *workers, QueueDepth: *queue, CacheEntries: *cache,
+		RetainJobs: *retain, JobTimeout: *jobTimeout}
 	if !*quiet {
 		opts.Log = func(format string, args ...any) { logger.Printf(format, args...) }
 	}
 	svc := service.New(opts)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	// ReadHeaderTimeout bounds how long a connection may dribble its request
+	// head (slowloris hardening) and IdleTimeout reclaims abandoned
+	// keep-alive connections. WriteTimeout must stay 0: SSE event streams
+	// legitimately live as long as their job runs.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	logger.Printf("listening on %s (%d workers, queue %d, cache %d)", *addr, *workers, *queue, *cache)
@@ -61,12 +72,17 @@ func main() {
 	logger.Printf("shutting down: draining jobs (deadline %s)", *drain)
 	deadline, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	// Stop accepting first, then drain the job queue; an expired deadline
-	// cancels in-flight jobs rather than hanging the process.
+	// Drain the service FIRST, with HTTP still serving: the moment Shutdown
+	// is entered, new submissions answer 503 and /healthz reports draining —
+	// so a load balancer pulls this instance while in-flight jobs finish and
+	// their SSE watchers keep receiving. Only then stop the HTTP server. An
+	// expired deadline cancels in-flight jobs rather than hanging the
+	// process.
+	drainErr := svc.Shutdown(deadline)
 	if err := httpSrv.Shutdown(deadline); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Printf("http shutdown: %v", err)
 	}
-	if err := svc.Shutdown(deadline); err != nil {
+	if drainErr != nil {
 		fmt.Fprintln(os.Stderr, "galactosd: drain deadline exceeded, jobs cancelled")
 		os.Exit(1)
 	}

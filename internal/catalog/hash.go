@@ -1,11 +1,14 @@
 package catalog
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"io"
 	"math"
+
+	"galactos/internal/retry"
 )
 
 // hashVersion seeds every catalog hash so a change to the hashed layout can
@@ -20,6 +23,31 @@ const hashVersion = "GCAT1"
 // catalog half of the service result-cache key. The catalog is never
 // materialized: peak memory is one chunk.
 func Hash(src Source) (string, error) {
+	return HashContext(context.Background(), src)
+}
+
+// HashContext is Hash under a context: a transient open/read failure restarts
+// the hashing pass under the default retry policy (each attempt reopens the
+// source and hashes from the first record, so a torn pass can never leak into
+// the digest).
+func HashContext(ctx context.Context, src Source) (string, error) {
+	var sum string
+	err := retry.Policy{}.Do(ctx, "catalog hash", func() error {
+		got, err := hashOnce(src)
+		if err != nil {
+			return err
+		}
+		sum = got
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return sum, nil
+}
+
+// hashOnce is one hashing pass.
+func hashOnce(src Source) (string, error) {
 	cur, err := src.Open()
 	if err != nil {
 		return "", err

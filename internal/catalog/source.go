@@ -2,13 +2,24 @@ package catalog
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"galactos/internal/faultpoint"
 	"galactos/internal/geom"
+	"galactos/internal/retry"
+)
+
+// Faultpoints of the streaming ingestion path. Opens and whole-pass reads
+// are retried by every consumer (ReadAll, Hash, the shard streaming
+// passes), so transient faults here are absorbed, not fatal.
+var (
+	fpSourceOpen = faultpoint.New("catalog.source.open")
+	fpSourceRead = faultpoint.New("catalog.source.read")
 )
 
 // Source streams a catalog in chunks without requiring it to be resident in
@@ -42,9 +53,34 @@ const ChunkSize = 1 << 16
 
 // ReadAll materializes a Source into an in-memory catalog.
 func ReadAll(src Source) (*Catalog, error) {
+	return ReadAllContext(context.Background(), src)
+}
+
+// ReadAllContext is ReadAll under a context: transient open/read failures
+// restart the pass under the default retry policy (the source re-opens from
+// the first galaxy, so a partial pass never leaks into the result), and ctx
+// cancels the backoff waits promptly.
+func ReadAllContext(ctx context.Context, src Source) (*Catalog, error) {
 	if m, ok := src.(*MemorySource); ok && m.Cat != nil {
 		return m.Cat, nil
 	}
+	var c *Catalog
+	err := retry.Policy{}.Do(ctx, "catalog read", func() error {
+		got, err := readAllOnce(src)
+		if err != nil {
+			return err
+		}
+		c = got
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// readAllOnce is one materialization pass.
+func readAllOnce(src Source) (*Catalog, error) {
 	cur, err := src.Open()
 	if err != nil {
 		return nil, err
@@ -110,6 +146,9 @@ func NewFileSource(path string) *FileSource { return &FileSource{Path: path} }
 
 // Open starts a new pass by reopening the file.
 func (s *FileSource) Open() (Cursor, error) {
+	if err := fpSourceOpen.Inject(); err != nil {
+		return nil, err
+	}
 	f, err := os.Open(s.Path)
 	if err != nil {
 		return nil, err
@@ -147,6 +186,9 @@ type binaryCursor struct {
 func (c *binaryCursor) Box() geom.Periodic { return c.box }
 
 func (c *binaryCursor) Next(buf []Galaxy) (int, error) {
+	if err := fpSourceRead.Inject(); err != nil {
+		return 0, err
+	}
 	if c.remaining == 0 {
 		return 0, io.EOF
 	}
@@ -192,6 +234,9 @@ type csvCursor struct {
 func (c *csvCursor) Box() geom.Periodic { return c.box }
 
 func (c *csvCursor) Next(buf []Galaxy) (int, error) {
+	if err := fpSourceRead.Inject(); err != nil {
+		return 0, err
+	}
 	n := 0
 	for n < len(buf) {
 		if !c.sc.Scan() {

@@ -1,0 +1,134 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"galactos/internal/chaos"
+	"galactos/internal/faultpoint"
+)
+
+// fpTest reuses an already-registered faultpoint name (declaring the same
+// name twice shares one schedule entry) so the mechanics tests don't add a
+// synthetic point to the registry — which would make the full-suite
+// coverage assertion report it as never fired.
+var fpTest = faultpoint.New("core.worker.block")
+
+// TestRunCasesMechanics drives the harness with synthetic cases: a case
+// whose workload absorbs its injected fault must be credited (identical
+// hash), a case whose output diverges under injection must fail, and the
+// per-point fire counters must land in the report.
+func TestRunCasesMechanics(t *testing.T) {
+	point := faultpoint.Point{Name: fpTest.Name(), Kind: faultpoint.KindError, Count: 1}
+	absorb := func(ctx context.Context) (string, error) {
+		if err := fpTest.Inject(); err != nil {
+			if err = fpTest.Inject(); err != nil { // "retry": the count is exhausted
+				return "", err
+			}
+		}
+		return "stable", nil
+	}
+	diverge := func(ctx context.Context) (string, error) {
+		if fpTest.Inject() != nil {
+			return "diverged", nil
+		}
+		return "stable", nil
+	}
+	cases := []chaos.Case{
+		{Name: "absorbs", Points: []faultpoint.Point{point}, Run: absorb},
+		{Name: "diverges", Points: []faultpoint.Point{point}, Run: diverge},
+	}
+	reports := chaos.RunCases(context.Background(), 1, cases, t.Logf)
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	if r := reports[0]; r.Failed() || !r.Match || r.Err != nil {
+		t.Errorf("absorbing case = %+v, want a credited recovery", r)
+	}
+	if len(reports[0].Stats) != 1 || reports[0].Stats[0].Fired != 1 {
+		t.Errorf("absorbing case stats = %+v, want one fire recorded", reports[0].Stats)
+	}
+	if r := reports[1]; !r.Failed() || r.Match || r.Err != nil {
+		t.Errorf("diverging case = %+v, want a hash-mismatch failure", r)
+	}
+
+	uncovered := chaos.Uncovered(reports)
+	for _, name := range uncovered {
+		if name == fpTest.Name() {
+			t.Errorf("%s fired but is reported uncovered", name)
+		}
+	}
+	if len(uncovered) == 0 {
+		t.Error("a two-case sweep cannot have covered every registered point")
+	}
+}
+
+// TestRunCasesCleanPassSharingAndErrors: cases sharing a CleanKey share one
+// clean pass, CleanRun overrides the clean pass, and a failing clean pass is
+// reported without a recovery verdict.
+func TestRunCasesCleanPassSharingAndErrors(t *testing.T) {
+	cleanCalls, runCalls := 0, 0
+	shared := func(ctx context.Context) (string, error) {
+		runCalls++
+		return "h", nil
+	}
+	cases := []chaos.Case{
+		{Name: "a", CleanKey: "k", Run: shared},
+		{Name: "b", CleanKey: "k", Run: shared},
+		{Name: "override", Run: func(ctx context.Context) (string, error) { runCalls++; return "h2", nil },
+			CleanRun: func(ctx context.Context) (string, error) { cleanCalls++; return "h2", nil }},
+		{Name: "broken", CleanRun: func(ctx context.Context) (string, error) { return "", errors.New("boom") },
+			Run: func(ctx context.Context) (string, error) {
+				t.Error("faulted pass ran despite a failed clean pass")
+				return "", nil
+			}},
+	}
+	reports := chaos.RunCases(context.Background(), 1, cases, nil)
+	// "a" runs clean+faulted, "b" reuses a's clean hash (faulted only),
+	// "override" runs faulted only (CleanRun covers the clean pass).
+	if runCalls != 4 {
+		t.Errorf("Run called %d times, want 4 (one clean pass shared across the key)", runCalls)
+	}
+	if cleanCalls != 1 {
+		t.Errorf("CleanRun called %d times, want 1", cleanCalls)
+	}
+	for _, r := range reports[:3] {
+		if r.Failed() {
+			t.Errorf("case %s = %+v, want a credited recovery", r.Case, r)
+		}
+	}
+	if r := reports[3]; r.Err == nil || !strings.Contains(r.Err.Error(), "clean pass") {
+		t.Errorf("broken clean pass reported %v, want a clean-pass error", r.Err)
+	}
+}
+
+// TestSuiteRecoversEverywhere is the acceptance gate: the full sweep — every
+// scenario on every backend, the streaming pipeline, checkpoint resume, and
+// the job service — must recover bitwise-identically from its fault plans,
+// and every registered faultpoint must have fired somewhere in the sweep.
+func TestSuiteRecoversEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos sweep (seconds of engine runs)")
+	}
+	cases, err := chaos.Suite(400, 7, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := chaos.RunCases(context.Background(), 7, cases, t.Logf)
+	if len(reports) != len(cases) {
+		t.Fatalf("%d of %d cases reported", len(reports), len(cases))
+	}
+	for _, r := range reports {
+		switch {
+		case r.Err != nil:
+			t.Errorf("%s: %v", r.Case, r.Err)
+		case !r.Match:
+			t.Errorf("%s: recovered hash %s != clean %s", r.Case, r.Faulted, r.Clean)
+		}
+	}
+	if u := chaos.Uncovered(reports); len(u) > 0 {
+		t.Errorf("faultpoints never fired: %v", u)
+	}
+}

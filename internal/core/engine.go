@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"galactos/internal/catalog"
+	"galactos/internal/faultpoint"
 	"galactos/internal/geom"
 	"galactos/internal/grid"
 	"galactos/internal/hist"
@@ -18,6 +20,13 @@ import (
 	"galactos/internal/nbr"
 	"galactos/internal/sphharm"
 )
+
+// fpWorkerBlock injects inside an engine worker goroutine, at the top of
+// each block: an error or panic here exercises the worker isolation path
+// (the panic is recovered block-locally, the commit clock still advances,
+// and the run fails with a stack-carrying error instead of crashing the
+// process), a delay perturbs scheduling without changing the result.
+var fpWorkerBlock = faultpoint.New("core.worker.block")
 
 // NeighborFinder is the substrate abstraction: anything that can return all
 // point indices within a radius of any of a set of image centers.
@@ -181,6 +190,10 @@ type engine struct {
 	modes engineModes
 
 	next atomic.Int64 // dynamic scheduling: next block to hand out
+
+	// failed flags a worker panic/fault so the other workers stop claiming
+	// blocks at their next per-block check instead of finishing a doomed run.
+	failed atomic.Bool
 }
 
 // zetaChannel caches one canonical channel's constants for the block-level
@@ -408,6 +421,11 @@ func (e *engine) run() (*Result, error) {
 		}(w)
 	}
 	wg.Wait()
+	for _, s := range states {
+		if s != nil && s.err != nil {
+			return nil, s.err
+		}
+	}
 	if err := e.ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -438,16 +456,29 @@ func (e *engine) run() (*Result, error) {
 // worker processes cell blocks according to the scheduling policy.
 // Cancellation is checked once per block: prompt (a block is at most
 // ChunkSize primaries) without putting a context load on the pair loop.
+//
+// Panic isolation: each block runs under safeProcessBlock, so a panic
+// inside the pair/kernel pipeline is recovered block-locally and surfaces
+// as the run's error with the offending stack — never a crashed process.
+// The recovery preserves the scheduling invariants: a claimed dynamic slot
+// still acquires and releases its group clock (a dead worker must not
+// strand its group's later committers), the failed block's partial
+// accumulation is discarded uncommitted, and e.failed makes the remaining
+// workers stop at their next block check.
 func (e *engine) worker(w, nw int, partials []*Result, gFor []int32, clock *commitClock) *workerState {
 	s := e.newWorkerState()
 	start := time.Now()
 	nB := len(e.blocks)
 	if e.cfg.Scheduling == SchedStatic {
 		for b := w * nB / nw; b < (w+1)*nB/nw; b++ {
-			if e.ctx.Err() != nil {
+			if e.ctx.Err() != nil || e.failed.Load() {
 				break
 			}
-			e.processBlock(s, b)
+			if err := e.safeProcessBlock(s, b); err != nil {
+				s.err = err
+				e.failed.Store(true)
+				break
+			}
 			e.commitInto(partials[w], s)
 		}
 	} else {
@@ -457,21 +488,44 @@ func (e *engine) worker(w, nw int, partials []*Result, gFor []int32, clock *comm
 				break
 			}
 			g := int(gFor[b])
-			if e.ctx.Err() != nil {
+			if e.ctx.Err() != nil || e.failed.Load() {
 				// The grabbed slot must still advance the group clock, or
 				// the group's later committers would wait forever.
 				clock.acquire(g, int32(b))
 				clock.release(g, int32(b))
 				break
 			}
-			e.processBlock(s, int(b))
+			err := e.safeProcessBlock(s, int(b))
 			clock.acquire(g, int32(b))
-			e.commitInto(partials[g], s)
+			if err == nil {
+				e.commitInto(partials[g], s)
+			}
 			clock.release(g, int32(b))
+			if err != nil {
+				s.err = err
+				e.failed.Store(true)
+				break
+			}
 		}
 	}
 	s.tWorker = time.Since(start)
 	return s
+}
+
+// safeProcessBlock runs one block with panic isolation: a recovered panic
+// (an engine bug, or an injected core.worker.block fault) becomes an error
+// carrying the panic value and stack.
+func (e *engine) safeProcessBlock(s *workerState, b int) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("core: worker panic in block %d: %v\n%s", b, p, debug.Stack())
+		}
+	}()
+	if err := fpWorkerBlock.Inject(); err != nil {
+		return err
+	}
+	e.processBlock(s, b)
+	return nil
 }
 
 // commitInto folds the worker's block accumulators into a partial result.
@@ -510,6 +564,10 @@ func (e *engine) commitInto(dst *Result, s *workerState) {
 type workerState struct {
 	kern *sphharm.Kernel
 	acc  [][]float64 // per-bin lane-striped monomial accumulators
+
+	// err records the worker's terminal failure (a recovered block panic or
+	// injected fault); run surfaces the first one after the pool drains.
+	err error
 
 	// Block gather: query centers and the shared-traversal result.
 	centers []geom.Vec3

@@ -162,9 +162,10 @@ func Staged(b Backend, stage string) Backend {
 }
 
 // materialize loads the job's source into memory (the fast path unwraps a
-// MemorySource without copying).
-func materialize(job *Job) (*catalog.Catalog, error) {
-	return catalog.ReadAll(job.Source)
+// MemorySource without copying). Transient IO failures retry under the
+// catalog read policy; ctx bounds the backoff waits.
+func materialize(ctx context.Context, job *Job) (*catalog.Catalog, error) {
+	return catalog.ReadAllContext(ctx, job.Source)
 }
 
 // Local runs the single-node in-memory engine.
@@ -175,7 +176,7 @@ func (Local) Name() string { return "local" }
 
 // Run implements Backend.
 func (Local) Run(ctx context.Context, job *Job) (*core.Result, []UnitStats, error) {
-	cat, err := materialize(job)
+	cat, err := materialize(ctx, job)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -265,7 +266,7 @@ func (b Distributed) Run(ctx context.Context, job *Job) (*core.Result, []UnitSta
 	if b.Ranks <= 0 {
 		return nil, nil, fmt.Errorf("exec: Ranks %d must be positive", b.Ranks)
 	}
-	cat, err := materialize(job)
+	cat, err := materialize(ctx, job)
 	if err != nil {
 		return nil, nil, err
 	}

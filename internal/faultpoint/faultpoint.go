@@ -1,0 +1,353 @@
+// Package faultpoint is the deterministic fault-injection layer: named
+// injection points compiled into the IO and concurrency seams of the stack
+// (catalog reads, shard checkpoint/spill IO, the service worker pool, the
+// SSE event stream) that are inert no-ops until a Plan arms them. An armed
+// point fires on a deterministic, seeded schedule — returning an injected
+// error, sleeping a delay, or panicking — so a chaos run is exactly
+// reproducible from its spec string and seed, and "the retry layer absorbs a
+// transient EIO at shard.checkpoint.write on its third hit" is a replayable
+// test, not a flake. See DESIGN.md, "Failure semantics".
+//
+// Call sites declare a package-level handle and consult it on the hot path:
+//
+//	var fpWrite = faultpoint.New("shard.checkpoint.write")
+//	...
+//	if err := fpWrite.Inject(); err != nil { return err }
+//
+// When no plan is armed (the production state) Inject is one atomic pointer
+// load and a nil check. Plans arm globally via Enable/Disable, or from the
+// environment: GALACTOS_FAULTS holds a spec (see ParseSpec) and
+// GALACTOS_FAULT_SEED the schedule seed, read once at init — which is how
+// the chaos harness reaches the faultpoints of a separately-exec'd galactosd.
+package faultpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is what an armed point does when its schedule fires.
+type Kind int
+
+const (
+	// KindError returns an injected error (transient under the retry
+	// package's default classification).
+	KindError Kind = iota
+	// KindDelay sleeps the point's Delay and returns nil.
+	KindDelay
+	// KindPanic panics with a *Panic value.
+	KindPanic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindDelay:
+		return "delay"
+	case KindPanic:
+		return "panic"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ErrInjected is the sentinel every injected error wraps; errors.Is
+// distinguishes injected faults from organic ones in tests and harnesses.
+var ErrInjected = errors.New("injected fault")
+
+// Error is the error an armed KindError point returns.
+type Error struct {
+	Point string
+	Hit   uint64
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultpoint %s: injected fault (hit %d)", e.Point, e.Hit)
+}
+
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// Transient marks injected errors retryable under the retry package's
+// default classification (it looks for this method, not this package).
+func (e *Error) Transient() bool { return true }
+
+// Panic is the value an armed KindPanic point panics with.
+type Panic struct {
+	Point string
+	Hit   uint64
+}
+
+func (p *Panic) String() string {
+	return fmt.Sprintf("faultpoint %s: injected panic (hit %d)", p.Point, p.Hit)
+}
+
+// Point is one armed injection point's schedule. The zero schedule fires on
+// every hit; After/Every/Count/P restrict it deterministically.
+type Point struct {
+	// Name must match a handle's name exactly.
+	Name string
+	// Kind selects the action (default KindError).
+	Kind Kind
+	// After skips the first After hits entirely.
+	After uint64
+	// Every fires on every Every-th eligible hit (<= 1 means every hit).
+	Every uint64
+	// Count stops firing after Count fires (0 means unlimited).
+	Count uint64
+	// P gates each eligible hit on a deterministic coin with P(fire) = P,
+	// derived from (plan seed, point name, hit index); 0 or >= 1 disables
+	// the gate.
+	P float64
+	// Delay is the KindDelay sleep (default 1ms).
+	Delay time.Duration
+}
+
+// pointState is a Point plus its live counters.
+type pointState struct {
+	Point
+	hits  atomic.Uint64
+	fired atomic.Uint64
+}
+
+// Plan is a set of armed points sharing one schedule seed.
+type Plan struct {
+	seed   int64
+	points map[string]*pointState
+}
+
+// NewPlan builds a plan arming the given points under seed.
+func NewPlan(seed int64, points ...Point) *Plan {
+	p := &Plan{seed: seed, points: make(map[string]*pointState, len(points))}
+	for _, pt := range points {
+		p.points[pt.Name] = &pointState{Point: pt}
+	}
+	return p
+}
+
+// ParseSpec parses a fault spec: semicolon-separated point entries of the
+// form
+//
+//	name:kind[:opt=val,opt=val,...]
+//
+// with kind one of error, delay, panic and options after=N, every=N,
+// count=N, p=F, delay=DUR. Example:
+//
+//	shard.checkpoint.write:error:count=1;catalog.open:delay:delay=2ms,every=3
+func ParseSpec(spec string, seed int64) (*Plan, error) {
+	var points []Point
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.SplitN(entry, ":", 3)
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("faultpoint: entry %q: want name:kind[:opts]", entry)
+		}
+		pt := Point{Name: parts[0], Delay: time.Millisecond}
+		switch parts[1] {
+		case "error":
+			pt.Kind = KindError
+		case "delay":
+			pt.Kind = KindDelay
+		case "panic":
+			pt.Kind = KindPanic
+		default:
+			return nil, fmt.Errorf("faultpoint: entry %q: unknown kind %q (want error, delay, or panic)", entry, parts[1])
+		}
+		if len(parts) == 3 {
+			for _, opt := range strings.Split(parts[2], ",") {
+				k, v, ok := strings.Cut(strings.TrimSpace(opt), "=")
+				if !ok {
+					return nil, fmt.Errorf("faultpoint: entry %q: option %q is not key=value", entry, opt)
+				}
+				var err error
+				switch k {
+				case "after":
+					pt.After, err = strconv.ParseUint(v, 10, 64)
+				case "every":
+					pt.Every, err = strconv.ParseUint(v, 10, 64)
+				case "count":
+					pt.Count, err = strconv.ParseUint(v, 10, 64)
+				case "p":
+					pt.P, err = strconv.ParseFloat(v, 64)
+				case "delay":
+					pt.Delay, err = time.ParseDuration(v)
+				default:
+					err = fmt.Errorf("unknown option")
+				}
+				if err != nil {
+					return nil, fmt.Errorf("faultpoint: entry %q: option %q: %v", entry, opt, err)
+				}
+			}
+		}
+		points = append(points, pt)
+	}
+	return NewPlan(seed, points...), nil
+}
+
+// active is the armed plan; nil (the production state) makes every Inject a
+// load-and-return.
+var active atomic.Pointer[Plan]
+
+// Enable arms a plan globally, replacing any armed one. Passing nil disarms.
+func Enable(p *Plan) {
+	active.Store(p)
+}
+
+// Disable disarms all faultpoints.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether a plan is armed.
+func Enabled() bool { return active.Load() != nil }
+
+func init() {
+	spec := os.Getenv("GALACTOS_FAULTS")
+	if spec == "" {
+		return
+	}
+	var seed int64
+	if s := os.Getenv("GALACTOS_FAULT_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			panic(fmt.Sprintf("faultpoint: bad GALACTOS_FAULT_SEED %q: %v", s, err))
+		}
+		seed = v
+	}
+	p, err := ParseSpec(spec, seed)
+	if err != nil {
+		panic(fmt.Sprintf("faultpoint: bad GALACTOS_FAULTS: %v", err))
+	}
+	Enable(p)
+}
+
+// registry tracks every handle name declared by New, so harnesses can sweep
+// "every registered point" without a hand-maintained list.
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]struct{})
+)
+
+// Registered returns the sorted names of every declared faultpoint.
+func Registered() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FP is one injection point handle, declared once per call site.
+type FP struct{ name string }
+
+// New declares (and registers) a faultpoint. Declaring the same name twice
+// returns distinct handles sharing one schedule entry.
+func New(name string) *FP {
+	regMu.Lock()
+	registry[name] = struct{}{}
+	regMu.Unlock()
+	return &FP{name: name}
+}
+
+// Name returns the handle's registered name.
+func (f *FP) Name() string { return f.name }
+
+// Inject consults the armed plan. Disarmed (or not part of the plan) it
+// returns nil at the cost of one atomic load; armed, it advances the point's
+// deterministic schedule and acts when it fires: KindError returns a *Error,
+// KindDelay sleeps and returns nil, KindPanic panics with a *Panic.
+func (f *FP) Inject() error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	return p.inject(f.name)
+}
+
+func (p *Plan) inject(name string) error {
+	st, ok := p.points[name]
+	if !ok {
+		return nil
+	}
+	hit := st.hits.Add(1)
+	if hit <= st.After {
+		return nil
+	}
+	k := hit - st.After
+	if st.Every > 1 && (k-1)%st.Every != 0 {
+		return nil
+	}
+	if st.P > 0 && st.P < 1 && coin(p.seed, name, hit) >= st.P {
+		return nil
+	}
+	// Count bounds fires, not hits; the increment-then-check keeps the bound
+	// exact under concurrent hits.
+	if st.Count > 0 && st.fired.Add(1) > st.Count {
+		return nil
+	}
+	if st.Count == 0 {
+		st.fired.Add(1)
+	}
+	switch st.Kind {
+	case KindDelay:
+		time.Sleep(st.Delay)
+		return nil
+	case KindPanic:
+		panic(&Panic{Point: name, Hit: hit})
+	default:
+		return &Error{Point: name, Hit: hit}
+	}
+}
+
+// coin returns the deterministic uniform [0, 1) draw for (seed, name, hit).
+func coin(seed int64, name string, hit uint64) float64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(seed) >> (8 * i))
+		buf[8+i] = byte(hit >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(name))
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// Stat is one point's live counters under the armed plan.
+type Stat struct {
+	Name  string
+	Kind  Kind
+	Hits  uint64
+	Fired uint64
+}
+
+// Stats snapshots the armed plan's per-point counters (nil when disarmed),
+// sorted by name — the "injected vs recovered" half of the chaos summary
+// table.
+func Stats() []Stat {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	out := make([]Stat, 0, len(p.points))
+	for _, st := range p.points {
+		fired := st.fired.Load()
+		if st.Count > 0 && fired > st.Count {
+			fired = st.Count
+		}
+		out = append(out, Stat{Name: st.Name, Kind: st.Kind, Hits: st.hits.Load(), Fired: fired})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

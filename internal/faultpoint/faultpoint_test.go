@@ -1,0 +1,154 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// arm swaps in a plan for the test's duration.
+func arm(t *testing.T, p *Plan) {
+	t.Helper()
+	Enable(p)
+	t.Cleanup(Disable)
+}
+
+func TestDisarmedIsNoOp(t *testing.T) {
+	Disable()
+	fp := New("test.noop")
+	for i := 0; i < 100; i++ {
+		if err := fp.Inject(); err != nil {
+			t.Fatalf("disarmed Inject returned %v", err)
+		}
+	}
+	if Enabled() {
+		t.Error("Enabled() = true with no plan armed")
+	}
+	if Stats() != nil {
+		t.Error("Stats() non-nil with no plan armed")
+	}
+}
+
+func TestErrorSchedule(t *testing.T) {
+	fp := New("test.sched")
+	arm(t, NewPlan(0, Point{Name: "test.sched", Kind: KindError, After: 2, Every: 3, Count: 2}))
+	// Hits 1..2 skipped (After), then eligible hits 3,4,5,... fire on every
+	// 3rd starting at the first eligible: hits 3 and 6, bounded by Count=2.
+	var fired []int
+	for hit := 1; hit <= 12; hit++ {
+		if err := fp.Inject(); err != nil {
+			fired = append(fired, hit)
+			if !errors.Is(err, ErrInjected) {
+				t.Errorf("hit %d: error %v does not wrap ErrInjected", hit, err)
+			}
+			var fe *Error
+			if !errors.As(err, &fe) || fe.Point != "test.sched" {
+				t.Errorf("hit %d: error %v is not a *Error for the point", hit, err)
+			}
+		}
+	}
+	want := []int{3, 6}
+	if len(fired) != len(want) || fired[0] != want[0] || fired[1] != want[1] {
+		t.Errorf("fired on hits %v, want %v", fired, want)
+	}
+	st := Stats()
+	if len(st) != 1 || st[0].Hits != 12 || st[0].Fired != 2 {
+		t.Errorf("Stats() = %+v, want hits 12 fired 2", st)
+	}
+}
+
+func TestProbabilityGateDeterministic(t *testing.T) {
+	run := func() []int {
+		fp := New("test.coin")
+		Enable(NewPlan(42, Point{Name: "test.coin", Kind: KindError, P: 0.5}))
+		defer Disable()
+		var fired []int
+		for hit := 1; hit <= 64; hit++ {
+			if fp.Inject() != nil {
+				fired = append(fired, hit)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 64 {
+		t.Fatalf("p=0.5 gate fired %d/64 times; want a nontrivial subset", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("two seeded runs fired %d vs %d times", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded runs diverge at fire %d: hit %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDelayAndPanicKinds(t *testing.T) {
+	fp := New("test.kinds")
+	arm(t, NewPlan(0, Point{Name: "test.kinds", Kind: KindDelay, Delay: time.Millisecond, Count: 1}))
+	start := time.Now()
+	if err := fp.Inject(); err != nil {
+		t.Fatalf("delay kind returned error %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Error("delay kind did not sleep")
+	}
+
+	arm(t, NewPlan(0, Point{Name: "test.kinds", Kind: KindPanic}))
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("panic kind did not panic")
+		}
+		if _, ok := p.(*Panic); !ok {
+			t.Fatalf("panicked with %T, want *Panic", p)
+		}
+	}()
+	fp.Inject()
+}
+
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec("a.b:error:count=1;c.d:delay:delay=2ms,every=3 ; e.f:panic", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.points) != 3 {
+		t.Fatalf("parsed %d points, want 3", len(p.points))
+	}
+	if pt := p.points["a.b"]; pt.Kind != KindError || pt.Count != 1 {
+		t.Errorf("a.b = %+v", pt.Point)
+	}
+	if pt := p.points["c.d"]; pt.Kind != KindDelay || pt.Delay != 2*time.Millisecond || pt.Every != 3 {
+		t.Errorf("c.d = %+v", pt.Point)
+	}
+	if pt := p.points["e.f"]; pt.Kind != KindPanic {
+		t.Errorf("e.f = %+v", pt.Point)
+	}
+
+	for _, bad := range []string{"noseparator", "x:badkind", "x:error:every", "x:error:weird=1", "x:error:count=abc"} {
+		if _, err := ParseSpec(bad, 0); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	New("test.reg.zz")
+	New("test.reg.aa")
+	New("test.reg.aa") // duplicate declarations collapse
+	names := Registered()
+	seen := make(map[string]int)
+	for _, n := range names {
+		seen[n]++
+	}
+	if seen["test.reg.aa"] != 1 || seen["test.reg.zz"] != 1 {
+		t.Errorf("registry = %v, want test.reg.aa and test.reg.zz exactly once", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Registered() not sorted: %v", names)
+			break
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"galactos"
 )
@@ -144,14 +145,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // streamJob serves a job as a Server-Sent Events stream: first a "job"
 // event carrying the JobStatus (so streaming submitters learn their job
-// id), then the full event history replayed in order, then live events
-// until the job terminalizes. When owner is set (streaming submit), the
-// client's disconnect cancels the job; watchers only stop receiving.
+// id), then the event history from the resume point replayed in order, then
+// live events until the job terminalizes. When owner is set (streaming
+// submit), the client's disconnect cancels the job; watchers only stop
+// receiving.
+//
+// Every job event carries its sequence number as the SSE id: field, so a
+// reconnecting watcher resumes where it left off — ?from=N (explicit) or
+// the standard Last-Event-ID header (the id of the last event received,
+// resuming at N+1) select the replay start. Events are append-only and
+// seq-numbered per job, which makes the resumed stream a suffix of the
+// stream an uninterrupted watcher sees.
 func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *job, owner bool) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
 		return
+	}
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from=%q: want a non-negative integer", v))
+			return
+		}
+		from = n
+	} else if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			from = n + 1
+		}
 	}
 	// Waiters block on the job's cond; AfterFunc turns the client's
 	// disconnect into a broadcast (and, for owners, a job cancellation) so
@@ -170,14 +192,20 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *job, owner
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
-	writeSSE(w, "job", j.status())
+	writeSSE(w, "job", -1, j.status())
 	fl.Flush()
 
-	next := 0
+	next := from
 	for r.Context().Err() == nil {
 		evs, state := j.waitEvents(r.Context(), next)
 		for _, ev := range evs {
-			writeSSE(w, ev.Type, ev)
+			if fpSSEWrite.Inject() != nil {
+				// Injected stream severance: drop the connection mid-stream
+				// (the write path's real failure mode) and let the client's
+				// reconnect logic resume from its last received id.
+				return
+			}
+			writeSSE(w, ev.Type, ev.Seq, ev)
 			next = ev.Seq + 1
 		}
 		fl.Flush()
@@ -187,9 +215,15 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *job, owner
 	}
 }
 
-func writeSSE(w http.ResponseWriter, event string, v any) {
+// writeSSE emits one SSE frame; id is the event's replay cursor (negative
+// for unnumbered preamble frames like "job").
+func writeSSE(w http.ResponseWriter, event string, id int, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
+		return
+	}
+	if id >= 0 {
+		fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", event, id, data)
 		return
 	}
 	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)

@@ -17,12 +17,25 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"galactos"
 	"galactos/internal/catalog"
 	"galactos/internal/core"
+	"galactos/internal/faultpoint"
+)
+
+// Faultpoints of the job execution path: service.job.run fires as a worker
+// picks up a job (an error plan fails the job, a panic plan exercises the
+// worker's recover — the job fails, the worker survives); service.sse.write
+// fires per outbound SSE event, severing the stream mid-flight so client
+// reconnect/resume paths can be driven deterministically.
+var (
+	fpJobRun   = faultpoint.New("service.job.run")
+	fpSSEWrite = faultpoint.New("service.sse.write")
 )
 
 // Sentinel errors Submit returns; the HTTP layer maps them onto status
@@ -53,6 +66,11 @@ type Options struct {
 	// CacheEntries bounds the result cache (default 256); negative
 	// disables caching.
 	CacheEntries int
+	// JobTimeout, when positive, caps every job's run wall clock: a job
+	// still running when it elapses fails with a deadline error — the
+	// worker is reclaimed, never wedged on a pathological job. A request's
+	// own TimeoutSec (if tighter) applies on top of this cap.
+	JobTimeout time.Duration
 	// RetainJobs bounds how many terminal jobs stay registered for
 	// status, event, and result queries (default 256). When new jobs
 	// terminalize past the bound, the oldest terminal jobs are evicted —
@@ -274,12 +292,27 @@ func (s *Server) runJob(j *job) {
 		j.appendLog(fmt.Sprintf(format, args...))
 	}
 
-	run, err := galactos.Run(j.ctx, req)
+	// The server-wide job deadline caps the run on a context derived from
+	// the job's own (so explicit cancellation still reads as cancelled, and
+	// a deadline expiry as failed); the request's tighter TimeoutSec, if
+	// any, is applied inside galactos.Run.
+	runCtx := j.ctx
+	if s.opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(j.ctx, s.opts.JobTimeout)
+		defer cancel()
+	}
+	run, err := s.executeJob(runCtx, j, req)
 	switch {
 	case err != nil && j.ctx.Err() != nil:
 		j.finish(StateCancelled, err, nil, nil, false)
 		s.cancelled.Add(1)
 		s.logf("%s: cancelled", j.id)
+	case err != nil && errors.Is(err, context.DeadlineExceeded):
+		err = fmt.Errorf("job deadline exceeded: %w", err)
+		j.finish(StateFailed, err, nil, nil, false)
+		s.failed.Add(1)
+		s.logf("%s: failed: %v", j.id, err)
 	case err != nil:
 		j.finish(StateFailed, err, nil, nil, false)
 		s.failed.Add(1)
@@ -296,6 +329,23 @@ func (s *Server) runJob(j *job) {
 		s.done.Add(1)
 		s.logf("%s: done in %s (%d pairs)", j.id, run.Elapsed, run.Result.Pairs)
 	}
+}
+
+// executeJob runs one job's compute with panic isolation: a panic anywhere
+// under the run (engine bug, faultpoint chaos plan) becomes a failed job
+// carrying the panic value, with the stack trace preserved as a log event —
+// the worker goroutine survives and picks up the next job.
+func (s *Server) executeJob(ctx context.Context, j *job, req galactos.Request) (run *galactos.RunResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			j.appendLog(fmt.Sprintf("worker panic: %v\n%s", p, debug.Stack()))
+			run, err = nil, fmt.Errorf("worker panic: %v (stack trace in job events)", p)
+		}
+	}()
+	if err := fpJobRun.Inject(); err != nil {
+		return nil, err
+	}
+	return galactos.Run(ctx, req)
 }
 
 // Job returns a registered job by id.

@@ -25,9 +25,56 @@ import (
 
 	"galactos/internal/catalog"
 	"galactos/internal/core"
+	"galactos/internal/faultpoint"
 	"galactos/internal/hist"
 	"galactos/internal/partition"
+	"galactos/internal/retry"
 )
+
+// Faultpoints of the checkpoint/spill IO paths. Loads degrade (an unusable
+// checkpoint means recompute, and after retry an unreadable merge partial is
+// the one hard failure); saves and spills retry under the default policy —
+// SaveResult writes to a temp file and renames, and spill files are
+// truncated on re-create, so every attempt starts clean.
+var (
+	fpCkptSave = faultpoint.New("shard.checkpoint.save")
+	fpCkptLoad = faultpoint.New("shard.checkpoint.load")
+)
+
+// saveCheckpoint persists one shard's partial with bounded retries: the
+// atomic temp-file-plus-rename write makes each attempt all-or-nothing.
+// Cancellation is deliberately detached: a shard whose compute finished as
+// the run was cancelled must still land its checkpoint — that is what makes
+// a cancelled run resumable — and the retry schedule is bounded, so the
+// detachment cannot stall shutdown meaningfully.
+func saveCheckpoint(ctx context.Context, path string, res *core.Result) error {
+	ctx = context.WithoutCancel(ctx)
+	return retry.Policy{}.Do(ctx, "checkpoint save", func() error {
+		if err := fpCkptSave.Inject(); err != nil {
+			return err
+		}
+		return core.SaveResult(path, res)
+	})
+}
+
+// loadPartial reads one shard's checkpointed partial for the merge, with
+// bounded retries: at merge time the partial is the only copy of the shard's
+// work, so a transient read failure must not discard the run.
+func loadPartial(ctx context.Context, path string) (*core.Result, error) {
+	var res *core.Result
+	err := retry.Policy{}.Do(ctx, "checkpoint load", func() error {
+		if err := fpCkptLoad.Inject(); err != nil {
+			return err
+		}
+		got, err := core.LoadResult(path)
+		if err != nil {
+			return err
+		}
+		res = got
+		return nil
+	})
+	return res, err
+}
 
 // Options configures a sharded computation beyond the engine Config.
 type Options struct {
@@ -233,7 +280,7 @@ func ComputeContext(ctx context.Context, cat *catalog.Catalog, cfg core.Config, 
 	for i := range parts {
 		partial := inMemory[i]
 		if opts.CheckpointDir != "" {
-			partial, err = core.LoadResult(checkpointPath(opts.CheckpointDir, i, opts.NShards))
+			partial, err = loadPartial(ctx, checkpointPath(opts.CheckpointDir, i, opts.NShards))
 			if err != nil {
 				return nil, nil, fmt.Errorf("shard: merging shard %d: %w", i, err)
 			}
@@ -311,7 +358,7 @@ func computeShard(ctx context.Context, cat *catalog.Catalog, parts []partition.P
 		bins := hist.Binning{RMin: cfg.RMin, RMax: cfg.RMax, N: cfg.NBins}
 		res := core.NewResult(cfg.LMax, bins)
 		if opts.CheckpointDir != "" {
-			if err := core.SaveResult(checkpointPath(opts.CheckpointDir, i, opts.NShards), res); err != nil {
+			if err := saveCheckpoint(ctx, checkpointPath(opts.CheckpointDir, i, opts.NShards), res); err != nil {
 				return nil, st, fmt.Errorf("checkpointing: %w", err)
 			}
 			return nil, st, nil
@@ -343,7 +390,7 @@ func computeShard(ctx context.Context, cat *catalog.Catalog, parts []partition.P
 		i, opts.NShards, len(owned), len(halo), st.Elapsed.Round(time.Millisecond), res.Pairs)
 
 	if opts.CheckpointDir != "" {
-		if err := core.SaveResult(checkpointPath(opts.CheckpointDir, i, opts.NShards), res); err != nil {
+		if err := saveCheckpoint(ctx, checkpointPath(opts.CheckpointDir, i, opts.NShards), res); err != nil {
 			return nil, st, fmt.Errorf("checkpointing: %w", err)
 		}
 		return nil, st, nil
@@ -357,6 +404,10 @@ func computeShard(ctx context.Context, cat *catalog.Catalog, parts []partition.P
 // not failure: a killed run may leave arbitrary debris.
 func loadCheckpoint(dir string, i, nshards int, cfg core.Config, nOwned int, logf func(string, ...any)) (*core.Result, bool) {
 	path := checkpointPath(dir, i, nshards)
+	if err := fpCkptLoad.Inject(); err != nil {
+		logf("shard %d/%d: discarding unusable checkpoint: %v", i, nshards, err)
+		return nil, false
+	}
 	res, err := core.LoadResult(path)
 	if err != nil {
 		if !os.IsNotExist(err) {

@@ -13,8 +13,18 @@ import (
 
 	"galactos/internal/catalog"
 	"galactos/internal/core"
+	"galactos/internal/faultpoint"
 	"galactos/internal/geom"
 	"galactos/internal/hist"
+	"galactos/internal/retry"
+)
+
+// Faultpoints of the slab spill scratch files. Spill writes are absorbed by
+// restarting the whole scatter pass (re-created files truncate, so a torn
+// pass leaves no residue); spill reads retry per file.
+var (
+	fpSpillWrite = faultpoint.New("shard.spill.write")
+	fpSpillRead  = faultpoint.New("shard.spill.read")
 )
 
 // The streaming pipeline: the out-of-core path for catalogs that are never
@@ -236,6 +246,9 @@ func newSpillWriter(path string) (*spillWriter, error) {
 }
 
 func (w *spillWriter) add(g catalog.Galaxy) error {
+	if err := fpSpillWrite.Inject(); err != nil {
+		return err
+	}
 	catalog.PutRecord(w.rec[:], g)
 	_, err := w.bw.Write(w.rec[:])
 	return err
@@ -353,8 +366,30 @@ func spillStream(ctx context.Context, src catalog.Source, p *slabPlan, rmax floa
 	return owned, halo, nil
 }
 
-// readSpill appends the records of one spill file to gals.
-func readSpill(path string, n int, gals []catalog.Galaxy) ([]catalog.Galaxy, error) {
+// readSpill appends the records of one spill file to gals, retrying the
+// whole file on transient failure (each attempt reopens and re-reads from
+// the first record, truncating back to the caller's length first).
+func readSpill(ctx context.Context, path string, n int, gals []catalog.Galaxy) ([]catalog.Galaxy, error) {
+	base := len(gals)
+	err := retry.Policy{}.Do(ctx, "spill read", func() error {
+		got, err := readSpillOnce(path, n, gals[:base])
+		if err != nil {
+			return err
+		}
+		gals = got
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return gals, nil
+}
+
+// readSpillOnce is one read pass over a spill file.
+func readSpillOnce(path string, n int, gals []catalog.Galaxy) ([]catalog.Galaxy, error) {
+	if err := fpSpillRead.Inject(); err != nil {
+		return nil, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -369,6 +404,65 @@ func readSpill(path string, n int, gals []catalog.Galaxy) ([]catalog.Galaxy, err
 		gals = append(gals, catalog.GetRecord(rec[:]))
 	}
 	return gals, nil
+}
+
+// respillSlab rewrites slab i's spill files with one targeted pass over the
+// source: the degradation path for a slab whose checkpoint was pre-validated
+// (so the scatter pass skipped its records) but then failed the per-slab
+// revalidation. The slab plan is deterministic, so the records written here
+// are exactly what the full scatter pass would have written.
+func respillSlab(ctx context.Context, src catalog.Source, p *slabPlan, i int, rmax float64, dir string) error {
+	own, err := newSpillWriter(spillPath(dir, i, "own"))
+	if err != nil {
+		return err
+	}
+	hal, err := newSpillWriter(spillPath(dir, i, "halo"))
+	if err != nil {
+		own.close()
+		return err
+	}
+	closeBoth := func() { own.close(); hal.close() }
+	cur, err := src.Open()
+	if err != nil {
+		closeBoth()
+		return err
+	}
+	defer cur.Close()
+	a, b := p.interval(i)
+	l := p.box.L
+	buf := make([]catalog.Galaxy, catalog.ChunkSize)
+	for {
+		if err := ctx.Err(); err != nil {
+			closeBoth()
+			return err
+		}
+		n, nextErr := cur.Next(buf)
+		for _, g := range buf[:n] {
+			c := g.Pos.Component(p.axis)
+			switch {
+			case p.slabOf(c) == i:
+				err = own.add(g)
+			case axisDist(c, a, b, l) <= rmax:
+				err = hal.add(g)
+			}
+			if err != nil {
+				closeBoth()
+				return err
+			}
+		}
+		if nextErr == io.EOF {
+			break
+		}
+		if nextErr != nil {
+			closeBoth()
+			return nextErr
+		}
+	}
+	if err := own.close(); err != nil {
+		hal.close()
+		return err
+	}
+	return hal.close()
 }
 
 // ComputeStream runs the sharded pipeline over a streaming catalog source:
@@ -395,7 +489,18 @@ func ComputeStream(ctx context.Context, src catalog.Source, cfg core.Config, opt
 	}
 
 	pipelineStart := time.Now()
-	sc, err := scanSource(ctx, src)
+	// Every streaming pass is a self-contained scan that reopens the source,
+	// so a transient mid-pass failure (source IO or spill IO) restarts just
+	// that pass under the default retry policy.
+	var sc *streamScan
+	err = retry.Policy{}.Do(ctx, "stream scan", func() error {
+		got, err := scanSource(ctx, src)
+		if err != nil {
+			return err
+		}
+		sc = got
+		return nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -430,7 +535,15 @@ func ComputeStream(ctx context.Context, src catalog.Source, cfg core.Config, opt
 		skip = valid
 	}
 
-	plan, err := planSlabs(ctx, src, sc, opts.NShards)
+	var plan *slabPlan
+	err = retry.Policy{}.Do(ctx, "stream plan", func() error {
+		got, err := planSlabs(ctx, src, sc, opts.NShards)
+		if err != nil {
+			return err
+		}
+		plan = got
+		return nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -451,7 +564,15 @@ func ComputeStream(ctx context.Context, src catalog.Source, cfg core.Config, opt
 	}
 	defer os.RemoveAll(spillDir)
 
-	owned, halo, err := spillStream(ctx, src, plan, cfg.RMax, opts.NShards, spillDir, skip)
+	var owned, halo []int
+	err = retry.Policy{}.Do(ctx, "stream spill", func() error {
+		o, h, err := spillStream(ctx, src, plan, cfg.RMax, opts.NShards, spillDir, skip)
+		if err != nil {
+			return err
+		}
+		owned, halo = o, h
+		return nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -462,7 +583,7 @@ func ComputeStream(ctx context.Context, src catalog.Source, cfg core.Config, opt
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		partial, st, err := computeSlab(ctx, plan, i, owned[i], halo[i], spillDir, !skip[i], cfg, opts, logf)
+		partial, st, err := computeSlab(ctx, src, plan, i, owned[i], halo[i], spillDir, !skip[i], cfg, opts, logf)
 		if err != nil {
 			return nil, nil, fmt.Errorf("shard %d/%d: %w", i, opts.NShards, err)
 		}
@@ -492,6 +613,9 @@ func scanSlabCheckpoints(sc *streamScan, bins hist.Binning, cfg core.Config, opt
 	primaries := 0
 	for i := 0; i < opts.NShards; i++ {
 		res, err := core.LoadResult(checkpointPath(opts.CheckpointDir, i, opts.NShards))
+		if err == nil {
+			err = fpCkptLoad.Inject()
+		}
 		if err != nil || res.LMax != cfg.LMax || res.Bins != bins {
 			all = false
 			continue
@@ -520,7 +644,7 @@ func scanSlabCheckpoints(sc *streamScan, bins hist.Binning, cfg core.Config, opt
 // computeSlab produces slab i's partial result from its spill files (or
 // from a valid checkpoint when resuming; spilled marks slabs whose records
 // were actually written, i.e. not pre-validated for checkpoint reuse).
-func computeSlab(ctx context.Context, plan *slabPlan, i, nOwned, nHalo int, spillDir string, spilled bool, cfg core.Config, opts Options, logf func(string, ...any)) (*core.Result, Stats, error) {
+func computeSlab(ctx context.Context, src catalog.Source, plan *slabPlan, i, nOwned, nHalo int, spillDir string, spilled bool, cfg core.Config, opts Options, logf func(string, ...any)) (*core.Result, Stats, error) {
 	st := Stats{Shard: i, NOwned: nOwned, NHalo: nHalo}
 	if opts.Resume {
 		if res, ok := loadCheckpoint(opts.CheckpointDir, i, opts.NShards, cfg, nOwned, logf); ok {
@@ -531,14 +655,21 @@ func computeSlab(ctx context.Context, plan *slabPlan, i, nOwned, nHalo int, spil
 			return res, st, nil
 		}
 		if !spilled {
-			// The pre-validated checkpoint failed the primary-count check:
-			// it was written by a run with a different slab decomposition
-			// (possible only across code versions — the plan is otherwise
-			// deterministic). Its records were never spilled, so recompute
-			// is impossible; make the situation explicit.
-			return nil, st, fmt.Errorf(
-				"checkpoint no longer matches this run's slab decomposition; remove %s and rerun",
-				opts.CheckpointDir)
+			// The pre-validated checkpoint failed the primary-count
+			// revalidation: it was written by a run with a different slab
+			// decomposition (possible only across code versions — the plan
+			// is otherwise deterministic). Its records were skipped by the
+			// spill pass, so degrade like every other unusable checkpoint:
+			// re-spill just this slab with one targeted pass over the
+			// source, then recompute.
+			logf("shard %d/%d: checkpoint failed revalidation; re-spilling slab and recomputing",
+				i, opts.NShards)
+			err := retry.Policy{}.Do(ctx, "slab re-spill", func() error {
+				return respillSlab(ctx, src, plan, i, cfg.RMax, spillDir)
+			})
+			if err != nil {
+				return nil, st, err
+			}
 		}
 	}
 
@@ -546,7 +677,7 @@ func computeSlab(ctx context.Context, plan *slabPlan, i, nOwned, nHalo int, spil
 		bins := hist.Binning{RMin: cfg.RMin, RMax: cfg.RMax, N: cfg.NBins}
 		res := core.NewResult(cfg.LMax, bins)
 		if opts.CheckpointDir != "" {
-			if err := core.SaveResult(checkpointPath(opts.CheckpointDir, i, opts.NShards), res); err != nil {
+			if err := saveCheckpoint(ctx, checkpointPath(opts.CheckpointDir, i, opts.NShards), res); err != nil {
 				return nil, st, fmt.Errorf("checkpointing: %w", err)
 			}
 		}
@@ -559,10 +690,10 @@ func computeSlab(ctx context.Context, plan *slabPlan, i, nOwned, nHalo int, spil
 		Galaxies: make([]catalog.Galaxy, 0, nOwned+nHalo),
 	}
 	var err error
-	if local.Galaxies, err = readSpill(spillPath(spillDir, i, "own"), nOwned, local.Galaxies); err != nil {
+	if local.Galaxies, err = readSpill(ctx, spillPath(spillDir, i, "own"), nOwned, local.Galaxies); err != nil {
 		return nil, st, err
 	}
-	if local.Galaxies, err = readSpill(spillPath(spillDir, i, "halo"), nHalo, local.Galaxies); err != nil {
+	if local.Galaxies, err = readSpill(ctx, spillPath(spillDir, i, "halo"), nHalo, local.Galaxies); err != nil {
 		return nil, st, err
 	}
 	primary := make([]bool, local.Len())
@@ -579,7 +710,7 @@ func computeSlab(ctx context.Context, plan *slabPlan, i, nOwned, nHalo int, spil
 		i, opts.NShards, nOwned, nHalo, st.Elapsed.Round(time.Millisecond), res.Pairs)
 
 	if opts.CheckpointDir != "" {
-		if err := core.SaveResult(checkpointPath(opts.CheckpointDir, i, opts.NShards), res); err != nil {
+		if err := saveCheckpoint(ctx, checkpointPath(opts.CheckpointDir, i, opts.NShards), res); err != nil {
 			return nil, st, fmt.Errorf("checkpointing: %w", err)
 		}
 	}

@@ -1,0 +1,165 @@
+package shard
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"galactos/internal/catalog"
+	"galactos/internal/core"
+	"galactos/internal/faultpoint"
+)
+
+// streamFaultSetup runs a clean checkpointed streaming run (Workers=1 keeps
+// recomputed slabs bitwise reproducible) and returns the catalog, config,
+// checkpoint dir, and clean result.
+func streamFaultSetup(t *testing.T, seed int64) (*catalog.Catalog, core.Config, string, *core.Result) {
+	t.Helper()
+	cat := catalog.Clustered(700, 160, catalog.DefaultClusterParams(), seed)
+	cfg := streamConfig()
+	cfg.Workers = 1
+	dir := t.TempDir()
+	first, _, err := ComputeStream(context.Background(), catalog.NewMemorySource(cat), cfg,
+		Options{NShards: 3, CheckpointDir: dir, Keep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, cfg, dir, first
+}
+
+// TestStreamCorruptSlabCheckpointRecomputed mirrors the in-memory pipeline's
+// corrupt-checkpoint case (shard_test.go): a slab checkpoint with a flipped
+// payload byte is detected, recomputed, and the merged result is bitwise
+// identical — recompute-and-continue, never a hard failure.
+func TestStreamCorruptSlabCheckpointRecomputed(t *testing.T) {
+	cat, cfg, dir, first := streamFaultSetup(t, 37)
+	victim := checkpointPath(dir, 1, 3)
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, stats, err := ComputeStream(context.Background(), catalog.NewMemorySource(cat), cfg,
+		Options{NShards: 3, CheckpointDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[1].Resumed {
+		t.Error("corrupt slab checkpoint was trusted instead of recomputed")
+	}
+	if d := res.MaxAbsDiff(first); d != 0 {
+		t.Errorf("result after recomputing corrupt slab differs by %v", d)
+	}
+}
+
+// TestStreamTruncatedSlabCheckpointRecomputed: a checkpoint cut short (a
+// kill mid-write on a filesystem without atomic rename) degrades the same
+// way.
+func TestStreamTruncatedSlabCheckpointRecomputed(t *testing.T) {
+	cat, cfg, dir, first := streamFaultSetup(t, 41)
+	victim := checkpointPath(dir, 0, 3)
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victim, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, stats, err := ComputeStream(context.Background(), catalog.NewMemorySource(cat), cfg,
+		Options{NShards: 3, CheckpointDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Resumed {
+		t.Error("truncated slab checkpoint was trusted instead of recomputed")
+	}
+	if d := res.MaxAbsDiff(first); d != 0 {
+		t.Errorf("result after recomputing truncated slab differs by %v", d)
+	}
+}
+
+// TestStreamMismatchedCheckpointRespilled exercises the revalidation
+// degradation: a checkpoint that loads cleanly and matches the run config
+// but carries the wrong primary count (a different slab decomposition)
+// passes the resume pre-scan — so the scatter pass skips its records — and
+// only fails the per-slab revalidation. The slab must then be re-spilled
+// with a targeted pass and recomputed, not hard-fail the run.
+func TestStreamMismatchedCheckpointRespilled(t *testing.T) {
+	cat, cfg, dir, first := streamFaultSetup(t, 43)
+	// A valid same-config partial with a primary count no slab owns.
+	decoy := catalog.Clustered(50, 160, catalog.DefaultClusterParams(), 99)
+	res, err := core.Compute(decoy, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SaveResult(checkpointPath(dir, 1, 3), res); err != nil {
+		t.Fatal(err)
+	}
+
+	got, stats, err := ComputeStream(context.Background(), catalog.NewMemorySource(cat), cfg,
+		Options{NShards: 3, CheckpointDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[1].Resumed {
+		t.Error("mismatched checkpoint was trusted instead of recomputed")
+	}
+	if stats[0].Resumed != true || stats[2].Resumed != true {
+		t.Error("intact slab checkpoints were not reused")
+	}
+	if d := got.MaxAbsDiff(first); d != 0 {
+		t.Errorf("result after re-spilling mismatched slab differs by %v", d)
+	}
+}
+
+// TestStreamAbsorbsTransientFaults injects one transient fault at every IO
+// faultpoint of the streaming pipeline — source open/read, spill write/read,
+// checkpoint save/load — and requires the run to succeed with a bitwise
+// identical result: the retry layer absorbs each of them.
+func TestStreamAbsorbsTransientFaults(t *testing.T) {
+	cat := catalog.Clustered(600, 160, catalog.DefaultClusterParams(), 47)
+	cfg := streamConfig()
+	cfg.Workers = 1
+	path := filepath.Join(t.TempDir(), "cat.glxc")
+	if err := catalog.SaveBinary(path, cat); err != nil {
+		t.Fatal(err)
+	}
+	src := catalog.NewFileSource(path)
+
+	clean, _, err := ComputeStream(context.Background(), src, cfg,
+		Options{NShards: 3, CheckpointDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultpoint.Enable(faultpoint.NewPlan(1,
+		faultpoint.Point{Name: "catalog.source.open", Kind: faultpoint.KindError, Count: 1},
+		faultpoint.Point{Name: "catalog.source.read", Kind: faultpoint.KindError, After: 1, Count: 1},
+		faultpoint.Point{Name: "shard.spill.write", Kind: faultpoint.KindError, After: 100, Count: 1},
+		faultpoint.Point{Name: "shard.spill.read", Kind: faultpoint.KindError, Count: 1},
+		faultpoint.Point{Name: "shard.checkpoint.save", Kind: faultpoint.KindError, Count: 1},
+	))
+	defer faultpoint.Disable()
+
+	res, _, err := ComputeStream(context.Background(), src, cfg,
+		Options{NShards: 3, CheckpointDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("streaming run did not absorb transient faults: %v", err)
+	}
+	if d := res.MaxAbsDiff(clean); d != 0 {
+		t.Errorf("faulted run differs from clean run by %v", d)
+	}
+	var fired uint64
+	for _, st := range faultpoint.Stats() {
+		fired += st.Fired
+	}
+	if fired < 5 {
+		t.Errorf("only %d faults fired; the test should exercise every point", fired)
+	}
+}

@@ -3,6 +3,7 @@ package galactos
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"galactos/internal/catalog"
 	"galactos/internal/exec"
@@ -40,6 +41,11 @@ type Request struct {
 	// Backend spec — the programmatic escape hatch (scenario harnesses,
 	// logging wrappers). It does not serialize.
 	Via Backend `json:"-"`
+	// TimeoutSec, when positive, bounds the run's wall clock: the run is
+	// cancelled with context.DeadlineExceeded once it elapses. It rides the
+	// wire, so a remote submission carries its own deadline; the galactosd
+	// server additionally caps every job with its Options.JobTimeout.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
 	// Label names the run in the perfstat report; empty selects the
 	// backend name.
 	Label string `json:"label,omitempty"`
@@ -108,6 +114,11 @@ func Run(ctx context.Context, req Request) (*RunResult, error) {
 	b, err := req.ResolveBackend()
 	if err != nil {
 		return nil, err
+	}
+	if req.TimeoutSec > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutSec*float64(time.Second)))
+		defer cancel()
 	}
 	return exec.Run(ctx, b, &exec.Job{
 		Source: src,
