@@ -5,7 +5,7 @@ GO ?= go
 .PHONY: all build test test-race vet fmt-check bench bench-exp \
 	bench-baseline bench-check bench-scaling-baseline scaling-check \
 	test-generic cross-smoke examples-smoke scenario-smoke \
-	service-smoke chaos-smoke ci clean
+	service-smoke chaos-smoke crash-smoke ci clean
 
 all: build
 
@@ -24,7 +24,7 @@ test:
 test-race:
 	$(GO) test -race ./internal/core/... ./internal/shard/... ./internal/exec/... \
 		./internal/scenario/... ./internal/service/... ./client/... \
-		./internal/faultpoint/... ./internal/retry/...
+		./internal/faultpoint/... ./internal/retry/... ./internal/journal/...
 
 vet:
 	$(GO) vet ./...
@@ -120,6 +120,19 @@ scenario-smoke:
 # append the per-case and injected-vs-recovered markdown tables there.
 chaos-smoke:
 	$(GO) run -race ./cmd/galactos -chaos -n 500 -seed 1 \
+		$(if $(CHAOS_SUMMARY),-chaos-summary "$(CHAOS_SUMMARY)")
+
+# Subprocess crash sweep: galactosd (built with -race) launched as a real
+# process on a throwaway -state-dir, SIGKILLed at faultpoint-scheduled
+# moments — mid-sharded-job, with a job queued, after completion, with its
+# cache entry corrupted on disk — then restarted on the same state dir and
+# required to serve bitwise-identical results via journal replay, shard
+# checkpoint resume, and the persistent cache. Set CHAOS_SUMMARY to a file
+# path (CI uses $GITHUB_STEP_SUMMARY) to also append the per-case table.
+crash-smoke:
+	$(GO) build -race -o /tmp/galactosd-crash-smoke ./cmd/galactosd
+	$(GO) run -race ./cmd/galactos -chaos-proc -n 400 -seed 1 \
+		-galactosd /tmp/galactosd-crash-smoke \
 		$(if $(CHAOS_SUMMARY),-chaos-summary "$(CHAOS_SUMMARY)")
 
 ci: fmt-check build vet test bench

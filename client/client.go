@@ -52,10 +52,21 @@ func New(base string, httpClient *http.Client) *Client {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint on backpressure
+	// responses (429 queue-full, 503 draining), zero when absent.
+	// SubmitRetry honors it as a floor under its own backoff.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("galactosd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// Temporary reports whether resubmitting the same request later can
+// succeed: true for the backpressure statuses (429, 503).
+func (e *APIError) Temporary() bool {
+	return e.StatusCode == http.StatusTooManyRequests ||
+		e.StatusCode == http.StatusServiceUnavailable
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
@@ -88,7 +99,15 @@ func apiError(resp *http.Response) error {
 	if json.Unmarshal(data, &e) != nil || e.Error == "" {
 		e.Error = strings.TrimSpace(string(data))
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+	apiErr := &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+	// Only the delay-seconds form of Retry-After is parsed; the HTTP-date
+	// form (which this server never sends) is ignored rather than guessed.
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
 }
 
 // Submit enqueues a request and returns the accepted job's status without
@@ -102,6 +121,45 @@ func (c *Client) Submit(ctx context.Context, req galactos.Request) (JobStatus, e
 	}
 	err = c.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(data), &st)
 	return st, err
+}
+
+// SubmitRetry submits like Submit, but retries backpressure rejections —
+// 429 (queue full) and 503 (draining) — under pol's backoff schedule,
+// bounded by pol.MaxAttempts (the zero Policy gives 4 attempts, 10ms
+// doubling to 500ms, ±20% deterministic jitter). When the server sends a
+// Retry-After hint, the sleep before the next attempt is at least that
+// long: the server knows its drain better than any client-side schedule.
+// Every other failure — 4xx validation, network errors, ctx cancellation —
+// returns immediately; retrying can't fix a bad request, and retrying a
+// transport error risks double-submitting a job this method can't see.
+func (c *Client) SubmitRetry(ctx context.Context, req galactos.Request, pol retry.Policy) (JobStatus, error) {
+	maxAttempts := pol.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 4
+	}
+	var st JobStatus
+	var err error
+	for attempt := 1; ; attempt++ {
+		st, err = c.Submit(ctx, req)
+		var apiErr *APIError
+		if err == nil || !errors.As(err, &apiErr) || !apiErr.Temporary() {
+			return st, err
+		}
+		if attempt >= maxAttempts {
+			return st, fmt.Errorf("galactosd: giving up after %d submit attempts: %w", attempt, err)
+		}
+		sleep := pol.Backoff("submit", attempt)
+		if apiErr.RetryAfter > sleep {
+			sleep = apiErr.RetryAfter
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return st, ctx.Err()
+		case <-timer.C:
+		}
+	}
 }
 
 // SubmitStream submits a request and follows its event stream to
@@ -346,4 +404,10 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 // Healthy reports whether the server answers its liveness probe.
 func (c *Client) Healthy(ctx context.Context) bool {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil) == nil
+}
+
+// Ready reports whether the server answers its readiness probe — alive
+// AND currently accepting submissions (not draining, queue not full).
+func (c *Client) Ready(ctx context.Context) bool {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil) == nil
 }

@@ -1,0 +1,117 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"galactos"
+	"galactos/internal/retry"
+)
+
+// fastPolicy keeps retry sleeps at test speed.
+var fastPolicy = retry.Policy{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+
+func TestSubmitRetryRecoversFromBackpressure(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"job queue is full"}`))
+		case 2:
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"server is draining"}`))
+		default:
+			w.WriteHeader(http.StatusAccepted)
+			w.Write([]byte(`{"id":"job-000001","state":"queued","key":"k"}`))
+		}
+	}))
+	defer srv.Close()
+
+	st, err := New(srv.URL, nil).SubmitRetry(context.Background(), galactos.Request{}, fastPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "job-000001" {
+		t.Errorf("accepted job = %+v", st)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d submissions, want 3 (two rejections, one success)", got)
+	}
+}
+
+func TestSubmitRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"server is draining"}`))
+	}))
+	defer srv.Close()
+
+	pol := fastPolicy
+	pol.MaxAttempts = 2
+	_, err := New(srv.URL, nil).SubmitRetry(context.Background(), galactos.Request{}, pol)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want a wrapped 503 APIError", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d submissions, want exactly MaxAttempts=2", got)
+	}
+}
+
+// TestSubmitRetryFatalErrorsReturnImmediately: a validation rejection must
+// never burn the backoff schedule — the request won't get better.
+func TestSubmitRetryFatalErrorsReturnImmediately(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"invalid request: request has no catalog"}`))
+	}))
+	defer srv.Close()
+
+	_, err := New(srv.URL, nil).SubmitRetry(context.Background(), galactos.Request{}, fastPolicy)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want a 400 APIError", err)
+	}
+	if apiErr.Temporary() {
+		t.Error("400 classified Temporary")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d submissions, want 1 (no retry of fatal errors)", got)
+	}
+}
+
+// TestAPIErrorCarriesRetryAfter checks the header parse without sleeping:
+// the hint rides the error for callers running their own schedule.
+func TestAPIErrorCarriesRetryAfter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"server is draining"}`))
+	}))
+	defer srv.Close()
+
+	_, err := New(srv.URL, nil).Submit(context.Background(), galactos.Request{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want APIError", err)
+	}
+	if apiErr.RetryAfter != 7*time.Second {
+		t.Errorf("RetryAfter = %v, want 7s", apiErr.RetryAfter)
+	}
+	if !apiErr.Temporary() {
+		t.Error("503 not classified Temporary")
+	}
+}

@@ -48,7 +48,10 @@ func main() {
 
 	base := *addr
 	if base == "" {
-		svc := service.New(service.Options{Workers: *workers})
+		svc, err := service.New(service.Options{Workers: *workers})
+		if err != nil {
+			fatal("server: %v", err)
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fatal("listen: %v", err)

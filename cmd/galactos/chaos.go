@@ -12,6 +12,8 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -73,6 +75,86 @@ func runChaos(ctx context.Context, n int, seed int64, summaryPath string) {
 		fatalf("faultpoints never fired: %s", strings.Join(uncovered, ", "))
 	}
 	fmt.Printf("all %d chaos case(s) recovered bitwise-identically\n", len(reports))
+}
+
+// runChaosProc executes the subprocess crash sweep: galactosd SIGKILLed at
+// scheduled moments, restarted on the same state dir, and required to serve
+// bitwise-identical results. Exits nonzero on any failed case.
+func runChaosProc(ctx context.Context, n int, seed int64, galactosdBin, summaryPath string) {
+	scratch, err := os.MkdirTemp("", "galactos-chaos-proc-*")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer os.RemoveAll(scratch)
+
+	// Without -galactosd, build the daemon fresh: the sweep must kill the
+	// code under test, not whatever stale binary happens to be on PATH.
+	if galactosdBin == "" {
+		galactosdBin = filepath.Join(scratch, "galactosd")
+		build := exec.CommandContext(ctx, "go", "build", "-o", galactosdBin, "./cmd/galactosd")
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			fatalf("building galactosd for the crash sweep: %v", err)
+		}
+	}
+
+	fmt.Printf("subprocess crash sweep: n=%d, seed=%d, galactosd=%s\n", n, seed, galactosdBin)
+	reports, err := chaos.RunProc(ctx, chaos.ProcOptions{
+		N: n, Seed: seed, Scratch: scratch, Galactosd: galactosdBin,
+		Logf: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if ctx.Err() != nil {
+		fatalf("interrupted after %d cases", len(reports))
+	}
+
+	failures := 0
+	for i := range reports {
+		if reports[i].Failed() {
+			failures++
+		}
+	}
+	if summaryPath != "" {
+		if err := writeChaosProcSummary(summaryPath, n, seed, reports); err != nil {
+			fatalf("writing crash sweep summary: %v", err)
+		}
+	}
+	if failures > 0 {
+		fatalf("%d of %d crash cases failed", failures, len(reports))
+	}
+	fmt.Printf("all %d crash case(s) recovered bitwise-identically across SIGKILL+restart\n", len(reports))
+}
+
+// writeChaosProcSummary appends the crash sweep as one markdown table. No
+// faultpoint accounting here: the faults fire inside the killed subprocess,
+// whose counters die with it.
+func writeChaosProcSummary(path string, n int, seed int64, reports []chaos.Report) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(f, "### Crash sweep (SIGKILL + restart) — n=%d, seed=%d\n\n", n, seed)
+	fmt.Fprintln(f, "| case | status | time | hash |")
+	fmt.Fprintln(f, "|---|---|---|---|")
+	for _, r := range reports {
+		status := "recovered"
+		switch {
+		case r.Err != nil:
+			status = "**FAIL**: " + r.Err.Error()
+		case !r.Match:
+			status = "**FAIL**: hash mismatch"
+		}
+		hash := r.Clean
+		if len(hash) > 16 {
+			hash = hash[:16]
+		}
+		fmt.Fprintf(f, "| %s | %s | %v | `%s` |\n",
+			r.Case, status, r.Elapsed.Round(time.Millisecond), hash)
+	}
+	fmt.Fprintln(f)
+	return f.Close()
 }
 
 // writeChaosSummary appends the sweep as two markdown tables (the format

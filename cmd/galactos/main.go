@@ -25,7 +25,12 @@
 // Chaos mode (-chaos) runs the fault-injection sweep (internal/chaos): every
 // case pins a clean run's bitwise hash, re-runs under a seeded faultpoint
 // plan, and must reproduce the hash exactly; the sweep fails if any
-// registered faultpoint never fired. See DESIGN.md, "Failure semantics".
+// registered faultpoint never fired. Subprocess chaos mode (-chaos-proc)
+// extends the same verdict across a process boundary: it launches galactosd
+// as a real subprocess on a throwaway -state-dir, SIGKILLs it mid-job, and
+// requires the restarted server to serve bitwise-identical results from
+// journal replay, shard checkpoints, and the persistent cache. See
+// DESIGN.md, "Failure semantics" and "Durability".
 //
 // Outputs <out>.aniso.csv (channels zeta^m_{l1 l2}(r1, r2)) and
 // <out>.iso.csv (isotropic multipoles zeta_l(r1, r2)), plus a run summary
@@ -81,6 +86,8 @@ func main() {
 		scenSummary = flag.String("scenario-summary", "", "append a markdown pass/fail table to this file (scenario mode)")
 
 		chaosMode    = flag.Bool("chaos", false, "run the chaos sweep: fault-injected runs must reproduce clean runs bitwise")
+		chaosProc    = flag.Bool("chaos-proc", false, "run the subprocess crash sweep: galactosd is SIGKILLed mid-job and must recover bitwise after restart")
+		galactosdBin = flag.String("galactosd", "", "path to the galactosd binary (chaos-proc mode; default: go build it into a temp dir)")
 		chaosSummary = flag.String("chaos-summary", "", "append the chaos sweep's markdown tables to this file (chaos mode)")
 	)
 	flag.Parse()
@@ -88,10 +95,14 @@ func main() {
 		listScenarios()
 		return
 	}
-	if *chaosMode {
+	if *chaosMode || *chaosProc {
 		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer cancel()
-		runChaos(ctx, *scenN, *scenSeed, *chaosSummary)
+		if *chaosProc {
+			runChaosProc(ctx, *scenN, *scenSeed, *galactosdBin, *chaosSummary)
+		} else {
+			runChaos(ctx, *scenN, *scenSeed, *chaosSummary)
+		}
 		return
 	}
 	if *scen == "" && *in == "" {

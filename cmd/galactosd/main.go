@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	galactosd [-addr :8080] [-workers 2] [-queue 64] [-cache 256] [-retain 256] [-quiet]
+//	galactosd [-addr :8080] [-workers 2] [-queue 64] [-cache 256] [-retain 256] [-state-dir DIR] [-quiet]
+//
+// With -state-dir the server is crash-only durable: job lifecycle goes to
+// an fsynced journal, results to a disk-backed cache, and sharded jobs
+// checkpoint per job — a galactosd killed outright (SIGKILL, OOM, power)
+// and restarted on the same -state-dir restores its terminal jobs,
+// re-enqueues interrupted ones, and resumes them from their checkpoints.
 //
 // SIGINT/SIGTERM starts a graceful shutdown: the listener stops accepting,
 // queued and running jobs drain (bounded by -drain), then the process
@@ -19,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,30 +43,41 @@ func main() {
 	retain := flag.Int("retain", 256, "terminal jobs retained for status queries (negative retains all)")
 	drain := flag.Duration("drain", 2*time.Minute, "graceful shutdown drain deadline")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job run deadline (0 = unlimited)")
+	stateDir := flag.String("state-dir", "", "durable state directory (journal, result cache, checkpoints); empty = memory only")
 	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "galactosd: ", log.LstdFlags)
 	opts := service.Options{Workers: *workers, QueueDepth: *queue, CacheEntries: *cache,
-		RetainJobs: *retain, JobTimeout: *jobTimeout}
+		RetainJobs: *retain, JobTimeout: *jobTimeout, StateDir: *stateDir}
 	if !*quiet {
 		opts.Log = func(format string, args ...any) { logger.Printf(format, args...) }
 	}
-	svc := service.New(opts)
+	svc, err := service.New(opts)
+	if err != nil {
+		logger.Fatalf("startup: %v", err)
+	}
+
+	// Listen explicitly (rather than ListenAndServe) so the bound address —
+	// which differs from -addr when it asks for port 0 — is logged before
+	// serving begins; the crash-smoke harness and scripts parse it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
 
 	// ReadHeaderTimeout bounds how long a connection may dribble its request
 	// head (slowloris hardening) and IdleTimeout reclaims abandoned
 	// keep-alive connections. WriteTimeout must stay 0: SSE event streams
 	// legitimately live as long as their job runs.
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	logger.Printf("listening on %s (%d workers, queue %d, cache %d)", *addr, *workers, *queue, *cache)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	logger.Printf("listening on %s (%d workers, queue %d, cache %d)", ln.Addr(), *workers, *queue, *cache)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -73,9 +91,10 @@ func main() {
 	deadline, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	// Drain the service FIRST, with HTTP still serving: the moment Shutdown
-	// is entered, new submissions answer 503 and /healthz reports draining —
-	// so a load balancer pulls this instance while in-flight jobs finish and
-	// their SSE watchers keep receiving. Only then stop the HTTP server. An
+	// is entered, new submissions answer 503 and /readyz reports draining
+	// (while /healthz stays 200 — the process is alive) — so a load
+	// balancer pulls this instance while in-flight jobs finish and their
+	// SSE watchers keep receiving. Only then stop the HTTP server. An
 	// expired deadline cancels in-flight jobs rather than hanging the
 	// process.
 	drainErr := svc.Shutdown(deadline)

@@ -25,7 +25,10 @@ func main() {
 
 	// An in-process galactosd: the same service.New + Handler pair the
 	// galactosd command serves; only the listener differs.
-	svc := service.New(service.Options{Workers: 2})
+	svc, err := service.New(service.Options{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

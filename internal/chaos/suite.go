@@ -204,7 +204,10 @@ func Suite(n int, seed int64, scratch string) ([]Case, error) {
 			return hashResult("chaos/service", n, seed, run.Result), nil
 		},
 		Run: func(ctx context.Context) (string, error) {
-			svc := service.New(service.Options{Workers: 1})
+			svc, err := service.New(service.Options{Workers: 1})
+			if err != nil {
+				return "", err
+			}
 			hs := httptest.NewServer(svc.Handler())
 			defer hs.Close()
 			defer func() {

@@ -1,0 +1,435 @@
+// Package journal is the durable write-ahead log of the galactosd job
+// server: an append-only, CRC-framed, fsync-on-commit record of every job's
+// lifecycle (submission, start, terminal state, eviction), written so that a
+// SIGKILL at any byte offset leaves a replayable log. It is the piece that
+// turns the service's in-memory job registry into crash-only state — process
+// death becomes just another fault the restart recovers from, in the same
+// discipline the shard checkpoints and resultio encodings already follow.
+//
+// The framing is deliberately boring: each segment file opens with a magic
+// and version, then carries length-prefixed JSON records, each guarded by a
+// CRC-64 of its payload. A torn tail (the normal shape a kill leaves) or a
+// corrupt frame ends that segment's replay — everything before it is kept,
+// everything after is classified poison and dropped, never half-trusted.
+// Records are idempotent under replay (folded by job id in Reduce), so the
+// boot-time compaction that rewrites the live set into a fresh segment is
+// crash-safe too: a kill mid-compaction leaves both old and new segments,
+// and replaying both yields the same folded state.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Record types. A job's life is submit -> start -> end; evict marks a
+// terminal job dropped from the registry by the retention bound, so replay
+// can never resurrect it.
+const (
+	RecordSubmit = "submit"
+	RecordStart  = "start"
+	RecordEnd    = "end"
+	RecordEvict  = "evict"
+)
+
+// Record is one journal entry. Only the fields of its Type are set: submit
+// records carry the full request identity (the serialized request, the
+// catalog content hash, and the normalized config fingerprint joined as the
+// cache key), end records the terminal state.
+type Record struct {
+	Type string    `json:"t"`
+	ID   string    `json:"id"`
+	Time time.Time `json:"time,omitzero"`
+
+	// Submit fields: the cache key (CatHash+"+"+Fingerprint), the label,
+	// and the request serialized in its wire-schema JSON form.
+	Key         string          `json:"key,omitempty"`
+	CatHash     string          `json:"cat_hash,omitempty"`
+	Fingerprint string          `json:"fp,omitempty"`
+	Label       string          `json:"label,omitempty"`
+	Request     json.RawMessage `json:"req,omitempty"`
+
+	// End fields: the terminal state ("done", "failed", "cancelled"), the
+	// failure reason, and whether the result came from the cache.
+	State    string `json:"state,omitempty"`
+	Error    string `json:"error,omitempty"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+}
+
+// Segment layout constants.
+const (
+	segMagic   = "GJL1"
+	segVersion = 1
+	// frameMax bounds a single record's payload; a length field beyond it
+	// is corruption, not a giant record.
+	frameMax = 64 << 20
+	// DefaultRotateBytes is the segment size past which Append rotates to a
+	// fresh segment file.
+	DefaultRotateBytes = 4 << 20
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Options configures Open. Only Dir is required.
+type Options struct {
+	// Dir holds the segment files (created if needed).
+	Dir string
+	// RotateBytes is the segment size threshold for rotation
+	// (default DefaultRotateBytes).
+	RotateBytes int64
+	// NoSync skips the per-record fsync — test-only; production commits
+	// must survive a kill.
+	NoSync bool
+	// Log, when non-nil, receives replay diagnostics (dropped frames,
+	// compaction summary).
+	Log func(format string, args ...any)
+}
+
+// Journal is an open write-ahead log. Append is safe for concurrent use.
+type Journal struct {
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File
+	seq     int   // sequence number of the open segment
+	size    int64 // bytes written to the open segment
+	dropped int   // poison frames dropped during replay
+	closed  bool
+}
+
+func (j *Journal) logf(format string, args ...any) {
+	if j.opts.Log != nil {
+		j.opts.Log(format, args...)
+	}
+}
+
+func segName(seq int) string { return fmt.Sprintf("seg-%08d.wal", seq) }
+
+// segments lists the existing segment sequence numbers in ascending order.
+func segments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int
+	for _, e := range ents {
+		var seq int
+		if n, _ := fmt.Sscanf(e.Name(), "seg-%d.wal", &seq); n == 1 && e.Name() == segName(seq) {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// Open opens (creating if needed) the journal in opts.Dir and replays every
+// segment in order, returning the surviving records oldest-first. Corrupt or
+// truncated frames — the tail a kill leaves — end their segment's replay:
+// the records before them are returned, the bytes after are dropped and
+// counted (Dropped). New appends go to a fresh segment, so a poisoned tail
+// is never appended into.
+func Open(opts Options) (*Journal, []Record, error) {
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("journal: no directory")
+	}
+	if opts.RotateBytes <= 0 {
+		opts.RotateBytes = DefaultRotateBytes
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{opts: opts}
+
+	seqs, err := segments(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var records []Record
+	for _, seq := range seqs {
+		recs, dropped, err := replaySegment(filepath.Join(opts.Dir, segName(seq)))
+		if err != nil {
+			return nil, nil, fmt.Errorf("journal: segment %d: %w", seq, err)
+		}
+		if dropped > 0 {
+			j.logf("journal: segment %d: dropped %d poison frame(s) at the tail", seq, dropped)
+		}
+		j.dropped += dropped
+		records = append(records, recs...)
+	}
+
+	// Appends go to a fresh segment past everything replayed: a torn tail
+	// stays frozen as evidence and is swept by the next Compact, and the
+	// open segment is always one this process wrote from byte zero.
+	next := 1
+	if n := len(seqs); n > 0 {
+		next = seqs[n-1] + 1
+	}
+	if err := j.openSegment(next); err != nil {
+		return nil, nil, err
+	}
+	return j, records, nil
+}
+
+// openSegment creates segment seq and writes its header. Callers hold mu or
+// have exclusive access.
+func (j *Journal) openSegment(seq int) error {
+	f, err := os.OpenFile(filepath.Join(j.opts.Dir, segName(seq)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [8]byte
+	copy(hdr[0:4], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], segVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if !j.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	j.f, j.seq, j.size = f, seq, int64(len(hdr))
+	return nil
+}
+
+// Append commits one record: frame, write, fsync. It returns only after the
+// record is durable (unless NoSync), so a crash after Append returns can
+// never lose it. Segments past RotateBytes rotate first.
+func (j *Journal) Append(r Record) error {
+	frame, err := encodeFrame(r)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	if j.size >= j.opts.RotateBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return err
+	}
+	j.size += int64(len(frame))
+	if !j.opts.NoSync {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+func (j *Journal) rotateLocked() error {
+	old := j.f
+	if err := j.openSegment(j.seq + 1); err != nil {
+		return err
+	}
+	return old.Close()
+}
+
+// Compact rewrites the journal to exactly live: the records land in a fresh
+// segment (in order), and every older segment is deleted. Crash-safe by
+// idempotence — a kill between the write and the deletes leaves old and new
+// segments whose joint replay folds to the same state — and the deletes run
+// newest-first so a partially-swept journal still replays the compacted
+// segment last.
+func (j *Journal) Compact(live []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	prev := j.seq
+	old := j.f
+	if err := j.openSegment(prev + 1); err != nil {
+		return err
+	}
+	old.Close()
+	for _, r := range live {
+		frame, err := encodeFrame(r)
+		if err != nil {
+			return err
+		}
+		if _, err := j.f.Write(frame); err != nil {
+			return err
+		}
+		j.size += int64(len(frame))
+	}
+	if !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+	}
+	seqs, err := segments(j.opts.Dir)
+	if err != nil {
+		return err
+	}
+	removed := 0
+	for i := len(seqs) - 1; i >= 0; i-- {
+		if seqs[i] >= j.seq {
+			continue
+		}
+		if err := os.Remove(filepath.Join(j.opts.Dir, segName(seqs[i]))); err != nil {
+			return err
+		}
+		removed++
+	}
+	j.logf("journal: compacted %d segment(s) into %d live record(s)", removed, len(live))
+	return nil
+}
+
+// Close closes the open segment. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}
+
+// Dropped reports how many poison frames replay discarded at Open.
+func (j *Journal) Dropped() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// Segments reports the current number of segment files (tests and stats).
+func (j *Journal) Segments() (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	seqs, err := segments(j.opts.Dir)
+	return len(seqs), err
+}
+
+// encodeFrame frames one record: uint32 payload length, CRC-64/ECMA of the
+// payload, then the JSON payload.
+func encodeFrame(r Record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, 12+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(frame[4:12], crc64.Checksum(payload, crcTable))
+	copy(frame[12:], payload)
+	return frame, nil
+}
+
+// replaySegment reads one segment, returning the records before the first
+// poison frame (bad length, CRC mismatch, truncation, or undecodable JSON)
+// and how many trailing frames/bytes were dropped (0 or 1 — replay stops at
+// the first poison frame; whatever follows it is untrusted by construction).
+// A missing or short header poisons the whole segment rather than erroring:
+// the journal's contract is that a kill can land anywhere.
+func replaySegment(path string) ([]Record, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+
+	var hdr [8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, 1, nil // torn before the header completed
+	}
+	if string(hdr[0:4]) != segMagic || binary.LittleEndian.Uint32(hdr[4:8]) != segVersion {
+		return nil, 1, nil // foreign or future file: treat as poison, not fatal
+	}
+
+	var records []Record
+	var lenCRC [12]byte
+	for {
+		if _, err := io.ReadFull(f, lenCRC[:]); err != nil {
+			if err == io.EOF {
+				return records, 0, nil // clean end
+			}
+			return records, 1, nil // torn mid-frame-header
+		}
+		n := binary.LittleEndian.Uint32(lenCRC[0:4])
+		if n == 0 || n > frameMax {
+			return records, 1, nil // implausible length: corruption
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return records, 1, nil // torn mid-payload
+		}
+		if crc64.Checksum(payload, crcTable) != binary.LittleEndian.Uint64(lenCRC[4:12]) {
+			return records, 1, nil // corrupt payload
+		}
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return records, 1, nil // CRC-clean but undecodable: still poison
+		}
+		records = append(records, r)
+	}
+}
+
+// JobRecord is the folded per-job view Reduce produces: the submit record,
+// whether a start was seen, and the end record if the job terminalized.
+type JobRecord struct {
+	Submit  Record
+	Started bool
+	End     *Record
+}
+
+// Terminal reports whether the job reached a terminal state before the
+// crash (or shutdown) that ended the journal.
+func (jr *JobRecord) Terminal() bool { return jr.End != nil }
+
+// Reduce folds a replayed record stream into per-job state, in first-submit
+// order. The fold is idempotent — duplicate records (a compaction raced by a
+// kill replays some records twice) change nothing: the first submit and the
+// first end win, starts are a flag. Evicted jobs are dropped entirely, so a
+// job evicted under the retention bound can never resurrect on replay;
+// orphan records (start/end/evict with no submit in the replayed window)
+// are ignored.
+func Reduce(records []Record) []JobRecord {
+	byID := make(map[string]*JobRecord)
+	var order []string
+	evicted := make(map[string]bool)
+	for i := range records {
+		r := &records[i]
+		switch r.Type {
+		case RecordSubmit:
+			if _, ok := byID[r.ID]; ok {
+				continue
+			}
+			byID[r.ID] = &JobRecord{Submit: *r}
+			order = append(order, r.ID)
+		case RecordStart:
+			if jr, ok := byID[r.ID]; ok {
+				jr.Started = true
+			}
+		case RecordEnd:
+			if jr, ok := byID[r.ID]; ok && jr.End == nil {
+				end := *r
+				jr.End = &end
+			}
+		case RecordEvict:
+			evicted[r.ID] = true
+		}
+	}
+	out := make([]JobRecord, 0, len(order))
+	for _, id := range order {
+		if evicted[id] {
+			continue
+		}
+		out = append(out, *byID[id])
+	}
+	return out
+}

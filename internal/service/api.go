@@ -93,4 +93,14 @@ type Stats struct {
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
 	CacheEntries int    `json:"cache_entries"`
+
+	// Durable reports a server running with a state dir: journaled job
+	// lifecycle, disk-backed result cache, kill-and-restart recovery.
+	Durable bool `json:"durable,omitempty"`
+	// RestoredJobs counts terminal jobs restored from the journal at this
+	// process's boot; RequeuedJobs counts jobs found queued or running at
+	// the previous process's death and re-enqueued. Both are zero on a
+	// clean boot — the crash-smoke gate asserts on them.
+	RestoredJobs uint64 `json:"restored_jobs,omitempty"`
+	RequeuedJobs uint64 `json:"requeued_jobs,omitempty"`
 }

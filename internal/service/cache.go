@@ -5,6 +5,16 @@ import (
 	"sync"
 )
 
+// resultStore is the result-cache contract the server programs against:
+// the in-memory LRU below is the default, and the disk-backed cache of a
+// -state-dir server (diskcache.go) is the durable drop-in. Both store the
+// versioned resultio encoding keyed by catalogHash+configFingerprint.
+type resultStore interface {
+	get(key string) ([]byte, bool)
+	put(key string, data []byte)
+	len() int
+}
+
 // resultCache is the bounded LRU result cache: completed results in the
 // versioned resultio encoding, keyed by (catalog content hash, normalized
 // config fingerprint). The encoding doubles as the wire format of the

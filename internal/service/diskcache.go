@@ -1,0 +1,198 @@
+package service
+
+import (
+	"bytes"
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"galactos/internal/core"
+)
+
+// diskCache is the persistent result cache a -state-dir server uses in
+// place of the in-memory LRU: entries are the existing versioned resultio
+// encodings written to content-addressed files (one file per cache key, the
+// key being catalogHash+configFingerprint), so the cache's "hit is
+// byte-for-byte the cold run" guarantee survives a process kill. The index
+// is rebuilt by scanning the directory at startup, recency-ordered by file
+// modification time; eviction beyond max deletes files.
+//
+// Reads re-validate: a get decodes the entry through core.ReadResult, whose
+// CRC and header checks reject anything a kill tore or a disk corrupted.
+// Per the failure taxonomy (DESIGN.md, "Failure semantics") such an entry is
+// poison — data that reads cleanly enough to open but must not be trusted —
+// and the cache degrades structurally: the entry is deleted and reported as
+// a miss, so a poisoned file costs one recompute and is never served.
+type diskCache struct {
+	dir string
+	max int
+
+	mu      sync.Mutex
+	order   *list.List // front = most recently used; values are *diskEntry
+	entries map[string]*list.Element
+}
+
+type diskEntry struct {
+	key string
+}
+
+const cacheExt = ".gres"
+
+// newDiskCache opens (creating if needed) the cache directory and rebuilds
+// the index by scanning it. Files that are not cache entries are ignored;
+// entry validation is deferred to get, where a poisoned file becomes a
+// deleted miss. max <= 0 disables caching entirely (and deletes nothing
+// already present — a disabled cache must not destroy state an operator
+// re-enables later).
+func newDiskCache(dir string, max int) (*diskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	c := &diskCache{
+		dir:     dir,
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+	if max <= 0 {
+		return c, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type scanned struct {
+		key   string
+		mtime int64
+	}
+	var found []scanned
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != cacheExt {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, scanned{key: name[:len(name)-len(cacheExt)], mtime: info.ModTime().UnixNano()})
+	}
+	// Oldest first, so pushing to the front leaves the newest entries most
+	// recently used; ties break on key for determinism.
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].mtime != found[j].mtime {
+			return found[i].mtime < found[j].mtime
+		}
+		return found[i].key < found[j].key
+	})
+	for _, s := range found {
+		c.entries[s.key] = c.order.PushFront(&diskEntry{key: s.key})
+	}
+	c.evictLocked()
+	return c, nil
+}
+
+func (c *diskCache) path(key string) string {
+	// Keys are hex-digest+"+"+hex-digest: filesystem-safe by construction.
+	return filepath.Join(c.dir, key+cacheExt)
+}
+
+// get reads and re-validates one entry. Any read or decode failure is
+// poison: the file is deleted, the index entry dropped, and the lookup is a
+// miss — a torn or corrupt entry is recomputed, never served.
+func (c *diskCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err == nil {
+		_, err = core.ReadResult(bytes.NewReader(data))
+	}
+	if err != nil {
+		c.dropLocked(el)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return data, true
+}
+
+// put writes data to the entry's file atomically (temp file in the same
+// directory, fsync, rename) so a kill mid-put leaves either the old entry
+// or the new one, never a torn file under the final name.
+func (c *diskCache) put(key string, data []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFileAtomic(c.path(key), data); err != nil {
+		// A failed write leaves the cache as it was: caching is an
+		// optimization, and a broken disk must not fail the job that
+		// computed the result.
+		if el, ok := c.entries[key]; ok {
+			c.dropLocked(el)
+		}
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&diskEntry{key: key})
+	c.evictLocked()
+}
+
+func (c *diskCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// dropLocked removes one entry and its file. Callers hold mu.
+func (c *diskCache) dropLocked(el *list.Element) {
+	ent := el.Value.(*diskEntry)
+	c.order.Remove(el)
+	delete(c.entries, ent.key)
+	os.Remove(c.path(ent.key))
+}
+
+// evictLocked enforces the entry bound, deleting the least recently used
+// files. Callers hold mu.
+func (c *diskCache) evictLocked() {
+	for c.order.Len() > c.max {
+		c.dropLocked(c.order.Back())
+	}
+}
+
+// writeFileAtomic lands data under path via temp-file-plus-rename with an
+// fsync before the rename — the same discipline core.SaveResult uses for
+// shard checkpoints.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("service: landing cache entry: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,351 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"galactos/client"
+	"galactos/internal/catalog"
+	"galactos/internal/journal"
+	"galactos/internal/service"
+)
+
+// startRestartable boots a durable server like startServer, but returns an
+// idempotent stop func so restart tests can shut the first incarnation
+// down mid-test and boot a second on the same state dir.
+func startRestartable(t *testing.T, opts service.Options) (*service.Server, *client.Client, func()) {
+	t.Helper()
+	svc, err := service.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := &http.Client{}
+	go http.Serve(ln, svc.Handler())
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			svc.Shutdown(ctx)
+			hc.CloseIdleConnections()
+			ln.Close()
+		})
+	}
+	t.Cleanup(stop)
+	return svc, client.New("http://"+ln.Addr().String(), hc), stop
+}
+
+// TestRestartRestoresTerminalJobsAndCache is the durability round trip: a
+// completed job survives a full server restart — status queryable under
+// its original id, result bytes identical, and the disk cache serving a
+// hit for a resubmission of the same request.
+func TestRestartRestoresTerminalJobsAndCache(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	req := testRequest(300, 42)
+
+	_, cl1, stop1 := startRestartable(t, service.Options{Workers: 1, StateDir: dir})
+	st, err := cl1.SubmitStream(ctx, req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("job ended %s (%s), want done", st.State, st.Error)
+	}
+	coldBytes, err := cl1.ResultBytes(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop1()
+
+	svc2, cl2, _ := startRestartable(t, service.Options{Workers: 1, StateDir: dir})
+	stats := svc2.Stats()
+	if !stats.Durable {
+		t.Error("state-dir server does not report Durable")
+	}
+	if stats.RestoredJobs != 1 {
+		t.Errorf("RestoredJobs = %d, want 1", stats.RestoredJobs)
+	}
+	restored, err := cl2.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("restored job not queryable: %v", err)
+	}
+	if restored.State != service.StateDone || restored.Key != st.Key {
+		t.Errorf("restored job = %s/%s, want done with key %s", restored.State, restored.Key, st.Key)
+	}
+	warmBytes, err := cl2.ResultBytes(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("restored job's result: %v", err)
+	}
+	if string(warmBytes) != string(coldBytes) {
+		t.Error("restored result bytes differ from the pre-restart bytes")
+	}
+
+	// The disk cache must answer a resubmission as a hit, without a run.
+	hit, err := cl2.SubmitStream(ctx, req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.State != service.StateDone || !hit.CacheHit {
+		t.Fatalf("resubmission after restart = %s (cacheHit=%v), want a done cache hit", hit.State, hit.CacheHit)
+	}
+	if got := svc2.Stats(); got.CacheHits != 1 {
+		t.Errorf("CacheHits after restart+resubmit = %d, want 1", got.CacheHits)
+	}
+	hitBytes, err := cl2.ResultBytes(ctx, hit.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(hitBytes) != string(coldBytes) {
+		t.Error("cache-hit bytes differ from the cold run's bytes")
+	}
+
+	// Destroy the cached entry: the restored job's result is Gone (its
+	// bytes lived only on disk), while the hit job still serves from its
+	// in-memory copy.
+	ents, err := os.ReadDir(filepath.Join(dir, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		os.Remove(filepath.Join(dir, "cache", e.Name()))
+	}
+	if _, err := cl2.ResultBytes(ctx, st.ID); err == nil {
+		t.Error("restored job served a result whose cache entry was deleted")
+	} else {
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusGone {
+			t.Errorf("evicted restored result = %v, want HTTP 410", err)
+		}
+	}
+	if _, err := cl2.ResultBytes(ctx, hit.ID); err != nil {
+		t.Errorf("in-memory result should survive cache deletion: %v", err)
+	}
+}
+
+// TestJournalReplayRequeuesInterruptedJob hand-writes the journal a killed
+// process leaves — a submit record and a start record, no end — and
+// requires the next boot to re-enqueue the job under its original id, run
+// it, and keep the id counter past every journaled id.
+func TestJournalReplayRequeuesInterruptedJob(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	req := testRequest(300, 7)
+	src, err := req.ResolveSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	catHash, err := catalog.Hash(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := req.Config.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqJSON, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jnl, _, err := journal.Open(journal.Options{Dir: filepath.Join(dir, "journal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "job-000003"
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(jnl.Append(journal.Record{
+		Type: journal.RecordSubmit, ID: id, Time: time.Now().UTC(),
+		Key: catHash + "+" + fp, CatHash: catHash, Fingerprint: fp,
+		Label: req.Label, Request: reqJSON,
+	}))
+	must(jnl.Append(journal.Record{Type: journal.RecordStart, ID: id, Time: time.Now().UTC()}))
+	must(jnl.Close())
+
+	svc, cl, _ := startRestartable(t, service.Options{Workers: 1, StateDir: dir})
+	if got := svc.Stats().RequeuedJobs; got != 1 {
+		t.Fatalf("RequeuedJobs = %d, want 1", got)
+	}
+	st, err := cl.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("requeued job ended %s (%s), want done", st.State, st.Error)
+	}
+	if _, err := cl.Result(ctx, id); err != nil {
+		t.Fatalf("requeued job's result: %v", err)
+	}
+
+	// Ids never rewind: the next submission must come after job-000003.
+	next, err := cl.Submit(ctx, testRequest(300, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID != "job-000004" {
+		t.Errorf("post-recovery id = %s, want job-000004", next.ID)
+	}
+}
+
+// TestEvictedJobsDoNotResurrect runs eviction live (RetainJobs=1 over
+// three jobs), restarts, and requires the journal's evict records and
+// boot-time compaction to keep the evicted ids dead: 404 before the
+// restart means 404 after it.
+func TestEvictedJobsDoNotResurrect(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	opts := service.Options{Workers: 1, RetainJobs: 1, StateDir: dir}
+	_, cl1, stop1 := startRestartable(t, opts)
+
+	var ids []string
+	for seed := int64(1); seed <= 3; seed++ {
+		st, err := cl1.SubmitStream(ctx, testRequest(250, seed), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != service.StateDone {
+			t.Fatalf("seed %d ended %s (%s)", seed, st.State, st.Error)
+		}
+		ids = append(ids, st.ID)
+	}
+	stop1()
+
+	svc2, cl2, _ := startRestartable(t, opts)
+	if got := svc2.Stats().RestoredJobs; got != 1 {
+		t.Errorf("RestoredJobs = %d, want 1 (RetainJobs=1)", got)
+	}
+	jobs, err := cl2.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != ids[2] {
+		t.Fatalf("restart replayed %+v, want exactly the newest job %s", jobs, ids[2])
+	}
+	for _, id := range ids[:2] {
+		_, err := cl2.Status(ctx, id)
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+			t.Errorf("evicted job %s resurrected after restart (err=%v, want 404)", id, err)
+		}
+	}
+}
+
+// TestRetainJobsBoundsReplay feeds a journal holding more terminal jobs
+// than RetainJobs allows (no evict records — the bound itself must act)
+// and requires replay to keep only the newest RetainJobs of them.
+func TestRetainJobsBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	jnl, _, err := journal.Open(journal.Options{Dir: filepath.Join(dir, "journal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkID := func(n int) string { return "job-00000" + string(rune('0'+n)) }
+	for i := 1; i <= 5; i++ {
+		id := mkID(i)
+		if err := jnl.Append(journal.Record{
+			Type: journal.RecordSubmit, ID: id, Time: time.Now().UTC(),
+			Key: "cat+fp", CatHash: "cat", Fingerprint: "fp",
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := jnl.Append(journal.Record{
+			Type: journal.RecordEnd, ID: id, Time: time.Now().UTC(), State: "done",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	svc, cl, _ := startRestartable(t, service.Options{Workers: 1, RetainJobs: 2, StateDir: dir})
+	if got := svc.Stats().RestoredJobs; got != 2 {
+		t.Errorf("RestoredJobs = %d, want 2", got)
+	}
+	jobs, err := cl.Jobs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].ID != mkID(4) || jobs[1].ID != mkID(5) {
+		t.Fatalf("replayed %+v, want the newest two jobs", jobs)
+	}
+}
+
+// TestPoisonedCacheEntryRecomputed corrupts a persisted cache entry across
+// a restart: the poisoned entry must be detected at read, deleted, and
+// treated as a miss — the job recomputes and repopulates, and is never
+// served the torn bytes.
+func TestPoisonedCacheEntryRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	req := testRequest(250, 9)
+
+	_, cl1, stop1 := startRestartable(t, service.Options{Workers: 1, StateDir: dir})
+	st, err := cl1.SubmitStream(ctx, req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("cold run ended %s (%s)", st.State, st.Error)
+	}
+	stop1()
+
+	cacheDir := filepath.Join(dir, "cache")
+	ents, err := os.ReadDir(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("cache holds %d entries, want 1", len(ents))
+	}
+	path := filepath.Join(cacheDir, ents[0].Name())
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, cl2, _ := startRestartable(t, service.Options{Workers: 1, StateDir: dir})
+	redo, err := cl2.SubmitStream(ctx, req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if redo.State != service.StateDone {
+		t.Fatalf("recompute ended %s (%s)", redo.State, redo.Error)
+	}
+	if redo.CacheHit {
+		t.Fatal("poisoned cache entry was served as a hit")
+	}
+	if stats := svc2.Stats(); stats.CacheMisses != 1 || stats.CacheHits != 0 {
+		t.Errorf("poison counters: hits=%d misses=%d, want 0/1", stats.CacheHits, stats.CacheMisses)
+	}
+	if _, err := cl2.Result(ctx, redo.ID); err != nil {
+		t.Fatalf("recomputed result does not decode: %v", err)
+	}
+	// The recompute repopulated the entry: one more resubmission hits.
+	again, err := cl2.SubmitStream(ctx, req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Error("cache not repopulated after poison recompute")
+	}
+}

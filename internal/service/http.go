@@ -24,7 +24,16 @@ import (
 //	GET    /v1/jobs/{id}/result  the result in resultio encoding
 //	DELETE /v1/jobs/{id}         cancel the job
 //	GET    /v1/stats             server-wide counters
-//	GET    /healthz              liveness probe
+//	GET    /healthz              liveness probe: 200 whenever the process
+//	                             can answer, draining included
+//	GET    /readyz               readiness probe: 503 while draining or
+//	                             with a full queue (Retry-After set)
+//
+// Liveness and readiness are split on purpose: a draining server is alive
+// (kill it and in-flight jobs die with it) but not ready (routing new work
+// to it guarantees a 503). Orchestrators restart on failed liveness and
+// de-route on failed readiness — conflating the two turns every drain into
+// a kill.
 //
 // Ownership is deliberate: only the ?stream submitter owns its job's
 // lifetime (disconnect cancels, mirroring a ctrl-C'd local run); event
@@ -39,8 +48,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
+
+// Retry-After values for backpressure responses, in seconds. A full queue
+// clears as soon as a worker dequeues (retry soon); draining never
+// un-drains (a longer hint, long enough for an orchestrator to have
+// brought the replacement up).
+const (
+	retryAfterQueueFull = "1"
+	retryAfterDraining  = "5"
+)
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -66,8 +85,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, ErrBadRequest):
 			writeError(w, http.StatusBadRequest, err)
 		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", retryAfterQueueFull)
 			writeError(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", retryAfterDraining)
 			writeError(w, http.StatusServiceUnavailable, err)
 		default:
 			writeError(w, http.StatusInternalServerError, err)
@@ -110,9 +131,16 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	data, state := j.resultBytes()
+	data, state, ok := s.resultFor(j)
 	if state != StateDone {
 		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s, not done", j.id, state))
+		return
+	}
+	if !ok {
+		// A job restored from the journal whose cached result was evicted
+		// or poisoned since: the job happened, its bytes are gone. Gone is
+		// the honest answer — resubmitting the request recomputes.
+		writeError(w, http.StatusGone, fmt.Errorf("job %s completed before a restart and its cached result is no longer available; resubmit to recompute", j.id))
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -132,15 +160,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleHealthz is pure liveness: if the process can run this handler it
+// is alive, and draining does not change that.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
-	if draining {
-		writeError(w, http.StatusServiceUnavailable, ErrDraining)
-		return
-	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 with Retry-After while the server cannot
+// accept a submission (draining, or queue full right now).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch err := s.Ready(); {
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", retryAfterDraining)
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		w.Header().Set("Retry-After", retryAfterQueueFull)
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 // streamJob serves a job as a Server-Sent Events stream: first a "job"

@@ -25,7 +25,9 @@ import (
 	"galactos"
 	"galactos/internal/catalog"
 	"galactos/internal/core"
+	"galactos/internal/exec"
 	"galactos/internal/faultpoint"
+	"galactos/internal/journal"
 )
 
 // Faultpoints of the job execution path: service.job.run fires as a worker
@@ -77,8 +79,23 @@ type Options struct {
 	// their ids answer 404 afterwards — so a long-lived server's memory
 	// is bounded by the queue, the pool, and the caches, not by its
 	// lifetime job count. Negative retains every job forever. Queued and
-	// running jobs are never evicted.
+	// running jobs are never evicted. With a StateDir, the same bound
+	// caps how many terminal jobs a restart replays from the journal.
 	RetainJobs int
+	// StateDir, when non-empty, makes the server crash-only durable: job
+	// lifecycle records go to an append-only fsync-on-commit journal
+	// (StateDir/journal), completed results to a disk-backed cache of
+	// resultio files (StateDir/cache, still bounded by CacheEntries), and
+	// sharded jobs checkpoint under per-job directories
+	// (StateDir/jobs/<id>). A server restarted on the same StateDir
+	// replays the journal: terminal jobs are restored (up to RetainJobs)
+	// and jobs that were queued or running when the process died are
+	// re-enqueued under their original ids, resuming from their shard
+	// checkpoints instead of recomputing. See DESIGN.md, "Durability".
+	StateDir string
+	// JournalRotateBytes overrides the journal's segment-rotation
+	// threshold (tests; 0 selects the journal package default).
+	JournalRotateBytes int64
 	// Log, when non-nil, receives server-level progress lines.
 	Log func(format string, args ...any)
 }
@@ -87,7 +104,8 @@ type Options struct {
 // Handler, stop with Shutdown.
 type Server struct {
 	opts  Options
-	cache *resultCache
+	store resultStore
+	jnl   *journal.Journal // nil without a StateDir
 	queue chan *job
 
 	rootCtx    context.Context
@@ -107,10 +125,17 @@ type Server struct {
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	running   atomic.Int64
+	restored  atomic.Uint64 // terminal jobs restored from the journal at boot
+	requeued  atomic.Uint64 // interrupted jobs re-enqueued from the journal at boot
 }
 
-// New starts a server: its workers run until Shutdown.
-func New(opts Options) *Server {
+// New starts a server: its workers run until Shutdown. With a StateDir it
+// first opens the durability layer and replays the journal — restoring
+// terminal jobs and re-enqueueing interrupted ones — before any worker
+// starts, so recovery observes a quiescent registry. An error is only
+// possible with a StateDir (an unusable state directory); without one New
+// cannot fail.
+func New(opts Options) (*Server, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = 2
 	}
@@ -126,17 +151,23 @@ func New(opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:       opts,
-		cache:      newResultCache(opts.CacheEntries),
+		store:      newResultCache(opts.CacheEntries),
 		queue:      make(chan *job, opts.QueueDepth),
 		rootCtx:    ctx,
 		rootCancel: cancel,
 		jobs:       make(map[string]*job),
 	}
+	if opts.StateDir != "" {
+		if err := s.openState(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -176,7 +207,21 @@ func (s *Server) Submit(req galactos.Request) (*job, error) {
 	j := newJob(id, req, src, key, ctx, cancel)
 	j.catHash = catHash
 
-	if data, ok := s.cache.get(key); ok {
+	// Journal the submission before the job becomes visible: the commit
+	// point of "this job exists" is the fsynced submit record, so every
+	// job a client was ever told about is replayable after a kill. A
+	// journal that cannot commit fails the submission — accepting work the
+	// durability layer cannot remember would silently void the crash-only
+	// contract.
+	if s.jnl != nil {
+		if err := s.jnl.Append(submitRecord(j, req)); err != nil {
+			s.mu.Unlock()
+			cancel()
+			return nil, fmt.Errorf("journaling submission: %w", err)
+		}
+	}
+
+	if data, ok := s.store.get(key); ok {
 		s.jobs[id] = j
 		s.order = append(s.order, j)
 		s.mu.Unlock()
@@ -184,6 +229,7 @@ func (s *Server) Submit(req galactos.Request) (*job, error) {
 		s.hits.Add(1)
 		s.done.Add(1)
 		j.finish(StateDone, nil, nil, data, true)
+		s.journalEnd(j)
 		s.evictTerminal()
 		s.logf("%s: cache hit (%s)", id, key[:12])
 		return j, nil
@@ -208,6 +254,13 @@ func (s *Server) Submit(req galactos.Request) (*job, error) {
 	default:
 		s.mu.Unlock()
 		cancel()
+		// A rejected job was never registered, so evict its submit record:
+		// replay must not resurrect a submission the client was told
+		// failed. Best-effort — a lost evict leaves a submit+no-end pair
+		// that replays as queued and simply re-runs, which is safe.
+		s.journalAppend(journal.Record{
+			Type: journal.RecordEvict, ID: id, Time: time.Now().UTC(),
+		})
 		return nil, ErrQueueFull
 	}
 }
@@ -220,8 +273,8 @@ func (s *Server) evictTerminal() {
 	if s.opts.RetainJobs < 0 {
 		return
 	}
+	var evicted []string
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	terminal := 0
 	for _, j := range s.order {
 		if j.terminal() {
@@ -229,22 +282,30 @@ func (s *Server) evictTerminal() {
 		}
 	}
 	drop := terminal - s.opts.RetainJobs
-	if drop <= 0 {
-		return
-	}
-	keep := s.order[:0]
-	for _, j := range s.order {
-		if drop > 0 && j.terminal() {
-			delete(s.jobs, j.id)
-			drop--
-			continue
+	if drop > 0 {
+		keep := s.order[:0]
+		for _, j := range s.order {
+			if drop > 0 && j.terminal() {
+				delete(s.jobs, j.id)
+				evicted = append(evicted, j.id)
+				drop--
+				continue
+			}
+			keep = append(keep, j)
 		}
-		keep = append(keep, j)
+		for i := len(keep); i < len(s.order); i++ {
+			s.order[i] = nil // release for GC
+		}
+		s.order = keep
 	}
-	for i := len(keep); i < len(s.order); i++ {
-		s.order[i] = nil // release for GC
+	s.mu.Unlock()
+	// Journal evictions outside s.mu (each append fsyncs): replay must not
+	// resurrect a job whose id already answers 404.
+	for _, id := range evicted {
+		s.journalAppend(journal.Record{
+			Type: journal.RecordEvict, ID: id, Time: time.Now().UTC(),
+		})
 	}
-	s.order = keep
 }
 
 func (s *Server) worker() {
@@ -259,11 +320,20 @@ func (s *Server) worker() {
 // resultio-encoded result on success.
 func (s *Server) runJob(j *job) {
 	defer s.evictTerminal()
+	// LIFO with the evictTerminal defer above: the end record commits
+	// before any evict record this job's completion triggers.
+	defer func() {
+		s.journalEnd(j)
+		s.removeJobDir(j.id)
+	}()
 	if j.ctx.Err() != nil || !j.start() {
 		j.finish(StateCancelled, context.Cause(j.ctx), nil, nil, false)
 		s.cancelled.Add(1)
 		return
 	}
+	s.journalAppend(journal.Record{
+		Type: journal.RecordStart, ID: j.id, Time: time.Now().UTC(),
+	})
 	s.running.Add(1)
 	defer s.running.Add(-1)
 
@@ -290,6 +360,20 @@ func (s *Server) runJob(j *job) {
 	req.Path = ""
 	req.Log = func(format string, args ...any) {
 		j.appendLog(fmt.Sprintf(format, args...))
+	}
+
+	// Durable servers route sharded jobs through a per-job checkpoint
+	// directory with Resume set: a job interrupted by a kill and
+	// re-enqueued at the next boot reuses its completed shards instead of
+	// recomputing them. A caller-specified CheckpointDir is respected.
+	if s.opts.StateDir != "" {
+		if b, err := req.ResolveBackend(); err == nil {
+			if sh, ok := b.(exec.Sharded); ok && sh.NShards > 1 && sh.CheckpointDir == "" {
+				sh.CheckpointDir = s.jobDir(j.id)
+				sh.Resume = true
+				req.Via = sh
+			}
+		}
 	}
 
 	// The server-wide job deadline caps the run on a context derived from
@@ -324,7 +408,7 @@ func (s *Server) runJob(j *job) {
 			s.failed.Add(1)
 			return
 		}
-		s.cache.put(j.key, buf.Bytes())
+		s.store.put(j.key, buf.Bytes())
 		j.finish(StateDone, nil, run, buf.Bytes(), false)
 		s.done.Add(1)
 		s.logf("%s: done in %s (%d pairs)", j.id, run.Elapsed, run.Result.Pairs)
@@ -387,9 +471,27 @@ func (s *Server) Cancel(id string) (*job, bool) {
 	}
 	j.mu.Unlock()
 	if terminalized {
+		s.journalEnd(j)
 		s.evictTerminal()
 	}
 	return j, true
+}
+
+// Ready reports whether the server would accept a submission right now:
+// nil when ready, ErrDraining during shutdown, ErrQueueFull while the
+// queue has no room. Liveness is not its concern — a draining or saturated
+// server is still alive, just not ready.
+func (s *Server) Ready() error {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return ErrDraining
+	}
+	if len(s.queue) >= cap(s.queue) {
+		return ErrQueueFull
+	}
+	return nil
 }
 
 // Stats snapshots the server-wide counters.
@@ -415,7 +517,10 @@ func (s *Server) Stats() Stats {
 		Cancelled:    s.cancelled.Load(),
 		CacheHits:    s.hits.Load(),
 		CacheMisses:  s.misses.Load(),
-		CacheEntries: s.cache.len(),
+		CacheEntries: s.store.len(),
+		Durable:      s.opts.StateDir != "",
+		RestoredJobs: s.restored.Load(),
+		RequeuedJobs: s.requeued.Load(),
 	}
 }
 
@@ -440,10 +545,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-idle:
+		s.closeJournal()
 		return nil
 	case <-ctx.Done():
 		s.rootCancel()
 		<-idle
+		s.closeJournal()
 		return ctx.Err()
 	}
 }

@@ -26,7 +26,10 @@ import (
 // remote galactosd deployment is driven.
 func startServer(t *testing.T, opts service.Options) (*service.Server, *client.Client) {
 	t.Helper()
-	svc := service.New(opts)
+	svc, err := service.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -435,7 +438,10 @@ func TestQueueFullRejects(t *testing.T) {
 // ErrDraining, or ErrQueueFull — never a send on the closed queue (which
 // would panic and fail the test hard) — and accepted jobs must drain.
 func TestSubmitDuringShutdownNoPanic(t *testing.T) {
-	svc := service.New(service.Options{Workers: 2, QueueDepth: 2})
+	svc, err := service.New(service.Options{Workers: 2, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var wg sync.WaitGroup
 	start := make(chan struct{})
 	for g := 0; g < 4; g++ {
